@@ -1,0 +1,184 @@
+(* Benchmark executable: regenerates every table and figure of the paper's
+   evaluation and measures the computational kernels behind each with
+   bechamel.
+
+   Usage:
+     dune exec bench/main.exe                 experiment drivers (quick) + micro
+     dune exec bench/main.exe -- --full       paper-scale experiment drivers
+     dune exec bench/main.exe -- --micro-only micro-benchmarks only
+     dune exec bench/main.exe -- --drivers-only
+
+   The experiment drivers print the same rows/series as the paper's Table II
+   and Figs 9-13 plus the Sec VII-D/VII-G summaries; the micro suite holds
+   one bechamel Test.make group per table/figure, measuring real wall-clock
+   time of that experiment's kernel (most importantly, the exhaustive
+   vs. heuristic counter gap of Fig 10). *)
+
+open Bechamel
+open Toolkit
+module Catalog = Perple_litmus.Catalog
+module Outcome = Perple_litmus.Outcome
+module Operational = Perple_memmodel.Operational
+module Convert = Perple_core.Convert
+module OC = Perple_core.Outcome_convert
+module Count = Perple_core.Count
+module Engine = Perple_core.Engine
+module Skew = Perple_core.Skew
+module Perpetual = Perple_harness.Perpetual
+module Litmus7 = Perple_harness.Litmus7
+module Sync_mode = Perple_harness.Sync_mode
+module Rng = Perple_util.Rng
+module Report = Perple_report
+
+(* --- Prepared state shared by the micro-benchmarks ----------------------- *)
+
+let sb_conv = lazy (Result.get_ok (Convert.convert Catalog.sb))
+
+let prepared_run iterations =
+  lazy
+    (let conv = Lazy.force sb_conv in
+     Perpetual.run ~rng:(Rng.create 1) ~image:conv.Convert.image
+       ~t_reads:conv.Convert.t_reads ~iterations ())
+
+let run_1k = prepared_run 1_000
+let run_4k = prepared_run 4_000
+
+let sb_target =
+  lazy
+    (let conv = Lazy.force sb_conv in
+     Result.get_ok
+       (OC.convert conv (Result.get_ok (Outcome.of_condition Catalog.sb))))
+
+let sb_all_outcomes =
+  lazy
+    (let conv = Lazy.force sb_conv in
+     List.map
+       (fun o -> Result.get_ok (OC.convert conv o))
+       (Outcome.all Catalog.sb))
+
+(* One Test.make per table/figure of the evaluation. *)
+let micro_tests =
+  [
+    (* Table II: deciding allowed/forbidden with the operational checker. *)
+    Test.make ~name:"table2:classify-sb-tso"
+      (Staged.stage (fun () ->
+           Operational.target_allowed Operational.Tso Catalog.sb));
+    (* Fig 9: a perpetual run plus heuristic target counting, 1k iters. *)
+    Test.make ~name:"fig9:perpetual-run+count-1k"
+      (Staged.stage (fun () ->
+           let conv = Lazy.force sb_conv in
+           let run =
+             Perpetual.run ~rng:(Rng.create 2) ~image:conv.Convert.image
+               ~t_reads:conv.Convert.t_reads ~iterations:1_000 ()
+           in
+           Count.heuristic_auto conv
+             ~outcomes:[ Lazy.force sb_target ]
+             ~run));
+    (* Fig 10: the counting-cost gap — exhaustive N^2 vs heuristic N on an
+       identical prepared 1k-iteration run. *)
+    Test.make ~name:"fig10:exhaustive-count-1k"
+      (Staged.stage (fun () ->
+           Count.exhaustive (Lazy.force sb_conv)
+             ~outcomes:[ Lazy.force sb_target ]
+             ~run:(Lazy.force run_1k)));
+    Test.make ~name:"fig10:heuristic-count-1k"
+      (Staged.stage (fun () ->
+           Count.heuristic_auto (Lazy.force sb_conv)
+             ~outcomes:[ Lazy.force sb_target ]
+             ~run:(Lazy.force run_1k)));
+    Test.make ~name:"fig10:heuristic-count-4k"
+      (Staged.stage (fun () ->
+           Count.heuristic_auto (Lazy.force sb_conv)
+             ~outcomes:[ Lazy.force sb_target ]
+             ~run:(Lazy.force run_4k)));
+    (* Fig 11: the full engine end to end (run + conversion + counting). *)
+    Test.make ~name:"fig11:engine-end-to-end-1k"
+      (Staged.stage (fun () ->
+           Engine.run ~seed:3 ~iterations:1_000 Catalog.sb));
+    (* Fig 12: skew measurement by value decoding. *)
+    Test.make ~name:"fig12:skew-measure-4k"
+      (Staged.stage (fun () ->
+           Skew.measure (Lazy.force sb_conv) ~run:(Lazy.force run_4k)));
+    (* Fig 13: independent per-outcome heuristic counting, all outcomes. *)
+    Test.make ~name:"fig13:variety-count-1k"
+      (Staged.stage (fun () ->
+           Count.heuristic_independent (Lazy.force sb_conv)
+             ~outcomes:(Lazy.force sb_all_outcomes)
+             ~run:(Lazy.force run_1k)));
+    (* Sec VII-G: baseline execution cost, litmus7-user vs perpetual. *)
+    Test.make ~name:"overall:litmus7-user-500"
+      (Staged.stage (fun () ->
+           Litmus7.run ~rng:(Rng.create 4) ~test:Catalog.sb
+             ~mode:Sync_mode.User ~iterations:500 ()));
+    Test.make ~name:"overall:perpetual-500"
+      (Staged.stage (fun () ->
+           let conv = Lazy.force sb_conv in
+           Perpetual.run ~rng:(Rng.create 4) ~image:conv.Convert.image
+             ~t_reads:conv.Convert.t_reads ~iterations:500 ()));
+  ]
+
+let run_micro () =
+  print_endline "== micro-benchmarks (bechamel, wall clock) ==";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw =
+    Benchmark.all cfg instances
+      (Test.make_grouped ~name:"perple" micro_tests)
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun label ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some (x :: _) -> x
+          | Some [] | None -> Float.nan
+        in
+        (label, ns) :: acc)
+      results []
+  in
+  let table = Perple_util.Table.create ~headers:[ "kernel"; "time/run" ] in
+  Perple_util.Table.set_align table 1 Perple_util.Table.Right;
+  let pretty_time ns =
+    if Float.is_nan ns then "n/a"
+    else if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+    else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+    else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+    else Printf.sprintf "%.0f ns" ns
+  in
+  List.iter
+    (fun (label, ns) ->
+      Perple_util.Table.add_row table [ label; pretty_time ns ])
+    (List.sort compare rows);
+  Perple_util.Table.print table;
+  (* The Fig 10 headline in wall-clock terms. *)
+  let find label = List.assoc ("perple/" ^ label) rows in
+  try
+    let exh = find "fig10:exhaustive-count-1k" in
+    let heur = find "fig10:heuristic-count-1k" in
+    Printf.printf
+      "\nwall-clock counting speedup, heuristic vs exhaustive (sb, N=1k): \
+       %s (paper geomean across suite: 305x; grows with N)\n"
+      (Perple_util.Table.ratio_cell (exh /. heur))
+  with Not_found -> ()
+
+let run_drivers params =
+  List.iter
+    (fun (id, text) -> Printf.printf "==== %s ====\n%s\n%!" id text)
+    (Report.Experiments.run_all params)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let full = List.mem "--full" args in
+  let micro_only = List.mem "--micro-only" args in
+  let drivers_only = List.mem "--drivers-only" args in
+  let params =
+    if full then Report.Common.default_params else Report.Common.quick_params
+  in
+  if not micro_only then run_drivers params;
+  if not drivers_only then run_micro ()

@@ -1,0 +1,656 @@
+(* perple — command-line front end for the PerpLE reproduction.
+
+   Subcommands mirror the PerpLE workflow (paper, Fig 3): inspect litmus
+   tests, convert them to perpetual form, run them on the simulated machine
+   with either outcome counter, run the litmus7-style baseline, emit the
+   Converter's C/assembly artifacts, and regenerate the paper's tables and
+   figures. *)
+
+open Cmdliner
+module Ast = Perple_litmus.Ast
+module Parser = Perple_litmus.Parser
+module Printer = Perple_litmus.Printer
+module Outcome = Perple_litmus.Outcome
+module Catalog = Perple_litmus.Catalog
+module Operational = Perple_memmodel.Operational
+module Axiomatic = Perple_memmodel.Axiomatic
+module Config = Perple_sim.Config
+module Sync_mode = Perple_harness.Sync_mode
+module Litmus7 = Perple_harness.Litmus7
+module Convert = Perple_core.Convert
+module Outcome_convert = Perple_core.Outcome_convert
+module Engine = Perple_core.Engine
+module Codegen = Perple_core.Codegen
+module Report = Perple_report
+
+let load_test spec =
+  if Sys.file_exists spec && not (Sys.is_directory spec) then begin
+    match Parser.parse_file spec with
+    | Ok test -> Ok test
+    | Error e -> Error (Format.asprintf "%s: %a" spec Parser.pp_error e)
+  end
+  else begin
+    match Catalog.find spec with
+    | Some entry -> Ok entry.Catalog.test
+    | None ->
+      Error
+        (Printf.sprintf
+           "unknown test %S (not a catalog name or a readable file); try \
+            'perple list'"
+           spec)
+  end
+
+let test_arg =
+  let doc = "Catalog test name (see $(b,perple list)) or path to a .litmus file." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"TEST" ~doc)
+
+let iterations_arg =
+  let doc = "Number of test iterations N." in
+  Arg.(value & opt int 10_000 & info [ "n"; "iterations" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed; equal seeds reproduce runs exactly." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let model_conv =
+  let parse s =
+    match s with
+    | "sc" -> Ok Config.Sc
+    | "tso" -> Ok Config.Tso
+    | "pso" -> Ok Config.Pso
+    | "tso+store-reorder-bug" -> Ok Config.Tso_store_reorder
+    | "tso+fence-ignored-bug" -> Ok Config.Tso_fence_ignored
+    | _ ->
+      Error
+        (`Msg
+           "expected sc, tso, pso, tso+store-reorder-bug or \
+            tso+fence-ignored-bug")
+  in
+  Arg.conv (parse, fun ppf m -> Format.pp_print_string ppf (Config.model_name m))
+
+let model_arg =
+  let doc =
+    "Simulated hardware model: $(b,sc), $(b,tso) (default), $(b,pso), \
+     $(b,tso+store-reorder-bug) or $(b,tso+fence-ignored-bug)."
+  in
+  Arg.(value & opt model_conv Config.Tso & info [ "model" ] ~docv:"MODEL" ~doc)
+
+let config_of_model model = Config.with_model model Config.default
+
+let stress_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "stress" ] ~docv:"K"
+        ~doc:
+          "Add $(docv) stress threads hammering scratch locations (paper, \
+           Sec II-B1).")
+
+let fail fmt = Printf.ksprintf (fun m -> Error m) fmt
+
+let wrap f =
+  let report = function
+    | Ok () -> ()
+    | Error m ->
+      prerr_endline ("perple: " ^ m);
+      Stdlib.exit 1
+  in
+  Term.(const report $ f)
+
+(* --- list ---------------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    print_endline "Perpetual litmus suite (Table II):";
+    List.iter
+      (fun (e : Catalog.entry) ->
+        Printf.printf "  %-14s %s  %s\n" e.Catalog.test.Ast.name
+          (match e.Catalog.classification with
+          | Catalog.Allowed -> "allowed  "
+          | Catalog.Forbidden -> "forbidden")
+          e.Catalog.test.Ast.doc)
+      Catalog.suite;
+    print_endline "Non-convertible companions (Sec V-C):";
+    List.iter
+      (fun t -> Printf.printf "  %-14s %s\n" t.Ast.name t.Ast.doc)
+      Catalog.non_convertible;
+    Ok ()
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the tests the catalog knows.")
+    (wrap Term.(const run $ const ()))
+
+(* --- show ---------------------------------------------------------------- *)
+
+let show_cmd =
+  let run spec =
+    Result.map
+      (fun test ->
+        print_string (Printer.to_string test);
+        Printf.printf "\n%s\n" (Printer.summary test);
+        (match
+           ( test.Ast.condition.Ast.quantifier,
+             Operational.condition_verdict Operational.Tso test )
+         with
+        | Ast.Forall, Ok holds ->
+          Printf.printf "forall condition under x86-TSO: %s\n"
+            (if holds then "holds in every execution" else "violated")
+        | (Ast.Exists | Ast.Not_exists), Ok allowed ->
+          Printf.printf "target under x86-TSO: %s\n"
+            (if allowed then "allowed" else "forbidden")
+        | _, Error m -> Printf.printf "target under x86-TSO: n/a (%s)\n" m);
+        match Convert.convert test with
+        | Ok _ -> print_endline "convertible to perpetual form: yes"
+        | Error r ->
+          Format.printf "convertible to perpetual form: no (%a)@."
+            Convert.pp_reason r)
+      (load_test spec)
+  in
+  Cmd.v (Cmd.info "show" ~doc:"Print a test in litmus7 format with analysis.")
+    (wrap Term.(const run $ test_arg))
+
+(* --- check --------------------------------------------------------------- *)
+
+let check_cmd =
+  let run spec =
+    Result.map
+      (fun test ->
+        List.iter
+          (fun model ->
+            let outcomes = Operational.reachable_outcomes model test in
+            Printf.printf "%s reachable outcomes (operational):\n"
+              (Operational.model_to_string model);
+            List.iter
+              (fun o -> Printf.printf "  %s\n" (Outcome.to_string o))
+              outcomes;
+            let ax = Axiomatic.reachable_outcomes model test in
+            Printf.printf "  axiomatic checker agrees: %b\n"
+              (List.length ax = List.length outcomes
+              && List.for_all2 Outcome.equal ax outcomes))
+          [ Operational.Sc; Operational.Tso; Operational.Pso ])
+      (load_test spec)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Enumerate reachable outcomes under SC and x86-TSO.")
+    (wrap Term.(const run $ test_arg))
+
+(* --- convert ------------------------------------------------------------- *)
+
+let convert_cmd =
+  let run spec =
+    Result.bind (load_test spec) (fun test ->
+        match Convert.convert test with
+        | Error r -> fail "%s" (Format.asprintf "%a" Convert.pp_reason r)
+        | Ok conv ->
+          Printf.printf "Perpetual version of %s:\n" test.Ast.name;
+          Array.iteri
+            (fun t (program : Perple_sim.Program.thread) ->
+              Printf.printf "  thread %d (%d loads/iteration):\n" t
+                conv.Convert.t_reads.(t);
+              Array.iter
+                (fun instr ->
+                  Format.printf "    %a@."
+                    (Perple_sim.Program.pp_instr
+                       ~location_names:
+                         conv.Convert.image.Perple_sim.Program.location_names)
+                    instr)
+                program.Perple_sim.Program.body)
+            conv.Convert.image.Perple_sim.Program.programs;
+          List.iter
+            (fun x ->
+              Printf.printf "  k_%s = %d\n" x
+                (List.length (Ast.store_constants test x)))
+            (Ast.locations test);
+          print_endline "Perpetual outcomes (step 4 inequalities):";
+          List.iter
+            (fun o ->
+              match Outcome_convert.convert conv o with
+              | Ok c ->
+                Printf.printf "  %-12s %s\n" (Outcome.short_label o)
+                  (Outcome_convert.describe conv c);
+                let plan = Outcome_convert.heuristic_plan conv c in
+                Printf.printf "  %-12s heuristic: %s\n" ""
+                  (Outcome_convert.describe_heuristic conv c plan)
+              | Error m ->
+                Printf.printf "  %-12s (not convertible: %s)\n"
+                  (Outcome.short_label o) m)
+            (Outcome.all test);
+          Ok ())
+  in
+  Cmd.v
+    (Cmd.info "convert"
+       ~doc:"Show the perpetual test and its converted outcomes.")
+    (wrap Term.(const run $ test_arg))
+
+(* --- run ----------------------------------------------------------------- *)
+
+let counter_arg =
+  let counter_conv =
+    Arg.conv
+      ( (function
+         | "heur" | "heuristic" -> Ok Engine.Heuristic
+         | "exh" | "exhaustive" -> Ok Engine.Exhaustive
+         | _ -> Error (`Msg "expected heur or exh")),
+        fun ppf c ->
+          Format.pp_print_string ppf
+            (match c with
+            | Engine.Heuristic -> "heur"
+            | Engine.Exhaustive -> "exh") )
+  in
+  Arg.(
+    value
+    & opt counter_conv Engine.Heuristic
+    & info [ "counter" ] ~docv:"COUNTER"
+        ~doc:"Outcome counter: $(b,heur) (linear) or $(b,exh) (N^TL).")
+
+let all_outcomes_arg =
+  Arg.(
+    value & flag
+    & info [ "all-outcomes" ]
+        ~doc:"Count every possible outcome, not just the target.")
+
+let run_cmd =
+  let run spec iterations seed counter model all_outcomes stress =
+    Result.bind (load_test spec) (fun test ->
+        let outcomes =
+          if all_outcomes then Some (Outcome.all test) else None
+        in
+        match
+          Engine.run ~config:(config_of_model model) ~counter ?outcomes
+            ~stress_threads:stress ~seed ~iterations test
+        with
+        | Error r -> fail "%s" (Format.asprintf "%a" Convert.pp_reason r)
+        | Ok report ->
+          Printf.printf
+            "PerpLE run of %s: %d iterations, %s counter, model %s\n"
+            test.Ast.name
+            report.Engine.run.Perple_harness.Perpetual.iterations
+            (match counter with
+            | Engine.Heuristic -> "heuristic"
+            | Engine.Exhaustive -> "exhaustive")
+            (Config.model_name model);
+          List.iteri
+            (fun i o ->
+              Printf.printf "  %-24s %d\n" (Outcome.to_string o)
+                report.Engine.counts.(i))
+            report.Engine.outcomes;
+          Printf.printf
+            "frames examined: %d; virtual runtime: %d rounds; target \
+             detection rate: %.3f per Mround\n"
+            report.Engine.frames_examined report.Engine.virtual_runtime
+            (Engine.detection_rate report);
+          Ok ())
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Convert a test and run its perpetual version on the simulator.")
+    (wrap
+       Term.(
+         const run $ test_arg $ iterations_arg $ seed_arg $ counter_arg
+         $ model_arg $ all_outcomes_arg $ stress_arg))
+
+(* --- litmus7 baseline ---------------------------------------------------- *)
+
+let mode_arg =
+  let mode_conv =
+    Arg.conv
+      ( (fun s ->
+          match Sync_mode.of_name s with
+          | Some m -> Ok m
+          | None ->
+            Error
+              (`Msg "expected user, userfence, pthread, timebase or none")),
+        fun ppf m -> Format.pp_print_string ppf (Sync_mode.name m) )
+  in
+  Arg.(
+    value
+    & opt mode_conv Sync_mode.User
+    & info [ "mode" ] ~docv:"MODE" ~doc:"litmus7 synchronisation mode.")
+
+let litmus7_cmd =
+  let run spec iterations seed mode model stress =
+    Result.map
+      (fun test ->
+        let rng = Perple_util.Rng.create seed in
+        let result =
+          Litmus7.run ~config:(config_of_model model) ~stress_threads:stress
+            ~rng ~test ~mode ~iterations ()
+        in
+        Printf.printf "litmus7-style run of %s: %d iterations, %s mode\n"
+          test.Ast.name iterations (Sync_mode.name mode);
+        List.iter
+          (fun (o, n) ->
+            if n > 0 then Printf.printf "  %-24s %d\n" (Outcome.to_string o) n)
+          result.Litmus7.histogram;
+        (match Outcome.of_condition test with
+        | Ok target ->
+          Printf.printf "target occurrences: %d\n"
+            (Litmus7.count result ~partial:target)
+        | Error _ -> ());
+        Printf.printf "virtual runtime: %d rounds\n"
+          result.Litmus7.virtual_runtime)
+      (load_test spec)
+  in
+  Cmd.v
+    (Cmd.info "litmus7"
+       ~doc:"Run the litmus7-style synchronised baseline on the simulator.")
+    (wrap
+       Term.(
+         const run $ test_arg $ iterations_arg $ seed_arg $ mode_arg
+         $ model_arg $ stress_arg))
+
+(* --- emit ---------------------------------------------------------------- *)
+
+let emit_cmd =
+  let out_arg =
+    Arg.(
+      value & opt string "perple-out"
+      & info [ "o"; "output" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  let native_arg =
+    Arg.(
+      value & flag
+      & info [ "native" ]
+          ~doc:
+            "Also compile the emitted harness with $(b,cc) and run it on \
+             the host (requires a C toolchain; the artifacts target x86-64).")
+  in
+  let native_iters_arg =
+    Arg.(
+      value & opt int 100_000
+      & info [ "native-iterations" ] ~docv:"N"
+          ~doc:"Iteration count passed to the native harness.")
+  in
+  let run spec dir native native_iters =
+    Result.bind (load_test spec) (fun test ->
+        match Convert.convert test with
+        | Error r -> fail "%s" (Format.asprintf "%a" Convert.pp_reason r)
+        | Ok conv -> (
+          match Codegen.all_files conv ~outcomes:(Outcome.all test) with
+          | Error m -> fail "outcome conversion failed: %s" m
+          | Ok files ->
+            Codegen.write_to_dir ~dir files;
+            List.iter
+              (fun (f : Codegen.file) ->
+                Printf.printf "wrote %s\n"
+                  (Filename.concat dir f.Codegen.filename))
+              files;
+            if not native then Ok ()
+            else begin
+              let name =
+                String.map
+                  (function
+                    | ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_') as c -> c
+                    | _ -> '_')
+                  test.Ast.name
+              in
+              let sources =
+                List.filter
+                  (fun (f : Codegen.file) ->
+                    Filename.check_suffix f.Codegen.filename ".c"
+                    || Filename.check_suffix f.Codegen.filename ".s")
+                  files
+              in
+              let cmd =
+                Printf.sprintf "cc -O2 -pthread -o %s %s 2>/dev/null"
+                  (Filename.quote (Filename.concat dir (name ^ "_native")))
+                  (String.concat " "
+                     (List.map
+                        (fun (f : Codegen.file) ->
+                          Filename.quote
+                            (Filename.concat dir f.Codegen.filename))
+                        sources))
+              in
+              if Sys.command cmd <> 0 then
+                fail "native build failed (is a C toolchain available?)"
+              else begin
+                Printf.printf "running native harness (%d iterations)...\n%!"
+                  native_iters;
+                let run_cmd =
+                  Printf.sprintf "%s %d"
+                    (Filename.quote (Filename.concat dir (name ^ "_native")))
+                    native_iters
+                in
+                if Sys.command run_cmd <> 0 then fail "native run failed"
+                else Ok ()
+              end
+            end))
+  in
+  Cmd.v
+    (Cmd.info "emit"
+       ~doc:
+         "Emit the Converter's x86 assembly, C counters, parameters and \
+          harness files.")
+    (wrap Term.(const run $ test_arg $ out_arg $ native_arg $ native_iters_arg))
+
+(* --- trace ---------------------------------------------------------------- *)
+
+let trace_cmd =
+  let events_arg =
+    Arg.(
+      value & opt int 60
+      & info [ "events" ] ~docv:"K" ~doc:"Number of events to record.")
+  in
+  let run spec iterations seed model events =
+    Result.bind (load_test spec) (fun test ->
+        match Convert.convert test with
+        | Error r -> fail "%s" (Format.asprintf "%a" Convert.pp_reason r)
+        | Ok conv ->
+          let module Trace = Perple_harness.Trace in
+          let trace, _run =
+            Trace.trace_perpetual ~config:(config_of_model model)
+              ~limit:events
+              ~rng:(Perple_util.Rng.create seed)
+              ~image:conv.Convert.image ~t_reads:conv.Convert.t_reads
+              ~iterations ()
+          in
+          Printf.printf
+            "First %d machine events of the perpetual %s run (model %s):\n"
+            (Trace.length trace) test.Ast.name (Config.model_name model);
+          print_string
+            (Trace.render
+               ~location_names:
+                 conv.Convert.image.Perple_sim.Program.location_names
+               trace);
+          Ok ())
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a perpetual test while recording the machine's event trace \
+          (instruction retirements, buffer drains, stalls).")
+    (wrap
+       Term.(
+         const run $ test_arg $ iterations_arg $ seed_arg $ model_arg
+         $ events_arg))
+
+(* --- generate ------------------------------------------------------------ *)
+
+let generate_cmd =
+  let cycle_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"CYCLE"
+          ~doc:
+            "Whitespace-separated relaxation-cycle edges (diy style): \
+             $(b,PodWR) $(b,PodWW) $(b,PodRW) $(b,PodRR), fenced variants \
+             $(b,MFencedWR) ..., and communication edges $(b,Rfe) $(b,Fre) \
+             $(b,Wse); or one of the named cycles from $(b,--list-cycles).")
+  in
+  let name_arg =
+    Arg.(
+      value & opt string "generated"
+      & info [ "name" ] ~docv:"NAME" ~doc:"Name for the generated test.")
+  in
+  let run spec name =
+    let module Generate = Perple_litmus.Generate in
+    let cycle_text =
+      match List.assoc_opt spec Generate.named_cycles with
+      | Some text -> text
+      | None -> spec
+    in
+    Result.bind
+      (Generate.parse_cycle cycle_text)
+      (fun cycle ->
+        match Generate.of_cycle ~name cycle with
+        | Error m -> fail "cannot realise cycle: %s" m
+        | Ok test ->
+          print_string (Printer.to_string test);
+          let p = Generate.predict cycle in
+          Printf.printf
+            "
+predicted target: SC %s, TSO %s, PSO %s (from cycle shape)
+"
+            (if p.Generate.sc then "allowed" else "forbidden")
+            (if p.Generate.tso then "allowed" else "forbidden")
+            (if p.Generate.pso then "allowed" else "forbidden");
+          (match Outcome.of_condition test with
+          | Ok _ ->
+            List.iter
+              (fun model ->
+                Printf.printf "checker verdict under %s: %s
+"
+                  (Operational.model_to_string model)
+                  (if Result.get_ok (Operational.target_allowed model test)
+                   then "allowed"
+                   else "forbidden"))
+              [ Operational.Sc; Operational.Tso; Operational.Pso ]
+          | Error _ ->
+            print_endline
+              "condition inspects final memory (Wse edge): not convertible \
+               to perpetual form; checker verdicts via the axiomatic model:";
+            List.iter
+              (fun model ->
+                Printf.printf "checker verdict under %s: %s
+"
+                  (Operational.model_to_string model)
+                  (if Axiomatic.condition_reachable model test then "allowed"
+                   else "forbidden"))
+              [ Operational.Sc; Operational.Tso; Operational.Pso ]);
+          Ok ())
+  in
+  Cmd.v
+    (Cmd.info "generate"
+       ~doc:
+         "Generate a litmus test from a diy-style relaxation cycle and \
+          classify its target.")
+    (wrap Term.(const run $ cycle_arg $ name_arg))
+
+(* --- export -------------------------------------------------------------- *)
+
+let export_cmd =
+  let dir_arg =
+    Arg.(
+      value & opt string "litmus"
+      & info [ "o"; "output" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  let run dir =
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let write test =
+      let path = Filename.concat dir (test.Ast.name ^ ".litmus") in
+      let oc = open_out path in
+      output_string oc (Printer.to_string test);
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+    in
+    List.iter (fun (e : Catalog.entry) -> write e.Catalog.test) Catalog.suite;
+    List.iter write Catalog.non_convertible;
+    Ok ()
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Write every catalog test as a .litmus file (litmus7 format).")
+    (wrap Term.(const run $ dir_arg))
+
+(* --- suite / experiment -------------------------------------------------- *)
+
+let quick_arg =
+  Arg.(
+    value & flag
+    & info [ "quick" ] ~doc:"Use small iteration counts (smoke-test scale).")
+
+let opt_iterations_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "n"; "iterations" ] ~docv:"N" ~doc:"Override iteration count.")
+
+let opt_seed_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "seed" ] ~docv:"SEED"
+        ~doc:"Override the experiment seed (default: the paper-run seed).")
+
+let params_of quick iterations seed =
+  let base =
+    if quick then Report.Common.quick_params else Report.Common.default_params
+  in
+  let base =
+    match iterations with
+    | Some n -> { base with Report.Common.iterations = n }
+    | None -> base
+  in
+  match seed with
+  | Some seed -> { base with Report.Common.seed }
+  | None -> base
+
+let experiment_cmd =
+  let id_arg =
+    let doc =
+      Printf.sprintf "Experiment id: %s, or $(b,all)."
+        (String.concat ", " Report.Experiments.ids)
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
+  in
+  let run id quick iterations seed =
+    let params = params_of quick iterations seed in
+    if id = "all" then begin
+      List.iter
+        (fun (id, text) -> Printf.printf "==== %s ====\n%s\n" id text)
+        (Report.Experiments.run_all params);
+      Ok ()
+    end
+    else Result.map print_string (Report.Experiments.run params id)
+  in
+  Cmd.v
+    (Cmd.info "experiment"
+       ~doc:"Regenerate one of the paper's tables/figures (or all).")
+    (wrap
+       Term.(const run $ id_arg $ quick_arg $ opt_iterations_arg $ opt_seed_arg))
+
+let suite_cmd =
+  let run quick iterations seed =
+    let params = params_of quick iterations seed in
+    print_string (Report.Fig9.render params);
+    Ok ()
+  in
+  Cmd.v
+    (Cmd.info "suite"
+       ~doc:"Run the whole perpetual litmus suite (Fig 9 summary).")
+    (wrap Term.(const run $ quick_arg $ opt_iterations_arg $ opt_seed_arg))
+
+let main_cmd =
+  let info =
+    Cmd.info "perple" ~version:"1.0.0"
+      ~doc:
+        "Perpetual litmus tests for memory consistency testing (PerpLE, \
+         MICRO 2020 reproduction)."
+  in
+  Cmd.group info
+    [
+      list_cmd;
+      show_cmd;
+      check_cmd;
+      convert_cmd;
+      run_cmd;
+      litmus7_cmd;
+      emit_cmd;
+      trace_cmd;
+      generate_cmd;
+      export_cmd;
+      suite_cmd;
+      experiment_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,53 @@
+(** Emission of the Converter's output files (paper, Sec V-A).
+
+    For a converted test and a set of outcomes of interest, the Converter
+    produces:
+
+    - one x86-64 assembly file per test thread, with the perpetual loop
+      (arithmetic-sequence stores, loads into registers, [buf] writes and
+      untouched fences);
+    - a C file with the exhaustive outcome counter ([COUNT], Algorithm 1)
+      with each [p_out] inlined;
+    - a C file with the heuristic outcome counter ([COUNTH], Algorithm 2)
+      with each [p_out_h] inlined;
+    - a parameters header with [t_0_reads] ... [t_{T-1}_reads];
+    - a generic pthread harness that launches the threads, runs them
+      synchronisation-free and applies the counters.
+
+    The files are textual artifacts: this reproduction executes perpetual
+    tests on its simulated machine, but the emitted code is what would run
+    on real x86 hardware, and the emission logic is exercised by golden
+    tests.  (The container is sealed, so nothing is assembled here.) *)
+
+module Outcome := Perple_litmus.Outcome
+
+type file = { filename : string; content : string }
+
+val thread_asm : Convert.t -> thread:int -> file
+(** [<test>_thread_<t>.s]. *)
+
+val exhaustive_counter_c : Convert.t -> outcomes:Outcome.t list -> (file, string) result
+(** [<test>_count.c]; fails if an outcome is not convertible. *)
+
+val heuristic_counter_c : Convert.t -> outcomes:Outcome.t list -> (file, string) result
+(** [<test>_counth.c]. *)
+
+val params_header : Convert.t -> file
+(** [<test>_params.h]. *)
+
+val harness_c : Convert.t -> file
+(** [<test>_harness.c]: pthread launcher with a single launch barrier. *)
+
+val c11_file : Convert.t -> outcomes:Outcome.t list -> (file, string) result
+(** [<test>_c11.c]: a self-contained, portable C11 translation unit —
+    [_Atomic long] locations, relaxed atomic loads/stores for the test's
+    plain accesses, [atomic_thread_fence(seq_cst)] for [MFENCE], the
+    pthread launch harness and both counters.  The paper notes the
+    Converter adapts to other ISAs by swapping the load/store/fence
+    spellings; this backend is the ISA-agnostic variant and runs on any
+    host with a C11 toolchain. *)
+
+val all_files : Convert.t -> outcomes:Outcome.t list -> (file list, string) result
+
+val write_to_dir : dir:string -> file list -> unit
+(** Creates [dir] if needed and writes each file. *)

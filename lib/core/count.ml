@@ -1,0 +1,114 @@
+module Perpetual = Perple_harness.Perpetual
+
+type result = { counts : int array; frames_examined : int }
+
+let frame_cost = 1
+
+let frames_exhaustive ~tl ~iterations =
+  let rec pow acc i =
+    if i = 0 then acc
+    else begin
+      if acc > max_int / iterations then
+        invalid_arg "Count.frames_exhaustive: overflow";
+      pow (acc * iterations) (i - 1)
+    end
+  in
+  pow 1 tl
+
+let exhaustive (conv : Convert.t) ~outcomes ~run =
+  let tl = Array.length conv.Convert.load_threads in
+  let n = run.Perpetual.iterations in
+  let total = frames_exhaustive ~tl ~iterations:n in
+  let outcomes = Array.of_list outcomes in
+  let counts = Array.make (Array.length outcomes) 0 in
+  let bufs = run.Perpetual.bufs in
+  let frame = Array.make tl 0 in
+  (* Odometer over the T_L-dimensional frame space. *)
+  let rec visit dim =
+    if dim = tl then begin
+      let rec first i =
+        if i >= Array.length outcomes then ()
+        else if Outcome_convert.eval conv outcomes.(i) ~bufs ~frame then
+          counts.(i) <- counts.(i) + 1
+        else first (i + 1)
+      in
+      first 0
+    end
+    else
+      for i = 0 to n - 1 do
+        frame.(dim) <- i;
+        visit (dim + 1)
+      done
+  in
+  if tl > 0 then visit 0;
+  { counts; frames_examined = total }
+
+let heuristic (conv : Convert.t) ~outcomes ~run =
+  let n = run.Perpetual.iterations in
+  let outcomes = Array.of_list outcomes in
+  let counts = Array.make (Array.length outcomes) 0 in
+  let bufs = run.Perpetual.bufs in
+  for i = 0 to n - 1 do
+    let rec first j =
+      if j >= Array.length outcomes then ()
+      else begin
+        let outcome, plan = outcomes.(j) in
+        if
+          Outcome_convert.eval_heuristic conv outcome plan ~bufs
+            ~iterations:n ~n:i
+        then counts.(j) <- counts.(j) + 1
+        else first (j + 1)
+      end
+    in
+    first 0
+  done;
+  { counts; frames_examined = n }
+
+let exhaustive_independent (conv : Convert.t) ~outcomes ~run =
+  let tl = Array.length conv.Convert.load_threads in
+  let n = run.Perpetual.iterations in
+  let total = frames_exhaustive ~tl ~iterations:n in
+  let outcomes = Array.of_list outcomes in
+  let counts = Array.make (Array.length outcomes) 0 in
+  let bufs = run.Perpetual.bufs in
+  let frame = Array.make tl 0 in
+  let rec visit dim =
+    if dim = tl then
+      Array.iteri
+        (fun i o ->
+          if Outcome_convert.eval conv o ~bufs ~frame then
+            counts.(i) <- counts.(i) + 1)
+        outcomes
+    else
+      for i = 0 to n - 1 do
+        frame.(dim) <- i;
+        visit (dim + 1)
+      done
+  in
+  if tl > 0 then visit 0;
+  { counts; frames_examined = total }
+
+let heuristic_independent (conv : Convert.t) ~outcomes ~run =
+  let n = run.Perpetual.iterations in
+  let outcomes = Array.of_list outcomes in
+  let plans =
+    Array.map (fun o -> Outcome_convert.heuristic_plan conv o) outcomes
+  in
+  let counts = Array.make (Array.length outcomes) 0 in
+  let bufs = run.Perpetual.bufs in
+  for i = 0 to n - 1 do
+    Array.iteri
+      (fun j o ->
+        if
+          Outcome_convert.eval_heuristic conv o plans.(j) ~bufs
+            ~iterations:n ~n:i
+        then counts.(j) <- counts.(j) + 1)
+      outcomes
+  done;
+  { counts; frames_examined = n * Array.length outcomes }
+
+let heuristic_auto conv ~outcomes ~run =
+  let with_plans =
+    List.map (fun o -> (o, Outcome_convert.heuristic_plan conv o)) outcomes
+  in
+  heuristic conv ~outcomes:with_plans ~run

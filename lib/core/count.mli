@@ -1,0 +1,56 @@
+(** The outcome counters (paper, Sec IV, Algorithms 1 and 2).
+
+    [exhaustive] is Algorithm 1 ([COUNT]): it examines every frame — each
+    combination of one iteration per load-performing thread, [N^{T_L}] in
+    total — and, per frame, increments the counter of the {e first} outcome
+    of interest whose perpetual predicate holds (at most one count per
+    frame, as in the paper's else-if chain).
+
+    [heuristic] is Algorithm 2 ([COUNTH]): it examines only the [N] frames
+    suggested by each outcome's derivation plan, keeping counting linear.
+
+    Both report the number of frames examined, which the report layer
+    multiplies by {!frame_cost} to charge outcome counting against the
+    virtual clock (the paper's runtimes include counting, Sec VI-B2). *)
+
+type result = {
+  counts : int array;  (** One entry per outcome of interest, in order. *)
+  frames_examined : int;
+}
+
+val frame_cost : int
+(** Virtual rounds charged per examined frame. *)
+
+val exhaustive :
+  Convert.t -> outcomes:Outcome_convert.t list ->
+  run:Perple_harness.Perpetual.run -> result
+(** Raises [Invalid_argument] if [N^{T_L}] would overflow; callers cap [N]
+    (the paper itself calls the exhaustive counter impractical beyond small
+    runs, Sec VII-B). *)
+
+val heuristic :
+  Convert.t -> outcomes:(Outcome_convert.t * Outcome_convert.plan) list ->
+  run:Perple_harness.Perpetual.run -> result
+
+val heuristic_auto :
+  Convert.t -> outcomes:Outcome_convert.t list ->
+  run:Perple_harness.Perpetual.run -> result
+(** {!heuristic} with freshly built plans. *)
+
+val exhaustive_independent :
+  Convert.t -> outcomes:Outcome_convert.t list ->
+  run:Perple_harness.Perpetual.run -> result
+(** Like {!exhaustive} but each outcome is counted on every frame,
+    independently of the others (no first-match exclusion).  Used when each
+    outcome is analysed in its own right, as in the paper's outcome-variety
+    figure (Fig 13). *)
+
+val heuristic_independent :
+  Convert.t -> outcomes:Outcome_convert.t list ->
+  run:Perple_harness.Perpetual.run -> result
+(** Independent linear counting: every outcome samples its own [N] derived
+    frames (the paper's Fig 13 notes the heuristic samples [N] frames
+    {e per outcome}). *)
+
+val frames_exhaustive : tl:int -> iterations:int -> int
+(** [N^{T_L}], the frame count Algorithm 1 visits. *)

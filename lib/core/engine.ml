@@ -1,0 +1,103 @@
+module Outcome = Perple_litmus.Outcome
+module Perpetual = Perple_harness.Perpetual
+module Rng = Perple_util.Rng
+
+type counter = Exhaustive | Heuristic
+
+type report = {
+  conversion : Convert.t;
+  run : Perpetual.run;
+  outcomes : Outcome.t list;
+  counts : int array;
+  frames_examined : int;
+  counter : counter;
+  virtual_runtime : int;
+}
+
+let exhaustive_iterations_cap ~tl ~cap ~requested =
+  if tl <= 1 then requested
+  else begin
+    let fits n =
+      let rec pow acc i =
+        if i = 0 then acc <= cap
+        else if acc > cap / n then false
+        else pow (acc * n) (i - 1)
+      in
+      pow 1 tl
+    in
+    let rec shrink n = if n <= 1 || fits n then max 1 n else shrink (n / 2) in
+    shrink requested
+  end
+
+let run ?(config = Perple_sim.Config.default) ?(counter = Heuristic)
+    ?outcomes ?(exhaustive_cap = 250_000_000) ?(stress_threads = 0) ~seed
+    ~iterations test =
+  match Convert.convert_body test with
+  | Error _ as e -> e
+  | Ok conversion -> (
+    let outcomes =
+      match outcomes with
+      | Some o -> o
+      | None -> (
+        match Outcome.of_condition test with
+        | Ok target -> [ target ]
+        | Error _ -> [])
+    in
+    match outcomes with
+    | [] -> Error (Convert.Memory_condition "<condition>")
+    | _ -> (
+      let rec convert_outcomes acc = function
+        | [] -> Ok (List.rev acc)
+        | o :: rest -> (
+          match Outcome_convert.convert conversion o with
+          | Ok c -> convert_outcomes (c :: acc) rest
+          | Error _ ->
+            (* Outcome mentions values/registers conversion cannot express:
+               report as a memory-condition-class failure. *)
+            Error (Convert.Memory_condition "<outcome>"))
+      in
+      match convert_outcomes [] outcomes with
+      | Error e -> Error e
+      | Ok converted ->
+        let tl = Array.length conversion.Convert.load_threads in
+        let iterations =
+          match counter with
+          | Heuristic -> iterations
+          | Exhaustive ->
+            exhaustive_iterations_cap ~tl ~cap:exhaustive_cap
+              ~requested:iterations
+        in
+        let rng = Rng.create seed in
+        let run =
+          Perpetual.run ~config ~stress_threads ~rng
+            ~image:conversion.Convert.image
+            ~t_reads:conversion.Convert.t_reads ~iterations ()
+        in
+        let result =
+          match counter with
+          | Exhaustive ->
+            Count.exhaustive conversion ~outcomes:converted ~run
+          | Heuristic -> Count.heuristic_auto conversion ~outcomes:converted ~run
+        in
+        Ok
+          {
+            conversion;
+            run;
+            outcomes;
+            counts = result.Count.counts;
+            frames_examined = result.Count.frames_examined;
+            counter;
+            virtual_runtime =
+              run.Perpetual.virtual_runtime
+              + (Count.frame_cost * result.Count.frames_examined);
+          }))
+
+let target_count report =
+  if Array.length report.counts = 0 then 0 else report.counts.(0)
+
+let detection_rate report =
+  if report.virtual_runtime = 0 then 0.0
+  else
+    float_of_int (target_count report)
+    /. float_of_int report.virtual_runtime
+    *. 1_000_000.0

@@ -1,0 +1,49 @@
+(** High-level PerpLE pipeline: convert a litmus test, run its perpetual
+    version on the simulated machine, and count outcomes of interest
+    (paper, Fig 3 control flow).
+
+    This is the API the examples and the CLI use; the report layer drives
+    the lower-level modules directly when it needs finer control. *)
+
+module Ast := Perple_litmus.Ast
+module Outcome := Perple_litmus.Outcome
+
+type counter = Exhaustive | Heuristic
+
+type report = {
+  conversion : Convert.t;
+  run : Perple_harness.Perpetual.run;
+  outcomes : Outcome.t list;  (** The outcomes of interest, in order. *)
+  counts : int array;  (** Occurrences per outcome of interest. *)
+  frames_examined : int;
+  counter : counter;
+  virtual_runtime : int;
+      (** Execution plus counting, in virtual rounds — the paper's
+          "runtime including both test execution and outcome counting". *)
+}
+
+val run :
+  ?config:Perple_sim.Config.t ->
+  ?counter:counter ->
+  ?outcomes:Outcome.t list ->
+  ?exhaustive_cap:int ->
+  ?stress_threads:int ->
+  seed:int ->
+  iterations:int ->
+  Ast.t ->
+  (report, Convert.reason) result
+(** Runs the full pipeline.  [outcomes] defaults to the test's own target
+    outcome; [counter] defaults to [Heuristic].  With [Exhaustive], the run
+    length is capped so that the frame count stays within [exhaustive_cap]
+    (default [2.5e8]); the paper itself deems the exhaustive counter
+    impractical at scale (Sec VII-B). *)
+
+val target_count : report -> int
+(** Occurrences of the first outcome of interest (the target). *)
+
+val detection_rate : report -> float
+(** Target occurrences per million virtual rounds — the paper's target
+    outcome detection rate metric (Sec VI-B3), against the virtual clock. *)
+
+val exhaustive_iterations_cap : tl:int -> cap:int -> requested:int -> int
+(** Largest [N <= requested] with [N^tl <= cap]. *)

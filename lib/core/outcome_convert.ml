@@ -1,0 +1,367 @@
+module Ast = Perple_litmus.Ast
+module Outcome = Perple_litmus.Outcome
+
+type load_ref = { thread : int; frame : int; slot : int; reads : int }
+
+type rf_cond = {
+  rf_load : load_ref;
+  rf_store : Convert.store;
+  store_frame : int;
+  exact : bool;
+}
+
+type fr_bound = { fb_store : Convert.store; fb_frame : int }
+
+type fr_cond = { fr_load : load_ref; bounds : fr_bound list }
+
+type t = {
+  source : Outcome.t;
+  rf : rf_cond array;
+  fr : fr_cond array;
+  unsatisfiable : bool;
+}
+
+let load_ref_of (conv : Convert.t) ~thread ~reg =
+  match Convert.slot_of_register conv ~thread ~reg with
+  | None -> None
+  | Some slot ->
+    Some
+      {
+        thread;
+        frame = conv.Convert.frame_index.(thread);
+        slot;
+        reads = conv.Convert.t_reads.(thread);
+      }
+
+let convert ?(own_store_exact = true) (conv : Convert.t) outcome =
+  let test = conv.Convert.test in
+  let rf = ref [] and fr = ref [] in
+  let unsatisfiable = ref false in
+  let rec go = function
+    | [] -> Ok ()
+    | binding :: rest -> (
+      let { Outcome.thread; reg; value } = binding in
+      match load_ref_of conv ~thread ~reg with
+      | None ->
+        Error
+          (Printf.sprintf "no load writes register %d:r%d" thread reg)
+      | Some load -> (
+        match Ast.register_load test ~thread ~reg with
+        | None -> Error "unreachable: load vanished"
+        | Some (load_instr, x) ->
+          if value = Ast.initial_value test x then begin
+            (* A load preceded by an own store to the same location can
+               never read the initial (or any coherence-older) value:
+               the outcome is unsatisfiable on coherent hardware. *)
+            if
+              own_store_exact
+              && List.exists
+                   (fun (other : Convert.store) ->
+                     other.Convert.thread = thread
+                     && other.Convert.location = x
+                     && other.Convert.instr_index < load_instr)
+                   conv.Convert.stores
+            then unsatisfiable := true;
+            (* from-read: older than every store to x at its bound. *)
+            let bounds =
+              List.filter_map
+                (fun (s : Convert.store) ->
+                  if s.Convert.location = x then
+                    Some
+                      {
+                        fb_store = s;
+                        fb_frame = conv.Convert.frame_index.(s.Convert.thread);
+                      }
+                  else None)
+                conv.Convert.stores
+            in
+            fr := { fr_load = load; bounds } :: !fr;
+            go rest
+          end
+          else begin
+            match Convert.store_for_value conv ~location:x ~value with
+            | None ->
+              Error
+                (Printf.sprintf
+                   "condition %d:r%d=%d: no store writes %d to [%s]" thread
+                   reg value value x)
+            | Some s ->
+              (* A po-earlier own store to the same location forces the
+                 read to target the frame instance exactly (coherence). *)
+              let own_store_before =
+                own_store_exact
+                && List.exists
+                     (fun (other : Convert.store) ->
+                       other.Convert.thread = thread
+                       && other.Convert.location = x
+                       && other.Convert.instr_index < load_instr)
+                     conv.Convert.stores
+              in
+              rf :=
+                {
+                  rf_load = load;
+                  rf_store = s;
+                  store_frame = conv.Convert.frame_index.(s.Convert.thread);
+                  exact = own_store_before;
+                }
+                :: !rf;
+              go rest
+          end))
+  in
+  match go outcome with
+  | Error _ as e -> e
+  | Ok () ->
+    Ok
+      {
+        source = outcome;
+        rf = Array.of_list (List.rev !rf);
+        fr = Array.of_list (List.rev !fr);
+        unsatisfiable = !unsatisfiable;
+      }
+
+let buf_value bufs (load : load_ref) n =
+  bufs.(load.thread).((load.reads * n) + load.slot)
+
+(* Decode [value] as a member of [store]'s sequence; [-1] on mismatch. *)
+let member_iteration (store : Convert.store) value =
+  if value <= 0 then -1
+  else begin
+    let k = store.Convert.k in
+    let canonical = ((value - 1) mod k) + 1 in
+    if canonical <> store.Convert.canonical then -1
+    else (value - canonical) / k
+  end
+
+let eval (conv : Convert.t) t ~bufs ~frame =
+  t.unsatisfiable = false
+  &&
+  let nthreads = Array.length conv.Convert.t_reads in
+  let pins = Array.make nthreads (-1) in
+  (* Phase 1: read-from constraints; they also pin store-only threads. *)
+  let rf_ok =
+    Array.for_all
+      (fun c ->
+        let n = frame.(c.rf_load.frame) in
+        let value = buf_value bufs c.rf_load n in
+        let iter = member_iteration c.rf_store value in
+        if iter < 0 then false
+        else if c.store_frame >= 0 then
+          if c.exact then iter = frame.(c.store_frame)
+          else iter >= frame.(c.store_frame)
+        else begin
+          let s = c.rf_store.Convert.thread in
+          if pins.(s) < 0 then begin
+            pins.(s) <- iter;
+            true
+          end
+          else pins.(s) = iter
+        end)
+      t.rf
+  in
+  rf_ok
+  && Array.for_all
+       (fun c ->
+         let n = frame.(c.fr_load.frame) in
+         let value = buf_value bufs c.fr_load n in
+         List.for_all
+           (fun b ->
+             let bound =
+               if b.fb_frame >= 0 then frame.(b.fb_frame)
+               else pins.(b.fb_store.Convert.thread)
+             in
+             if bound < 0 then
+               (* No frame variable and no pin: the only sound reading is
+                  the exact initial value. *)
+               value = 0
+             else value < Convert.seq_value b.fb_store ~iteration:bound)
+           c.bounds)
+       t.fr
+
+(* --- Heuristic plans ---------------------------------------------------- *)
+
+type derivation = Base | From_rf of int | From_fr of int | Diagonal
+
+type plan = { order : (int * derivation) list }
+
+let heuristic_plan (conv : Convert.t) t =
+  let tl = Array.length conv.Convert.load_threads in
+  let derived = Array.make tl false in
+  let order = ref [] in
+  let derive frame d =
+    derived.(frame) <- true;
+    order := (frame, d) :: !order
+  in
+  (* The base is the load thread of the outcome's first condition, as in
+     the paper's examples (sb iterates thread 0's index). *)
+  let base =
+    match t.source with
+    | [] -> 0
+    | first :: _ -> (
+      match
+        load_ref_of conv ~thread:first.Outcome.thread ~reg:first.Outcome.reg
+      with
+      | Some load -> load.frame
+      | None -> 0)
+  in
+  if tl > 0 then derive base Base;
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    Array.iteri
+      (fun i c ->
+        if
+          derived.(c.rf_load.frame) && c.store_frame >= 0
+          && not derived.(c.store_frame)
+        then begin
+          derive c.store_frame (From_rf i);
+          progress := true
+        end)
+      t.rf;
+    Array.iteri
+      (fun i c ->
+        match c.bounds with
+        | [ b ] ->
+          (* Only a location with a single store yields an unambiguous
+             previous-member equality (Fig 8). *)
+          if
+            derived.(c.fr_load.frame) && b.fb_frame >= 0
+            && not derived.(b.fb_frame)
+          then begin
+            derive b.fb_frame (From_fr i);
+            progress := true
+          end
+        | [] | _ :: _ :: _ -> ())
+      t.fr
+  done;
+  for frame = 0 to tl - 1 do
+    if not derived.(frame) then derive frame Diagonal
+  done;
+  { order = List.rev !order }
+
+let derived_frame (conv : Convert.t) t plan ~bufs ~iterations ~n =
+  let tl = Array.length conv.Convert.load_threads in
+  let frame = Array.make tl (-1) in
+  let ok = ref true in
+  List.iter
+    (fun (target, d) ->
+      if !ok then begin
+        let value_of (load : load_ref) =
+          let idx = frame.(load.frame) in
+          if idx < 0 then None else Some (buf_value bufs load idx)
+        in
+        let result =
+          match d with
+          | Base | Diagonal -> Some n
+          | From_rf i -> (
+            let c = t.rf.(i) in
+            match value_of c.rf_load with
+            | None -> None
+            | Some value ->
+              let iter = member_iteration c.rf_store value in
+              if iter < 0 then None else Some iter)
+          | From_fr i -> (
+            let c = t.fr.(i) in
+            match (c.bounds, value_of c.fr_load) with
+            | [ b ], Some value ->
+              if value = 0 then Some 0
+              else begin
+                let iter = member_iteration b.fb_store value in
+                if iter < 0 then None else Some (iter + 1)
+              end
+            | _, _ -> None)
+        in
+        match result with
+        | Some m when m >= 0 && m < iterations -> frame.(target) <- m
+        | Some _ | None -> ok := false
+      end)
+    plan.order;
+  if !ok then Some frame else None
+
+let eval_heuristic conv t plan ~bufs ~iterations ~n =
+  match derived_frame conv t plan ~bufs ~iterations ~n with
+  | None -> false
+  | Some frame -> eval conv t ~bufs ~frame
+
+(* --- Rendering ----------------------------------------------------------- *)
+
+let frame_var_name i =
+  (* n, m, p, q, ... following the paper's figures. *)
+  match i with
+  | 0 -> "n"
+  | 1 -> "m"
+  | 2 -> "p"
+  | 3 -> "q"
+  | _ -> Printf.sprintf "n%d" i
+
+let buf_access (load : load_ref) var =
+  if load.reads = 1 then Printf.sprintf "buf%d[%s]" load.thread var
+  else
+    Printf.sprintf "buf%d[%d*%s+%d]" load.thread load.reads var load.slot
+
+let seq_text (s : Convert.store) bound_var =
+  if s.Convert.k = 1 then
+    if s.Convert.canonical = 0 then bound_var
+    else Printf.sprintf "%s + %d" bound_var s.Convert.canonical
+  else Printf.sprintf "%d*%s + %d" s.Convert.k bound_var s.Convert.canonical
+
+let bound_var (conv : Convert.t) frame_or_thread =
+  match frame_or_thread with
+  | `Frame f -> frame_var_name f
+  | `Pin thread ->
+    ignore conv;
+    Printf.sprintf "pin%d" thread
+
+let describe (conv : Convert.t) t =
+  if t.unsatisfiable then "false (reads older than a po-earlier own store)"
+  else
+  let parts = ref [] in
+  Array.iter
+    (fun c ->
+      let lhs = buf_access c.rf_load (frame_var_name c.rf_load.frame) in
+      let bound =
+        if c.store_frame >= 0 then bound_var conv (`Frame c.store_frame)
+        else bound_var conv (`Pin c.rf_store.Convert.thread)
+      in
+      let text =
+        if c.store_frame >= 0 then
+          Printf.sprintf "%s %s %s" lhs
+            (if c.exact then "=" else ">=")
+            (seq_text c.rf_store bound)
+        else
+          Printf.sprintf "%s in seq(%s) defining %s" lhs
+            (seq_text c.rf_store "i") bound
+      in
+      parts := text :: !parts)
+    t.rf;
+  Array.iter
+    (fun c ->
+      let lhs = buf_access c.fr_load (frame_var_name c.fr_load.frame) in
+      List.iter
+        (fun b ->
+          let bound =
+            if b.fb_frame >= 0 then bound_var conv (`Frame b.fb_frame)
+            else bound_var conv (`Pin b.fb_store.Convert.thread)
+          in
+          parts :=
+            Printf.sprintf "%s < %s" lhs (seq_text b.fb_store bound) :: !parts)
+        c.bounds)
+    t.fr;
+  String.concat " && " (List.rev !parts)
+
+let describe_heuristic conv t plan =
+  let deriv_text (frame, d) =
+    let var = frame_var_name frame in
+    match d with
+    | Base -> Printf.sprintf "%s := loop index" var
+    | Diagonal -> Printf.sprintf "%s := loop index (diagonal)" var
+    | From_rf i ->
+      let c = t.rf.(i) in
+      Printf.sprintf "%s := iter(%s)" var
+        (buf_access c.rf_load (frame_var_name c.rf_load.frame))
+    | From_fr i ->
+      let c = t.fr.(i) in
+      Printf.sprintf "%s := iter(%s) + 1" var
+        (buf_access c.fr_load (frame_var_name c.fr_load.frame))
+  in
+  String.concat "; " (List.map deriv_text plan.order)
+  ^ " |- " ^ describe conv t

@@ -1,0 +1,120 @@
+(** Outcome conversion: original outcomes -> perpetual outcomes
+    (paper, Sec IV-A, Fig 6) and heuristic conditions (Sec IV-B, Fig 8).
+
+    An original outcome is a conjunction of register conditions.  For each
+    condition on a load [L] of location [x]:
+
+    - an expected non-initial value identifies the unique store [S] writing
+      it, giving a {e read-from} constraint: the loaded value must be a
+      member of [S]'s arithmetic sequence, with iteration at least the
+      bound of [S]'s thread (its frame index when the thread performs
+      loads, or the iteration {e pinned} by the decoded value when it does
+      not — how [mp]-style [T_L < T] tests work);
+    - the expected initial value gives a {e from-read} constraint per store
+      to [x]: the loaded value must be smaller than the value that store
+      writes at its bound.
+
+    Two reads-from constraints on the same store-only thread must decode to
+    the same pinned iteration (both loads read the same store instance, as
+    in the original outcome).
+
+    The heuristic plan (step 5) eliminates all frame variables but one by
+    deriving each from a loaded value: reads-from derivations take the
+    decoded iteration; from-read derivations take the decoded iteration
+    plus one (the value generically written one iteration earlier, as in
+    Fig 8); frame threads unreachable by any derivation chain fall back to
+    the diagonal (the base index itself), keeping the counter linear and
+    sound.  Every heuristic hit is, by construction, an exhaustive hit on
+    the derived frame. *)
+
+module Outcome := Perple_litmus.Outcome
+
+type load_ref = {
+  thread : int;
+  frame : int;  (** Frame-variable index of the thread. *)
+  slot : int;  (** Load slot within the iteration. *)
+  reads : int;  (** [r_t] of the thread, for [buf] indexing. *)
+}
+
+type rf_cond = {
+  rf_load : load_ref;
+  rf_store : Convert.store;
+  store_frame : int;  (** Frame index of the store's thread, or [-1]. *)
+  exact : bool;
+      (** When the load's own thread stores to the same location earlier in
+          program order, reading another thread's store implies a coherence
+          edge from the own store; the only frame-consistent reading is the
+          store instance of the frame itself, so the decoded iteration must
+          {e equal} the bound rather than merely exceed it.  Without this,
+          [n5]-style coherence-forbidden targets would yield false
+          positives. *)
+}
+
+type fr_bound = { fb_store : Convert.store; fb_frame : int (** or [-1] *) }
+
+type fr_cond = { fr_load : load_ref; bounds : fr_bound list }
+
+type t = {
+  source : Outcome.t;  (** The original (possibly partial) outcome. *)
+  rf : rf_cond array;
+  fr : fr_cond array;
+  unsatisfiable : bool;
+      (** The outcome expects a load to return the initial value although a
+          po-earlier store of the same thread hits the same location;
+          coherent hardware can never produce it, so the predicate is
+          constantly false (the value-inequality proxy would otherwise
+          accept coherence-{e newer} values from other threads' sequences,
+          a false positive the random-test property suite caught). *)
+}
+
+val convert :
+  ?own_store_exact:bool -> Convert.t -> Outcome.t -> (t, string) result
+(** Fails when a condition expects a value that no store writes to the
+    loaded location (and is not the initial value), or references a
+    register no load writes.
+
+    [own_store_exact] (default true) controls the coherence strengthening
+    described at {!rf_cond.exact}; disabling it reverts to the paper's bare
+    [>=] reads-from rule and exists only so the ablation experiment can
+    demonstrate the false positives that rule admits on coherence tests
+    like [n5]. *)
+
+val eval :
+  Convert.t -> t -> bufs:int array array -> frame:int array -> bool
+(** The perpetual-outcome predicate [p_out_o] (Fig 6, bottom row): true iff
+    the frame — one iteration index per load thread, in [load_threads]
+    order — exhibits the outcome.  All frame entries must be within the run
+    length; [bufs] is {!Perple_harness.Perpetual.run}'s [bufs]. *)
+
+(** {1 Heuristic plans (Sec IV-B)} *)
+
+type derivation =
+  | Base  (** This frame variable is the loop index [n]. *)
+  | From_rf of int  (** Derived from the decoded value of [rf.(i)]. *)
+  | From_fr of int
+      (** Derived from [fr.(i)]'s value via the generic previous-member
+          equality (Fig 8, step 5). *)
+  | Diagonal  (** Not derivable; sampled at the loop index. *)
+
+type plan = { order : (int * derivation) list }
+(** Derivations in dependency order, one per frame variable. *)
+
+val heuristic_plan : Convert.t -> t -> plan
+
+val derived_frame :
+  Convert.t -> t -> plan -> bufs:int array array -> iterations:int ->
+  n:int -> int array option
+(** The frame the heuristic examines for loop index [n], or [None] when a
+    derivation fails (value not decodable, or frame out of range). *)
+
+val eval_heuristic :
+  Convert.t -> t -> plan -> bufs:int array array -> iterations:int ->
+  n:int -> bool
+(** [p_out_h_o]: derive the frame, then {!eval} it. *)
+
+val describe : Convert.t -> t -> string
+(** Human-readable rendering of the perpetual conditions, in the style of
+    the paper's Fig 6 step 4 (inequalities over [buf] accesses). *)
+
+val describe_heuristic : Convert.t -> t -> plan -> string
+(** Rendering of the heuristic condition in the style of Fig 8 step 5. *)

@@ -1,0 +1,32 @@
+module Outcome = Perple_litmus.Outcome
+module Perpetual = Perple_harness.Perpetual
+module Stats = Perple_util.Stats
+
+let measure ?between (conv : Convert.t) ~run =
+  let histogram = Stats.Histogram.create () in
+  let loads = Outcome.loads conv.Convert.test in
+  let n = run.Perpetual.iterations in
+  List.iter
+    (fun (thread, reg, location) ->
+      match Convert.slot_of_register conv ~thread ~reg with
+      | None -> ()
+      | Some slot ->
+        let reads = conv.Convert.t_reads.(thread) in
+        let loc_id =
+          Perple_sim.Program.location_id conv.Convert.image location
+        in
+        for i = 0 to n - 1 do
+          let value = run.Perpetual.bufs.(thread).((reads * i) + slot) in
+          match Convert.decode conv ~loc_id ~value with
+          | Some (Convert.Member { store; iteration }) ->
+            let s = store.Convert.thread in
+            let wanted =
+              match between with
+              | None -> s <> thread
+              | Some (t', s') -> thread = t' && s = s'
+            in
+            if wanted then Stats.Histogram.add histogram (i - iteration)
+          | Some Convert.Initial | None -> ()
+        done)
+    loads;
+  histogram

@@ -1,0 +1,16 @@
+(** Thread-skew measurement (paper, Sec VI-B5 and Fig 12).
+
+    In a perpetual run, the value thread [t] loads in its iteration [n]
+    decodes to a store in some iteration [m] of some thread [s]; [n - m] is
+    the skew between [t] and [s] around that moment.  The width of the skew
+    distribution indicates how far the perpetual run strays from the
+    lockstep execution of synchronised litmus tests. *)
+
+val measure :
+  ?between:int * int ->
+  Convert.t ->
+  run:Perple_harness.Perpetual.run ->
+  Perple_util.Stats.Histogram.t
+(** Histogram of [n - m] over every load of every iteration whose value
+    decodes to another thread's store.  With [~between:(t, s)] only loads
+    of thread [t] reading stores of thread [s] contribute. *)

@@ -1,0 +1,79 @@
+module Ast = Perple_litmus.Ast
+module Outcome = Perple_litmus.Outcome
+module Program = Perple_sim.Program
+module Machine = Perple_sim.Machine
+module Config = Perple_sim.Config
+
+type result = {
+  histogram : (Outcome.t * int) list;
+  iterations : int;
+  virtual_runtime : int;
+  machine : Machine.stats;
+}
+
+let run ?(config = Config.default) ?(stress_threads = 0) ~rng ~test ~mode
+    ~iterations () =
+  let image =
+    Stress.extend_image (Program.compile_litmus test)
+      ~threads:stress_threads
+  in
+  let loads = Outcome.loads test in
+  (* One value slot per (load, iteration): values.(load_index).(n). *)
+  let nloads = List.length loads in
+  let values = Array.init nloads (fun _ -> Array.make iterations 0) in
+  let loads_arr = Array.of_list loads in
+  (* For the iteration-end hook: which value slots belong to a thread. *)
+  let slots_of_thread =
+    Array.init (Ast.thread_count test) (fun t ->
+        let slots = ref [] in
+        Array.iteri
+          (fun i (thread, reg, _) -> if thread = t then slots := (i, reg) :: !slots)
+          loads_arr;
+        List.rev !slots)
+  in
+  let stats =
+    Machine.run ~config ~rng ~image ~iterations
+      ~barrier:(Sync_mode.barrier mode)
+      ~on_iteration_end:(fun ~thread ~iteration ~regs ->
+        if thread < Array.length slots_of_thread then
+          List.iter
+            (fun (slot, reg) -> values.(slot).(iteration) <- regs.(reg))
+            slots_of_thread.(thread))
+      ()
+  in
+  (* Tally one outcome per iteration, litmus7-style. *)
+  let table = Hashtbl.create 64 in
+  for n = 0 to iterations - 1 do
+    let outcome =
+      Array.to_list
+        (Array.mapi
+           (fun i (thread, reg, _) ->
+             { Outcome.thread; reg; value = values.(i).(n) })
+           loads_arr)
+    in
+    Hashtbl.replace table outcome
+      (1 + Option.value ~default:0 (Hashtbl.find_opt table outcome))
+  done;
+  let histogram =
+    List.sort
+      (fun (a, _) (b, _) -> Outcome.compare a b)
+      (Hashtbl.fold (fun k v acc -> (k, v) :: acc) table [])
+  in
+  {
+    histogram;
+    iterations;
+    virtual_runtime =
+      stats.Machine.rounds + (Sync_mode.iteration_overhead * iterations);
+    machine = stats;
+  }
+
+let count result ~partial =
+  List.fold_left
+    (fun acc (outcome, n) ->
+      if Outcome.matches ~partial outcome then acc + n else acc)
+    0 result.histogram
+
+let observed result =
+  List.filter_map
+    (fun (outcome, n) -> if n > 0 then Some outcome else None)
+    result.histogram

@@ -1,0 +1,41 @@
+(** The litmus7-style baseline runner (paper, Sec III-A and VI-A).
+
+    Runs a litmus test for [N] iterations on the simulated machine, with the
+    chosen synchronisation mode, collecting each iteration's registers and
+    determining its outcome the way litmus7 does: iteration [n] of every
+    thread together forms one result.  Memory is per-iteration indexed, as
+    litmus7 allocates, so unsynchronised iterations ([None] mode) cannot
+    pollute each other.
+
+    Virtual runtime accounts for machine rounds (including barrier cost and
+    release skew) plus per-iteration bookkeeping; it is the quantity the
+    Fig 10 runtime comparison uses. *)
+
+module Ast := Perple_litmus.Ast
+module Outcome := Perple_litmus.Outcome
+
+type result = {
+  histogram : (Outcome.t * int) list;
+      (** Occurrences of every observed outcome; counts sum to the number
+          of iterations. *)
+  iterations : int;
+  virtual_runtime : int;  (** Rounds: machine + bookkeeping. *)
+  machine : Perple_sim.Machine.stats;
+}
+
+val run :
+  ?config:Perple_sim.Config.t ->
+  ?stress_threads:int ->
+  rng:Perple_util.Rng.t ->
+  test:Ast.t ->
+  mode:Sync_mode.t ->
+  iterations:int ->
+  unit ->
+  result
+
+val count : result -> partial:Outcome.t -> int
+(** Total occurrences of outcomes matching the partial outcome (e.g. the
+    test's target). *)
+
+val observed : result -> Outcome.t list
+(** Outcomes with non-zero count, sorted. *)

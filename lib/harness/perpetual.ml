@@ -1,0 +1,46 @@
+module Program = Perple_sim.Program
+module Machine = Perple_sim.Machine
+module Config = Perple_sim.Config
+
+type run = {
+  bufs : int array array;
+  t_reads : int array;
+  iterations : int;
+  virtual_runtime : int;
+  machine : Machine.stats;
+}
+
+let iteration_overhead = 1
+
+let run ?(config = Config.default) ?on_sample ?on_event ?(stress_threads = 0)
+    ~rng ~image ~t_reads ~iterations () =
+  let nthreads = Array.length image.Program.programs in
+  if Array.length t_reads <> nthreads then
+    invalid_arg "Perpetual.run: t_reads arity mismatch";
+  let image = Stress.extend_image image ~threads:stress_threads in
+  let bufs =
+    Array.map (fun r -> Array.make (r * iterations) 0) t_reads
+  in
+  let stats =
+    Machine.run ~config ~rng ~image ~iterations ~barrier:Machine.No_barrier
+      ?on_sample ?on_event
+      ~on_iteration_end:(fun ~thread ~iteration ~regs ->
+        if thread < nthreads then begin
+          let r = t_reads.(thread) in
+          if r > 0 then begin
+            let base = r * iteration in
+            for i = 0 to r - 1 do
+              bufs.(thread).(base + i) <- regs.(i)
+            done
+          end
+        end)
+      ()
+  in
+  {
+    bufs;
+    t_reads;
+    iterations;
+    virtual_runtime =
+      stats.Machine.rounds + (iteration_overhead * iterations);
+    machine = stats;
+  }

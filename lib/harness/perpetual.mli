@@ -1,0 +1,46 @@
+(** Execution of perpetual litmus tests: the PerpLE Harness's run phase
+    (paper, Sec V-B).
+
+    Threads synchronise once at launch, then run [N] iterations free of any
+    synchronisation.  Each load-performing thread appends its registers to a
+    [buf] array at every iteration ([buf_t\[r_t * n + i\]], paper Sec III-B);
+    outcome counting over the collected bufs is {!Perple_core.Count}'s job.
+
+    The runner is generic over the executable image, which the PerpLE
+    Converter produces; it only needs to know how many loads each thread
+    performs per iteration (the Converter's [t_reads] output). *)
+
+type run = {
+  bufs : int array array;
+      (** One array per test thread (empty for store-only threads);
+          [bufs.(t).(r_t * n + i)] is the value loaded by thread [t]'s
+          [i]-th load in iteration [n]. *)
+  t_reads : int array;  (** Loads per iteration for every thread. *)
+  iterations : int;
+  virtual_runtime : int;
+      (** Rounds: machine + perpetual bookkeeping; excludes outcome
+          counting, which is charged separately (paper reports runtimes
+          including counting — the report layer adds the two). *)
+  machine : Perple_sim.Machine.stats;
+}
+
+val iteration_overhead : int
+(** Virtual rounds charged per iteration for the perpetual loop's
+    bookkeeping (appending registers to [buf]); smaller than litmus7's
+    because no outcome comparison happens during the run. *)
+
+val run :
+  ?config:Perple_sim.Config.t ->
+  ?on_sample:(round:int -> iterations:int array -> unit) ->
+  ?on_event:(round:int -> Perple_sim.Machine.event -> unit) ->
+  ?stress_threads:int ->
+  rng:Perple_util.Rng.t ->
+  image:Perple_sim.Program.image ->
+  t_reads:int array ->
+  iterations:int ->
+  unit ->
+  run
+(** Registers in the image must be numbered by load slot (the Converter
+    guarantees this): thread [t]'s [i]-th load targets register [i].
+    [stress_threads] (default 0) adds {!Stress} threads that perturb
+    scheduling without touching test locations. *)

@@ -1,0 +1,36 @@
+module Program = Perple_sim.Program
+
+let scratch_prefix = "__stress"
+
+let extend_image (image : Program.image) ~threads =
+  if threads <= 0 then image
+  else begin
+    let base_locs = Array.length image.Program.location_names in
+    let scratch_names =
+      Array.init threads (fun i -> Printf.sprintf "%s%d" scratch_prefix i)
+    in
+    let stress_thread i =
+      let loc = base_locs + i in
+      {
+        Program.body =
+          [|
+            Program.Store
+              {
+                loc;
+                addr = Program.Shared;
+                value = Program.Seq { k = 1; a = 1 };
+              };
+            Program.Load { loc; addr = Program.Shared; reg = 0 };
+          |];
+        reg_count = 1;
+      }
+    in
+    {
+      Program.programs =
+        Array.append image.Program.programs
+          (Array.init threads stress_thread);
+      location_names =
+        Array.append image.Program.location_names scratch_names;
+      init = Array.append image.Program.init (Array.make threads 0);
+    }
+  end

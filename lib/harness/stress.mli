@@ -1,0 +1,19 @@
+(** System stress for litmus testing (paper, Sec II-B1).
+
+    Testing suites often run extra threads performing frequent memory
+    operations on addresses the test does not use, to perturb timing and
+    shift the outcome distribution (the paper cites this as particularly
+    effective on GPUs).  This module extends an executable image with such
+    stress threads: each loops over a dedicated scratch location with a
+    store/load pair, competing for scheduler slots and drain bandwidth
+    without ever touching the test's locations. *)
+
+val scratch_prefix : string
+(** Locations added for stress threads are named
+    [scratch_prefix ^ string_of_int i]; test locations never collide
+    because litmus location names come from the parser's identifier set. *)
+
+val extend_image :
+  Perple_sim.Program.image -> threads:int -> Perple_sim.Program.image
+(** Append [threads] stress threads.  [threads = 0] returns the image
+    unchanged. *)

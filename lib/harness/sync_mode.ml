@@ -1,0 +1,33 @@
+module Machine = Perple_sim.Machine
+
+type t = User | Userfence | Pthread | Timebase | None_mode
+
+let all = [ User; Userfence; Pthread; Timebase; None_mode ]
+
+let name = function
+  | User -> "user"
+  | Userfence -> "userfence"
+  | Pthread -> "pthread"
+  | Timebase -> "timebase"
+  | None_mode -> "none"
+
+let of_name = function
+  | "user" -> Some User
+  | "userfence" -> Some Userfence
+  | "pthread" -> Some Pthread
+  | "timebase" -> Some Timebase
+  | "none" -> Some None_mode
+  | _ -> None
+
+(* Calibrated so that the virtual-runtime ratios between modes match the
+   ordering and rough magnitudes of the paper's Fig 10 (pthread slowest by
+   an order of magnitude, timebase ~2x user, userfence ~ user, none
+   fastest) and so that synchronisation dominates user-mode runtime. *)
+let barrier = function
+  | User -> Machine.Every_iteration { cost = 15; max_release_skew = 50 }
+  | Userfence -> Machine.Every_iteration { cost = 18; max_release_skew = 42 }
+  | Pthread -> Machine.Every_iteration { cost = 700; max_release_skew = 600 }
+  | Timebase -> Machine.Every_iteration { cost = 110; max_release_skew = 10 }
+  | None_mode -> Machine.No_barrier
+
+let iteration_overhead = 6

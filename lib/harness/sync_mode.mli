@@ -1,0 +1,38 @@
+(** litmus7 thread-synchronisation modes (paper, Sec VI-A).
+
+    litmus7 can synchronise its test threads before every iteration in five
+    ways; the paper evaluates PerpLE against all of them.  On real hardware
+    the modes differ in two observable respects: how much time the
+    per-iteration rendezvous costs, and how tightly aligned the threads'
+    restart times are (which controls how often the short test bodies
+    actually overlap).  We model each mode by those two parameters, in
+    virtual-clock rounds:
+
+    - [User]: the default polling barrier — moderate cost, moderate
+      alignment;
+    - [Userfence]: polling barrier plus fences to accelerate write
+      propagation — like [User] with slightly tighter alignment;
+    - [Pthread]: a [pthread_barrier_wait] — very expensive, poor alignment
+      (wakeup order is at the kernel's mercy);
+    - [Timebase]: spin until a shared timebase deadline — expensive but the
+      tightest alignment of all (not available on all architectures);
+    - [None]: no synchronisation; litmus7 still runs iteration [n] of every
+      thread against per-iteration memory cells, so only same-index
+      iterations can interact (paper, Sec VI-A). *)
+
+type t = User | Userfence | Pthread | Timebase | None_mode
+
+val all : t list
+(** In the paper's presentation order: user, userfence, pthread, timebase,
+    none. *)
+
+val name : t -> string
+val of_name : string -> t option
+
+val barrier : t -> Perple_sim.Machine.barrier
+(** The machine barrier implementing the mode's rendezvous. *)
+
+val iteration_overhead : int
+(** Virtual rounds charged per iteration for litmus7's bookkeeping (loop
+    management, copying registers, per-iteration outcome comparison) —
+    present in every mode including [None]. *)

@@ -1,0 +1,52 @@
+module Machine = Perple_sim.Machine
+module Program = Perple_sim.Program
+module Config = Perple_sim.Config
+
+type entry = { round : int; event : Machine.event }
+
+type t = { limit : int; mutable entries : entry list; mutable count : int }
+
+let create ?(limit = 10_000) () = { limit; entries = []; count = 0 }
+
+let hook t ~round event =
+  if t.count < t.limit then begin
+    t.entries <- { round; event } :: t.entries;
+    t.count <- t.count + 1
+  end
+
+let entries t = List.rev t.entries
+
+let length t = t.count
+
+let pp_event ~location_names ppf (event : Machine.event) =
+  match event with
+  | Machine.Exec { thread; iteration; instr; value } ->
+    Format.fprintf ppf "T%d  exec  %a  = %d   (iter %d)" thread
+      (Program.pp_instr ~location_names)
+      instr value iteration
+  | Machine.Drain { thread; loc; value } ->
+    Format.fprintf ppf "T%d  drain [%s] = %d" thread location_names.(loc)
+      value
+  | Machine.Barrier_release -> Format.fprintf ppf "--  barrier release"
+  | Machine.Stall { thread; until } ->
+    Format.fprintf ppf "T%d  stall until round %d" thread until
+
+let render ~location_names t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Format.asprintf "@%-6d %a" e.round
+           (pp_event ~location_names)
+           e.event);
+      Buffer.add_char buf '\n')
+    (entries t);
+  Buffer.contents buf
+
+let trace_perpetual ?config ?limit ~rng ~image ~t_reads ~iterations () =
+  let t = create ?limit () in
+  let run =
+    Perpetual.run ?config ~on_event:(hook t) ~rng ~image ~t_reads ~iterations
+      ()
+  in
+  (t, run)

@@ -1,0 +1,47 @@
+(** Execution tracing: record and pretty-print the simulated machine's
+    event stream.
+
+    Useful for understanding {e why} a particular outcome appeared — e.g.
+    watching sb's target emerge as two loads retire while both stores still
+    sit in their buffers.  Events are recorded with their virtual round, so
+    the printed trace is a faithful interleaving. *)
+
+type entry = { round : int; event : Perple_sim.Machine.event }
+
+type t
+
+val create : ?limit:int -> unit -> t
+(** A recorder keeping at most [limit] events (default 10_000; recording
+    stops silently at the limit). *)
+
+val hook : t -> round:int -> Perple_sim.Machine.event -> unit
+(** Pass as [Machine.run]'s [on_event]. *)
+
+val entries : t -> entry list
+(** Recorded events, oldest first. *)
+
+val length : t -> int
+
+val pp_event :
+  location_names:string array ->
+  Format.formatter ->
+  Perple_sim.Machine.event ->
+  unit
+
+val render : location_names:string array -> t -> string
+(** One line per event:
+    {v
+    @12   T0  exec  [x] <- 1*n+1  = 1   (iter 0)
+    @14   T1  drain [y] = 1
+    v} *)
+
+val trace_perpetual :
+  ?config:Perple_sim.Config.t ->
+  ?limit:int ->
+  rng:Perple_util.Rng.t ->
+  image:Perple_sim.Program.image ->
+  t_reads:int array ->
+  iterations:int ->
+  unit ->
+  t * Perpetual.run
+(** Run a perpetual test while recording its trace. *)

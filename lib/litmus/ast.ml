@@ -1,0 +1,229 @@
+type location = string
+
+type instruction =
+  | Store of location * int
+  | Load of int * location
+  | Mfence
+
+type atom = Reg_eq of int * int * int | Loc_eq of location * int
+
+type quantifier = Exists | Not_exists | Forall
+
+type condition = { quantifier : quantifier; atoms : atom list }
+
+type t = {
+  name : string;
+  doc : string;
+  init : (location * int) list;
+  threads : instruction array array;
+  condition : condition;
+}
+
+let thread_count t = Array.length t.threads
+
+let thread_has_load program =
+  Array.exists (function Load _ -> true | Store _ | Mfence -> false) program
+
+let load_threads t =
+  let rec collect i =
+    if i >= thread_count t then []
+    else if thread_has_load t.threads.(i) then i :: collect (i + 1)
+    else collect (i + 1)
+  in
+  collect 0
+
+let load_thread_count t = List.length (load_threads t)
+
+let loads_per_thread t =
+  Array.map
+    (fun program ->
+      Array.fold_left
+        (fun acc i ->
+          match i with Load _ -> acc + 1 | Store _ | Mfence -> acc)
+        0 program)
+    t.threads
+
+module String_set = Set.Make (String)
+
+let locations t =
+  let set = ref String_set.empty in
+  let note x = set := String_set.add x !set in
+  List.iter (fun (x, _) -> note x) t.init;
+  Array.iter
+    (Array.iter (function
+      | Store (x, _) | Load (_, x) -> note x
+      | Mfence -> ()))
+    t.threads;
+  String_set.elements !set
+
+let stores_to t x =
+  let acc = ref [] in
+  Array.iteri
+    (fun thread program ->
+      Array.iteri
+        (fun i instr ->
+          match instr with
+          | Store (y, a) when y = x -> acc := (thread, i, a) :: !acc
+          | Store _ | Load _ | Mfence -> ())
+        program)
+    t.threads;
+  List.rev !acc
+
+let store_constants t x =
+  List.sort_uniq compare (List.map (fun (_, _, a) -> a) (stores_to t x))
+
+let load_slot t ~thread ~instr =
+  let program = t.threads.(thread) in
+  (match program.(instr) with
+  | Load _ -> ()
+  | Store _ | Mfence -> invalid_arg "Ast.load_slot: not a load");
+  let slot = ref 0 in
+  for i = 0 to instr - 1 do
+    match program.(i) with
+    | Load _ -> incr slot
+    | Store _ | Mfence -> ()
+  done;
+  !slot
+
+let register_load t ~thread ~reg =
+  let program = t.threads.(thread) in
+  let found = ref None in
+  Array.iteri
+    (fun i instr ->
+      match instr with
+      | Load (r, x) when r = reg && !found = None -> found := Some (i, x)
+      | Load _ | Store _ | Mfence -> ())
+    program;
+  !found
+
+let initial_value t x =
+  Option.value ~default:0 (List.assoc_opt x t.init)
+
+type error =
+  | Empty_test
+  | Non_positive_store of int * location * int
+  | Duplicate_constant of location * int
+  | Register_loaded_twice of int * int
+  | Condition_unknown_register of int * int
+  | Condition_unknown_location of location
+  | Condition_impossible_value of int * int * int
+
+let pp_error ppf = function
+  | Empty_test -> Format.fprintf ppf "test has no threads or no instructions"
+  | Non_positive_store (t, x, a) ->
+    Format.fprintf ppf "thread %d stores non-positive constant %d to [%s]" t a
+      x
+  | Duplicate_constant (x, a) ->
+    Format.fprintf ppf "constant %d is stored to [%s] by two instructions" a x
+  | Register_loaded_twice (t, r) ->
+    Format.fprintf ppf "register %d:r%d is the target of two loads" t r
+  | Condition_unknown_register (t, r) ->
+    Format.fprintf ppf "condition mentions %d:r%d which no load writes" t r
+  | Condition_unknown_location x ->
+    Format.fprintf ppf "condition mentions unknown location [%s]" x
+  | Condition_impossible_value (t, r, v) ->
+    Format.fprintf ppf
+      "condition %d:r%d=%d: no store writes %d to the loaded location" t r v v
+
+let validate t =
+  let ( let* ) = Result.bind in
+  let* () =
+    if
+      thread_count t = 0
+      || Array.for_all (fun p -> Array.length p = 0) t.threads
+    then Error Empty_test
+    else Ok ()
+  in
+  let* () =
+    let err = ref None in
+    Array.iteri
+      (fun thread program ->
+        Array.iter
+          (fun instr ->
+            match instr with
+            | Store (x, a) when a <= 0 && !err = None ->
+              err := Some (Non_positive_store (thread, x, a))
+            | Store _ | Load _ | Mfence -> ())
+          program)
+      t.threads;
+    match !err with Some e -> Error e | None -> Ok ()
+  in
+  let* () =
+    (* Distinct store constants per location. *)
+    let rec check_locs = function
+      | [] -> Ok ()
+      | x :: rest ->
+        let constants = List.map (fun (_, _, a) -> a) (stores_to t x) in
+        let sorted = List.sort compare constants in
+        let rec dup = function
+          | a :: (b :: _ as rest) ->
+            if a = b then Some a else dup rest
+          | [ _ ] | [] -> None
+        in
+        (match dup sorted with
+        | Some a -> Error (Duplicate_constant (x, a))
+        | None -> check_locs rest)
+    in
+    check_locs (locations t)
+  in
+  let* () =
+    let err = ref None in
+    Array.iteri
+      (fun thread program ->
+        let seen = Hashtbl.create 4 in
+        Array.iter
+          (fun instr ->
+            match instr with
+            | Load (r, _) ->
+              if Hashtbl.mem seen r && !err = None then
+                err := Some (Register_loaded_twice (thread, r))
+              else Hashtbl.replace seen r ()
+            | Store _ | Mfence -> ())
+          program)
+      t.threads;
+    match !err with Some e -> Error e | None -> Ok ()
+  in
+  let locs = locations t in
+  let rec check_atoms = function
+    | [] -> Ok ()
+    | Loc_eq (x, _) :: rest ->
+      if List.mem x locs then check_atoms rest
+      else Error (Condition_unknown_location x)
+    | Reg_eq (thread, reg, v) :: rest ->
+      if thread < 0 || thread >= thread_count t then
+        Error (Condition_unknown_register (thread, reg))
+      else begin
+        match register_load t ~thread ~reg with
+        | None -> Error (Condition_unknown_register (thread, reg))
+        | Some (_, x) ->
+          if v = initial_value t x || List.mem v (store_constants t x) then
+            check_atoms rest
+          else Error (Condition_impossible_value (thread, reg, v))
+      end
+  in
+  check_atoms t.condition.atoms
+
+let make ?(doc = "") ?(init = []) ~name ~threads ~condition () =
+  {
+    name;
+    doc;
+    init;
+    threads = Array.of_list (List.map Array.of_list threads);
+    condition;
+  }
+
+let equal a b =
+  a.name = b.name && a.doc = b.doc
+  && List.sort compare a.init = List.sort compare b.init
+  && a.threads = b.threads
+  && a.condition.quantifier = b.condition.quantifier
+  && a.condition.atoms = b.condition.atoms
+
+let pp_instruction ppf = function
+  | Store (x, a) -> Format.fprintf ppf "[%s] <- %d" x a
+  | Load (r, x) -> Format.fprintf ppf "r%d <- [%s]" r x
+  | Mfence -> Format.fprintf ppf "mfence"
+
+let pp_atom ppf = function
+  | Reg_eq (t, r, v) -> Format.fprintf ppf "%d:r%d=%d" t r v
+  | Loc_eq (x, v) -> Format.fprintf ppf "[%s]=%d" x v

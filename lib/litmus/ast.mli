@@ -1,0 +1,122 @@
+(** Abstract syntax of litmus tests.
+
+    A litmus test is a small multi-threaded program over shared memory
+    locations, together with a final condition over the registers loaded by
+    its threads (paper, Sec II-B).  The instruction set covers exactly what
+    the x86-TSO suite needs: stores of positive constants, loads into
+    registers, and [MFENCE].  Register-to-register or read-modify-write
+    instructions are outside the scope of both the paper's suite and this
+    reproduction. *)
+
+type location = string
+(** A shared memory location, e.g. ["x"].  All locations start at 0 unless
+    overridden by the test's init section. *)
+
+type instruction =
+  | Store of location * int
+      (** [Store (x, a)]: [\[x\] <- a].  [a] must be positive; 0 is reserved
+          for the initial value. *)
+  | Load of int * location
+      (** [Load (r, x)]: [reg_{t,r} <- \[x\]] where [t] is the thread the
+          instruction belongs to and [r] is a per-thread register index. *)
+  | Mfence  (** Full store fence ([MFENCE]). *)
+
+type atom =
+  | Reg_eq of int * int * int
+      (** [Reg_eq (t, r, v)]: register [r] of thread [t] equals [v]. *)
+  | Loc_eq of location * int
+      (** Final value of a shared location equals [v].  Conditions with
+          [Loc_eq] atoms make a test non-convertible (paper, Sec V-C). *)
+
+type quantifier =
+  | Exists  (** [exists (...)]: the condition is reachable. *)
+  | Not_exists  (** [~exists (...)]. *)
+  | Forall  (** [forall (...)]. *)
+
+type condition = { quantifier : quantifier; atoms : atom list }
+(** A final condition: a quantifier over a conjunction of atoms. *)
+
+type t = {
+  name : string;
+  doc : string;  (** Free-form description, may be empty. *)
+  init : (location * int) list;
+      (** Non-zero initial values; locations not listed start at 0. *)
+  threads : instruction array array;  (** [threads.(t).(i)]. *)
+  condition : condition;
+      (** The test's final condition; its conjunction is the {e target
+          outcome} when the quantifier is [Exists] or [Not_exists]. *)
+}
+
+(** {1 Accessors} *)
+
+val thread_count : t -> int
+(** The paper's [T]. *)
+
+val load_threads : t -> int list
+(** Indices of threads that perform at least one load, ascending.  The
+    paper's load-performing threads; their count is [T_L]. *)
+
+val load_thread_count : t -> int
+(** The paper's [T_L]. *)
+
+val loads_per_thread : t -> int array
+(** [r_t] for every thread (0 for store-only threads). *)
+
+val locations : t -> location list
+(** All locations appearing in instructions or init, sorted. *)
+
+val stores_to : t -> location -> (int * int * int) list
+(** [stores_to t x] lists [(thread, instruction_index, constant)] for every
+    store to [x], in (thread, index) order. *)
+
+val store_constants : t -> location -> int list
+(** Distinct constants stored to a location, sorted ascending.  Its length is
+    the paper's [k_mem]. *)
+
+val load_slot : t -> thread:int -> instr:int -> int
+(** The ordinal of a load among its thread's loads (0-based); this is the
+    [i] in the paper's [buf_t\[r_t * n + i\]].  Raises [Invalid_argument] if
+    the instruction is not a load. *)
+
+val register_load : t -> thread:int -> reg:int -> (int * location) option
+(** The (instruction index, location) of the unique load writing register
+    [reg] of [thread], if any. *)
+
+val initial_value : t -> location -> int
+
+(** {1 Validation} *)
+
+type error =
+  | Empty_test
+  | Non_positive_store of int * location * int  (** thread, loc, constant *)
+  | Duplicate_constant of location * int
+      (** Two stores to the same location use the same constant; loaded
+          values would be ambiguous (paper, Sec III-B). *)
+  | Register_loaded_twice of int * int  (** thread, register *)
+  | Condition_unknown_register of int * int
+  | Condition_unknown_location of location
+  | Condition_impossible_value of int * int * int
+      (** thread, register, value: [v] is neither 0, the initial value of
+          the loaded location, nor any constant stored to it. *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val validate : t -> (unit, error) result
+(** Structural well-formedness required by conversion: all store constants
+    positive and pairwise distinct per location, each register loaded at most
+    once, condition atoms refer to loaded registers / known locations and to
+    storable values. *)
+
+val make :
+  ?doc:string ->
+  ?init:(location * int) list ->
+  name:string ->
+  threads:instruction list list ->
+  condition:condition ->
+  unit ->
+  t
+(** Convenience constructor; does not validate. *)
+
+val equal : t -> t -> bool
+val pp_instruction : Format.formatter -> instruction -> unit
+val pp_atom : Format.formatter -> atom -> unit

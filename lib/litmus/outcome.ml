@@ -1,0 +1,81 @@
+type binding = { thread : int; reg : int; value : int }
+
+type t = binding list
+
+(* All loads of the test as (thread, reg, location), in (thread, program
+   position) order — which is also (thread, reg) order for valid tests. *)
+let loads test =
+  let acc = ref [] in
+  Array.iteri
+    (fun thread program ->
+      Array.iter
+        (fun instr ->
+          match instr with
+          | Ast.Load (reg, x) -> acc := (thread, reg, x) :: !acc
+          | Ast.Store _ | Ast.Mfence -> ())
+        program)
+    test.Ast.threads;
+  List.rev !acc
+
+let all test =
+  let loads = loads test in
+  let choices =
+    List.map
+      (fun (thread, reg, x) ->
+        let values =
+          Ast.initial_value test x :: Ast.store_constants test x
+        in
+        List.map (fun value -> { thread; reg; value }) values)
+      loads
+  in
+  (* Cartesian product preserving per-load value order. *)
+  List.fold_right
+    (fun options acc ->
+      List.concat_map
+        (fun binding -> List.map (fun rest -> binding :: rest) acc)
+        options)
+    choices [ [] ]
+
+let of_condition test =
+  match test.Ast.condition.quantifier with
+  | Ast.Forall -> Error "forall conditions do not denote a single outcome"
+  | Ast.Exists | Ast.Not_exists ->
+    let rec convert = function
+      | [] -> Ok []
+      | Ast.Loc_eq (x, _) :: _ ->
+        Error
+          (Printf.sprintf
+             "condition constrains shared location [%s]; not expressible \
+              over registers"
+             x)
+      | Ast.Reg_eq (thread, reg, value) :: rest ->
+        Result.map (fun tail -> { thread; reg; value } :: tail) (convert rest)
+    in
+    convert test.Ast.condition.atoms
+
+let matches ~partial o =
+  List.for_all
+    (fun b ->
+      List.exists
+        (fun b' -> b'.thread = b.thread && b'.reg = b.reg && b'.value = b.value)
+        o)
+    partial
+
+let to_atoms o = List.map (fun b -> Ast.Reg_eq (b.thread, b.reg, b.value)) o
+
+let short_label o = String.concat "" (List.map (fun b -> string_of_int b.value) o)
+
+let to_string o =
+  String.concat " && "
+    (List.map
+       (fun b -> Printf.sprintf "%d:r%d=%d" b.thread b.reg b.value)
+       o)
+
+let compare_binding a b =
+  match compare a.thread b.thread with
+  | 0 -> (
+    match compare a.reg b.reg with 0 -> compare a.value b.value | c -> c)
+  | c -> c
+
+let compare a b = List.compare compare_binding a b
+let equal a b = compare a b = 0

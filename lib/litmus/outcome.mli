@@ -1,0 +1,45 @@
+(** Outcomes of a litmus test (paper, Sec II-B1).
+
+    An outcome is a conjunction of register conditions covering {e all} loads
+    of the test; running one iteration yields exactly one outcome.  A test
+    with loads [L_1 ... L_k] over locations with [k_mem] store constants has
+    [prod_i (1 + k_{loc(L_i)})] possible outcomes. *)
+
+type binding = { thread : int; reg : int; value : int }
+
+type t = binding list
+(** Bindings in (thread, reg) order, one per load of the test. *)
+
+val loads : Ast.t -> (int * int * Ast.location) list
+(** Every load of the test as [(thread, register, location)], in (thread,
+    program position) order — the order in which {!all} binds values and in
+    which per-thread [buf] arrays are filled. *)
+
+val all : Ast.t -> t list
+(** Every possible outcome, in lexicographic value order (initial value
+    first, then store constants ascending).  The order is stable, so outcome
+    indices can be used as labels across tools. *)
+
+val of_condition : Ast.t -> (t, string) result
+(** The outcome described by the test's own final condition: the condition's
+    register atoms, extended to unconstrained loads by wildcarding — since an
+    outcome must bind every load, a condition that leaves some loads
+    unconstrained denotes a {e set} of outcomes; this returns the atoms as a
+    partial outcome (bindings only for constrained registers).  Errors when
+    the condition contains [Loc_eq] atoms (not expressible over registers,
+    cf. non-convertible tests) or is not [Exists]/[Not_exists]. *)
+
+val matches : partial:t -> t -> bool
+(** [matches ~partial o]: every binding of [partial] appears in [o]. *)
+
+val to_atoms : t -> Ast.atom list
+
+val short_label : t -> string
+(** Compact per-figure label, e.g. ["10"] for [reg0=1, reg1=0] — the style
+    used by the paper's Fig 13. *)
+
+val to_string : t -> string
+(** Human-readable, e.g. ["0:r0=1 && 1:r0=0"]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int

@@ -1,0 +1,339 @@
+type error = { line : int; message : string }
+
+let pp_error ppf e = Format.fprintf ppf "line %d: %s" e.line e.message
+
+exception Parse_error of error
+
+let fail line fmt =
+  Format.kasprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+let registers = [| "EAX"; "EBX"; "ECX"; "EDX"; "ESI"; "EDI" |]
+
+let register_index name =
+  let up = String.uppercase_ascii name in
+  (* Accept the 64-bit spellings too. *)
+  let up =
+    if String.length up = 3 && up.[0] = 'R' then "E" ^ String.sub up 1 2
+    else up
+  in
+  let rec find i =
+    if i >= Array.length registers then None
+    else if registers.(i) = up then Some i
+    else find (i + 1)
+  in
+  find 0
+
+let register_name i =
+  if i >= 0 && i < Array.length registers then registers.(i)
+  else Printf.sprintf "R%d" i
+
+let trim = String.trim
+
+let split_on_string ~sep s =
+  let sep_len = String.length sep in
+  let rec go start acc =
+    match
+      if start > String.length s - sep_len then None
+      else begin
+        let rec search i =
+          if i > String.length s - sep_len then None
+          else if String.sub s i sep_len = sep then Some i
+          else search (i + 1)
+        in
+        search start
+      end
+    with
+    | Some i -> go (i + sep_len) (String.sub s start (i - start) :: acc)
+    | None -> List.rev (String.sub s start (String.length s - start) :: acc)
+  in
+  go 0 []
+
+(* --- Instruction parsing ------------------------------------------------ *)
+
+let parse_operand line s =
+  let s = trim s in
+  if s = "" then fail line "empty operand"
+  else if s.[0] = '[' then begin
+    if s.[String.length s - 1] <> ']' then
+      fail line "unterminated memory operand %S" s;
+    `Mem (trim (String.sub s 1 (String.length s - 2)))
+  end
+  else if s.[0] = '$' then begin
+    match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+    | Some n -> `Imm n
+    | None -> fail line "bad immediate %S" s
+  end
+  else begin
+    match register_index s with
+    | Some r -> `Reg r
+    | None -> fail line "unknown register %S" s
+  end
+
+let parse_instruction line s =
+  let s = trim s in
+  let upper = String.uppercase_ascii s in
+  if upper = "MFENCE" then Ast.Mfence
+  else if String.length upper >= 4 && String.sub upper 0 4 = "MOV " then begin
+    let rest = String.sub s 4 (String.length s - 4) in
+    match split_on_string ~sep:"," rest with
+    | [ dst; src ] -> (
+      match (parse_operand line dst, parse_operand line src) with
+      | `Mem x, `Imm n -> Ast.Store (x, n)
+      | `Reg r, `Mem x -> Ast.Load (r, x)
+      | `Mem _, `Reg _ ->
+        fail line "store-from-register is not supported (constants only): %S"
+          s
+      | `Reg _, `Imm _ | `Reg _, `Reg _ | `Mem _, `Mem _ | `Imm _, _ ->
+        fail line "unsupported MOV form %S" s)
+    | _ -> fail line "MOV needs two comma-separated operands: %S" s
+  end
+  else fail line "unsupported instruction %S (MOV/MFENCE only)" s
+
+(* --- Init section ------------------------------------------------------- *)
+
+let parse_init line s =
+  (* "x=0; y=1;" — also tolerate "int x = 0" type annotations. *)
+  let entries =
+    List.filter (fun e -> trim e <> "") (String.split_on_char ';' s)
+  in
+  List.map
+    (fun entry ->
+      let entry = trim entry in
+      let entry =
+        if String.length entry > 4 && String.sub entry 0 4 = "int " then
+          trim (String.sub entry 4 (String.length entry - 4))
+        else entry
+      in
+      if String.contains entry ':' then
+        fail line "register initialisation is not supported: %S" entry;
+      match String.split_on_char '=' entry with
+      | [ loc; value ] -> (
+        let loc = trim loc in
+        let loc =
+          (* Tolerate "[x]" spelling in init. *)
+          if String.length loc >= 2 && loc.[0] = '[' then
+            trim (String.sub loc 1 (String.length loc - 2))
+          else loc
+        in
+        match int_of_string_opt (trim value) with
+        | Some v -> (loc, v)
+        | None -> fail line "bad init value in %S" entry)
+      | _ -> fail line "bad init entry %S" entry)
+    entries
+
+(* --- Condition ---------------------------------------------------------- *)
+
+let parse_atom line s =
+  let s = trim s in
+  match split_on_string ~sep:"=" s with
+  | [ lhs; rhs ] -> (
+    let lhs = trim lhs and rhs = trim rhs in
+    let value =
+      match int_of_string_opt rhs with
+      | Some v -> v
+      | None -> fail line "bad condition value %S" rhs
+    in
+    match String.index_opt lhs ':' with
+    | Some i -> (
+      let thread_str = String.sub lhs 0 i in
+      let reg_str = String.sub lhs (i + 1) (String.length lhs - i - 1) in
+      match (int_of_string_opt thread_str, register_index (trim reg_str)) with
+      | Some thread, Some reg -> Ast.Reg_eq (thread, reg, value)
+      | None, _ -> fail line "bad thread id %S" thread_str
+      | _, None -> fail line "unknown register %S" reg_str)
+    | None ->
+      let loc =
+        if String.length lhs >= 2 && lhs.[0] = '[' then
+          trim (String.sub lhs 1 (String.length lhs - 2))
+        else lhs
+      in
+      Ast.Loc_eq (loc, value))
+  | _ -> fail line "bad condition atom %S" s
+
+let parse_condition line s =
+  let s = trim s in
+  let quantifier, rest =
+    let try_prefix prefix q =
+      let n = String.length prefix in
+      if
+        String.length s >= n
+        && String.lowercase_ascii (String.sub s 0 n) = prefix
+      then Some (q, trim (String.sub s n (String.length s - n)))
+      else None
+    in
+    match
+      List.find_map
+        (fun (p, q) -> try_prefix p q)
+        [
+          ("~exists", Ast.Not_exists);
+          ("exists", Ast.Exists);
+          ("forall", Ast.Forall);
+        ]
+    with
+    | Some x -> x
+    | None -> fail line "expected exists/~exists/forall, got %S" s
+  in
+  let rest = trim rest in
+  let rest =
+    if String.length rest >= 2 && rest.[0] = '(' then begin
+      if rest.[String.length rest - 1] <> ')' then
+        fail line "unterminated condition";
+      String.sub rest 1 (String.length rest - 2)
+    end
+    else rest
+  in
+  if String.length rest > 0 && String.contains rest '\\' = false
+     && String.length (trim rest) = 0
+  then { Ast.quantifier; atoms = [] }
+  else begin
+    let atoms =
+      List.map (parse_atom line)
+        (List.filter
+           (fun s -> trim s <> "")
+           (split_on_string ~sep:"/\\" rest))
+    in
+    { Ast.quantifier; atoms }
+  end
+
+(* --- Whole test --------------------------------------------------------- *)
+
+let parse source =
+  try
+    let lines = String.split_on_char '\n' source in
+    let numbered = List.mapi (fun i l -> (i + 1, l)) lines in
+    let significant =
+      List.filter (fun (_, l) -> trim l <> "") numbered
+    in
+    match significant with
+    | [] -> Error { line = 1; message = "empty input" }
+    | (hline, header) :: rest ->
+      let name =
+        match String.split_on_char ' ' (trim header) with
+        | arch :: name_parts when String.uppercase_ascii arch = "X86" ->
+          let name = trim (String.concat " " name_parts) in
+          if name = "" then fail hline "missing test name in header" else name
+        | _ -> fail hline "header must be 'X86 <name>', got %S" header
+      in
+      (* Optional doc string and metadata lines before the init block. *)
+      let doc = ref "" in
+      let rec skip_meta = function
+        | [] -> fail hline "missing init section '{ ... }'"
+        | (line, l) :: rest ->
+          let l = trim l in
+          if l.[0] = '{' then (line, l, rest)
+          else begin
+            if l.[0] = '"' && !doc = "" then begin
+              let stripped = String.sub l 1 (String.length l - 1) in
+              let stripped =
+                if
+                  String.length stripped > 0
+                  && stripped.[String.length stripped - 1] = '"'
+                then String.sub stripped 0 (String.length stripped - 1)
+                else stripped
+              in
+              doc := stripped
+            end;
+            skip_meta rest
+          end
+      in
+      let init_line, init_first, rest = skip_meta rest in
+      (* Gather init text until the closing '}'. *)
+      let rec gather_init acc line text rest =
+        match String.index_opt text '}' with
+        | Some i ->
+          let inner = String.sub text 0 i in
+          (acc ^ inner, rest)
+        | None -> (
+          match rest with
+          | [] -> fail line "unterminated init section"
+          | (line', text') :: rest' ->
+            gather_init (acc ^ text ^ " ") line' (trim text') rest')
+      in
+      let init_body = String.sub init_first 1 (String.length init_first - 1) in
+      let init_text, rest = gather_init "" init_line init_body rest in
+      let init =
+        List.filter (fun (_, v) -> v <> 0) (parse_init init_line init_text)
+      in
+      (* Program rows until the condition line. *)
+      let is_condition_line l =
+        let low = String.lowercase_ascii (trim l) in
+        List.exists
+          (fun p ->
+            String.length low >= String.length p
+            && String.sub low 0 (String.length p) = p)
+          [ "exists"; "~exists"; "forall"; "locations" ]
+      in
+      let rec split_program acc = function
+        | [] -> (List.rev acc, [])
+        | ((_, l) :: _) as rest when is_condition_line l -> (List.rev acc, rest)
+        | row :: rest -> split_program (row :: acc) rest
+      in
+      let program_rows, tail = split_program [] rest in
+      (match program_rows with
+      | [] -> fail init_line "missing program section"
+      | (header_line, header_row) :: instr_rows ->
+        let strip_semicolon line s =
+          let s = trim s in
+          if s = "" then fail line "empty program row"
+          else if s.[String.length s - 1] = ';' then
+            String.sub s 0 (String.length s - 1)
+          else s
+        in
+        let header_cells =
+          List.map trim
+            (String.split_on_char '|' (strip_semicolon header_line header_row))
+        in
+        let nthreads = List.length header_cells in
+        List.iteri
+          (fun i cell ->
+            let expected = Printf.sprintf "P%d" i in
+            if String.uppercase_ascii cell <> expected then
+              fail header_line "expected thread header %s, got %S" expected
+                cell)
+          header_cells;
+        let programs = Array.make nthreads [] in
+        List.iter
+          (fun (line, row) ->
+            let cells =
+              List.map trim
+                (String.split_on_char '|' (strip_semicolon line row))
+            in
+            if List.length cells <> nthreads then
+              fail line "row has %d columns, expected %d" (List.length cells)
+                nthreads;
+            List.iteri
+              (fun i cell ->
+                if cell <> "" then
+                  programs.(i) <- parse_instruction line cell :: programs.(i))
+              cells)
+          instr_rows;
+        let threads =
+          Array.map (fun instrs -> Array.of_list (List.rev instrs)) programs
+        in
+        (* Skip 'locations' lines; then the condition. *)
+        let rec find_condition = function
+          | [] -> fail hline "missing final condition"
+          | (line, l) :: rest ->
+            let low = String.lowercase_ascii (trim l) in
+            if
+              String.length low >= 9 && String.sub low 0 9 = "locations"
+            then find_condition rest
+            else begin
+              (* The condition may span several lines; join the remainder. *)
+              let text =
+                String.concat " " (trim l :: List.map (fun (_, s) -> trim s) rest)
+              in
+              (line, text)
+            end
+        in
+        let cond_line, cond_text = find_condition tail in
+        let condition = parse_condition cond_line cond_text in
+        Ok { Ast.name; doc = !doc; init; threads; condition })
+  with Parse_error e -> Error e
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let content = really_input_string ic n in
+  close_in ic;
+  parse content

@@ -1,0 +1,34 @@
+(** Parser for the litmus7 x86 test format used by the diy suite — the input
+    format of the paper's Converter (Sec V-A).  Example:
+
+    {v
+    X86 SB
+    "Store Buffering"
+    { x=0; y=0; }
+     P0          | P1          ;
+     MOV [x],$1  | MOV [y],$1  ;
+     MOV EAX,[y] | MOV EAX,[x] ;
+    exists (0:EAX=0 /\ 1:EAX=0)
+    v}
+
+    Supported instructions are [MOV \[x\],$n] (store), [MOV reg,\[x\]] (load)
+    and [MFENCE], with registers EAX/EBX/ECX/EDX/ESI/EDI (or the RAX...
+    forms).  This covers the whole x86-TSO suite the paper converts;
+    anything else is reported as an error rather than mis-parsed. *)
+
+type error = { line : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse : string -> (Ast.t, error) result
+(** Parse a complete test from a string. *)
+
+val parse_file : string -> (Ast.t, error) result
+(** Parse a test from a file path. *)
+
+val register_index : string -> int option
+(** Map an x86 register name (case-insensitive) to this library's per-thread
+    register index: EAX/RAX -> 0, EBX/RBX -> 1, ... *)
+
+val register_name : int -> string
+(** Inverse of {!register_index} for indices 0..5; falls back to ["R<n>"]. *)

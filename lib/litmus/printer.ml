@@ -1,0 +1,68 @@
+let instruction_to_string = function
+  | Ast.Store (x, a) -> Printf.sprintf "MOV [%s],$%d" x a
+  | Ast.Load (r, x) -> Printf.sprintf "MOV %s,[%s]" (Parser.register_name r) x
+  | Ast.Mfence -> "MFENCE"
+
+let atom_to_string = function
+  | Ast.Reg_eq (t, r, v) ->
+    Printf.sprintf "%d:%s=%d" t (Parser.register_name r) v
+  | Ast.Loc_eq (x, v) -> Printf.sprintf "%s=%d" x v
+
+let condition_to_string cond =
+  let quantifier =
+    match cond.Ast.quantifier with
+    | Ast.Exists -> "exists"
+    | Ast.Not_exists -> "~exists"
+    | Ast.Forall -> "forall"
+  in
+  Printf.sprintf "%s (%s)" quantifier
+    (String.concat " /\\ " (List.map atom_to_string cond.Ast.atoms))
+
+let to_string test =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "X86 %s\n" test.Ast.name);
+  if test.Ast.doc <> "" then
+    Buffer.add_string buf (Printf.sprintf "\"%s\"\n" test.Ast.doc);
+  let inits =
+    List.map
+      (fun x -> Printf.sprintf "%s=%d;" x (Ast.initial_value test x))
+      (Ast.locations test)
+  in
+  Buffer.add_string buf (Printf.sprintf "{ %s }\n" (String.concat " " inits));
+  let nthreads = Ast.thread_count test in
+  let rows = Array.fold_left (fun acc p -> max acc (Array.length p)) 0 test.Ast.threads in
+  let cell t i =
+    if i < Array.length test.Ast.threads.(t) then
+      instruction_to_string test.Ast.threads.(t).(i)
+    else ""
+  in
+  let col_width t =
+    let w = ref (String.length (Printf.sprintf "P%d" t)) in
+    for i = 0 to rows - 1 do
+      w := max !w (String.length (cell t i))
+    done;
+    !w
+  in
+  let widths = Array.init nthreads col_width in
+  let emit_row cells =
+    Buffer.add_char buf ' ';
+    List.iteri
+      (fun t c ->
+        if t > 0 then Buffer.add_string buf " | ";
+        Buffer.add_string buf (Printf.sprintf "%-*s" widths.(t) c))
+      cells;
+    Buffer.add_string buf " ;\n"
+  in
+  emit_row (List.init nthreads (Printf.sprintf "P%d"));
+  for i = 0 to rows - 1 do
+    emit_row (List.init nthreads (fun t -> cell t i))
+  done;
+  Buffer.add_string buf (condition_to_string test.Ast.condition);
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let summary test =
+  Printf.sprintf "%-14s [T=%d, TL=%d]  %s" test.Ast.name
+    (Ast.thread_count test)
+    (Ast.load_thread_count test)
+    (condition_to_string test.Ast.condition)

@@ -1,0 +1,16 @@
+(** Pretty-printer back to the litmus7 x86 format; inverse of {!Parser}.
+    [Parser.parse (Printer.to_string t)] reproduces [t] up to init entries
+    with value 0 (which are implicit). *)
+
+val to_string : Ast.t -> string
+(** Render a complete test file. *)
+
+val instruction_to_string : Ast.instruction -> string
+(** litmus7 x86 syntax, e.g. ["MOV \[x\],$1"], ["MOV EAX,\[y\]"],
+    ["MFENCE"]. *)
+
+val condition_to_string : Ast.condition -> string
+(** e.g. ["exists (0:EAX=0 /\\ 1:EAX=0)"]. *)
+
+val summary : Ast.t -> string
+(** One-line human summary: name, [T], [T_L], target condition. *)

@@ -1,0 +1,31 @@
+(** Axiomatic model checking of litmus tests (herd-style).
+
+    Enumerates candidate executions — a reads-from choice for every load and
+    a write-serialisation (coherence) order for every location — and keeps
+    those satisfying the model's axioms:
+
+    - {b uniproc}: acyclicity of [po-loc ∪ rf ∪ ws ∪ fr] (coherence);
+    - {b SC}: acyclicity of [po ∪ rf ∪ ws ∪ fr];
+    - {b TSO}: acyclicity of [ppo ∪ rfe ∪ ws ∪ fr ∪ mfence] where [ppo]
+      drops write-to-read program order, [rfe] is external reads-from, and
+      [mfence] restores the order across a fence (Owens/Sarkar/Sewell's
+      axiomatic x86-TSO).
+
+    This is an independent formulation from {!Operational}; the test suite
+    checks that both agree on every catalog test, mirroring the equivalence
+    theorem for x86-TSO.  Unlike {!Operational}, this checker also evaluates
+    final-memory ([Loc_eq]) conditions, since the final value of a location
+    is the [ws]-maximal store. *)
+
+module Ast := Perple_litmus.Ast
+module Outcome := Perple_litmus.Outcome
+
+val reachable_outcomes : Operational.model -> Ast.t -> Outcome.t list
+(** All register outcomes of valid executions, sorted. *)
+
+val condition_reachable : Operational.model -> Ast.t -> bool
+(** Whether some valid execution satisfies the test's own final condition,
+    including [Loc_eq] atoms. *)
+
+val candidate_count : Ast.t -> int
+(** Number of candidate executions enumerated (before axiom filtering). *)

@@ -1,0 +1,241 @@
+module Ast = Perple_litmus.Ast
+module Outcome = Perple_litmus.Outcome
+module Catalog = Perple_litmus.Catalog
+module Convert = Perple_core.Convert
+module OC = Perple_core.Outcome_convert
+module Count = Perple_core.Count
+module Engine = Perple_core.Engine
+module Perpetual = Perple_harness.Perpetual
+module Machine = Perple_sim.Machine
+module Program = Perple_sim.Program
+module Rng = Perple_util.Rng
+module Table = Perple_util.Table
+
+type coverage_row = {
+  name : string;
+  iterations : int;
+  exhaustive : int;
+  heuristic : int;
+  coverage : float;
+}
+
+let heuristic_coverage (params : Common.params) =
+  List.map
+    (fun (e : Catalog.entry) ->
+      let test = e.Catalog.test in
+      let conv = Result.get_ok (Convert.convert test) in
+      let tl = Array.length conv.Convert.load_threads in
+      let iterations =
+        Engine.exhaustive_iterations_cap ~tl
+          ~cap:params.Common.exhaustive_cap
+          ~requested:params.Common.iterations
+      in
+      let rng =
+        Rng.create (Common.seed_for params ("ablation/" ^ test.Ast.name))
+      in
+      let run =
+        Perpetual.run ~rng ~image:conv.Convert.image
+          ~t_reads:conv.Convert.t_reads ~iterations ()
+      in
+      let target =
+        Result.get_ok (OC.convert conv (Common.target_of test))
+      in
+      let exhaustive =
+        (Count.exhaustive conv ~outcomes:[ target ] ~run).Count.counts.(0)
+      in
+      let heuristic =
+        (Count.heuristic_auto conv ~outcomes:[ target ] ~run).Count.counts.(0)
+      in
+      {
+        name = test.Ast.name;
+        iterations;
+        exhaustive;
+        heuristic;
+        coverage =
+          (if exhaustive = 0 then 1.0
+           else float_of_int heuristic /. float_of_int exhaustive);
+      })
+    Catalog.allowed
+
+type exactness_row = {
+  name : string;
+  with_exact : int;
+  without_exact : int;
+}
+
+(* Tests whose targets involve a load preceded by an own store to the same
+   location: the cases the strengthening protects. *)
+let coherence_tests = [ "n5"; "amd10" ]
+
+let exactness (params : Common.params) =
+  List.map
+    (fun name ->
+      let test = Catalog.find_exn name in
+      let conv = Result.get_ok (Convert.convert test) in
+      let rng =
+        Rng.create (Common.seed_for params ("ablation-exact/" ^ name))
+      in
+      let run =
+        Perpetual.run ~rng ~image:conv.Convert.image
+          ~t_reads:conv.Convert.t_reads ~iterations:params.Common.iterations
+          ()
+      in
+      let count ~own_store_exact =
+        let target =
+          Result.get_ok
+            (OC.convert ~own_store_exact conv (Common.target_of test))
+        in
+        (Count.exhaustive_independent conv ~outcomes:[ target ] ~run)
+          .Count.counts.(0)
+      in
+      {
+        name;
+        with_exact = count ~own_store_exact:true;
+        without_exact = count ~own_store_exact:false;
+      })
+    coherence_tests
+
+type skew_row = { max_release_skew : int; target_count : int }
+
+let barrier_alignment (params : Common.params) =
+  let test = Catalog.sb in
+  let target = Common.target_of test in
+  List.map
+    (fun max_release_skew ->
+      let image = Program.compile_litmus test in
+      let loads = Outcome.loads test in
+      let nloads = List.length loads in
+      let values =
+        Array.init nloads (fun _ -> Array.make params.Common.iterations 0)
+      in
+      let loads_arr = Array.of_list loads in
+      let rng =
+        Rng.create
+          (Common.seed_for params
+             (Printf.sprintf "ablation-skew/%d" max_release_skew))
+      in
+      ignore
+        (Machine.run ~config:Perple_sim.Config.default ~rng ~image
+           ~iterations:params.Common.iterations
+           ~barrier:(Machine.Every_iteration { cost = 15; max_release_skew })
+           ~on_iteration_end:(fun ~thread ~iteration ~regs ->
+             Array.iteri
+               (fun i (t, reg, _) ->
+                 if t = thread then values.(i).(iteration) <- regs.(reg))
+               loads_arr)
+           ());
+      let target_count = ref 0 in
+      for n = 0 to params.Common.iterations - 1 do
+        let hit =
+          List.for_all
+            (fun (b : Outcome.binding) ->
+              let rec slot i =
+                let t, reg, _ = loads_arr.(i) in
+                if t = b.Outcome.thread && reg = b.Outcome.reg then i
+                else slot (i + 1)
+              in
+              values.(slot 0).(n) = b.Outcome.value)
+            target
+        in
+        if hit then incr target_count
+      done;
+      { max_release_skew; target_count = !target_count })
+    [ 0; 5; 10; 20; 50; 100; 200; 400; 800 ]
+
+type stress_row = {
+  stress_threads : int;
+  perple_count : int;
+  litmus7_count : int;
+}
+
+let stress_sensitivity (params : Common.params) =
+  let test = Catalog.sb in
+  let target = Common.target_of test in
+  List.map
+    (fun stress_threads ->
+      let seed k =
+        Common.seed_for params (Printf.sprintf "stress/%s/%d" k stress_threads)
+      in
+      let perple_count =
+        Engine.target_count
+          (Result.get_ok
+             (Engine.run ~stress_threads ~seed:(seed "perple")
+                ~iterations:params.Common.iterations test))
+      in
+      let litmus7_count =
+        let result =
+          Perple_harness.Litmus7.run ~stress_threads
+            ~rng:(Rng.create (seed "litmus7"))
+            ~test ~mode:Perple_harness.Sync_mode.User
+            ~iterations:params.Common.iterations ()
+        in
+        Perple_harness.Litmus7.count result ~partial:target
+      in
+      { stress_threads; perple_count; litmus7_count })
+    [ 0; 2; 4; 8 ]
+
+let render params =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "Ablation 1: heuristic coverage of exhaustive hits\n";
+  let t1 =
+    Table.create ~headers:[ "test"; "N"; "exhaustive"; "heuristic"; "coverage" ]
+  in
+  List.iter (fun i -> Table.set_align t1 i Table.Right) [ 1; 2; 3; 4 ];
+  List.iter
+    (fun (r : coverage_row) ->
+      Table.add_row t1
+        [
+          r.name;
+          string_of_int r.iterations;
+          string_of_int r.exhaustive;
+          string_of_int r.heuristic;
+          Printf.sprintf "%.4f" r.coverage;
+        ])
+    (heuristic_coverage params);
+  Buffer.add_string buf (Table.to_string t1);
+  Buffer.add_string buf
+    "\nAblation 2: coherence strengthening (forbidden targets; counts \
+     should be 0)\n";
+  let t2 = Table.create ~headers:[ "test"; "exact rf"; "bare >= rf" ] in
+  List.iter (fun i -> Table.set_align t2 i Table.Right) [ 1; 2 ];
+  List.iter
+    (fun (r : exactness_row) ->
+      Table.add_row t2
+        [ r.name; string_of_int r.with_exact; string_of_int r.without_exact ])
+    (exactness params);
+  Buffer.add_string buf (Table.to_string t2);
+  Buffer.add_string buf
+    "(a nonzero bare->= column is a false positive the strengthened rule \
+     removes)\n";
+  Buffer.add_string buf
+    "\nAblation 3: litmus7 target detection vs barrier release skew (sb, \
+     fixed cost)\n";
+  let t3 = Table.create ~headers:[ "max skew"; "target occurrences" ] in
+  Table.set_align t3 0 Table.Right;
+  Table.set_align t3 1 Table.Right;
+  List.iter
+    (fun (r : skew_row) ->
+      Table.add_row t3
+        [ string_of_int r.max_release_skew; string_of_int r.target_count ])
+    (barrier_alignment params);
+  Buffer.add_string buf (Table.to_string t3);
+  Buffer.add_string buf
+    "(tighter release alignment -> more same-iteration interaction; why \
+     timebase leads litmus7 modes)\n";
+  Buffer.add_string buf
+    "\nAblation 4: stress threads (sb target occurrences; paper Sec II-B1)\n";
+  let t4 =
+    Table.create ~headers:[ "stress threads"; "perple-heur"; "litmus7-user" ]
+  in
+  List.iter (fun i -> Table.set_align t4 i Table.Right) [ 0; 1; 2 ];
+  List.iter
+    (fun (r : stress_row) ->
+      Table.add_row t4
+        [
+          string_of_int r.stress_threads;
+          string_of_int r.perple_count;
+          string_of_int r.litmus7_count;
+        ])
+    (stress_sensitivity params);
+  Buffer.add_string buf (Table.to_string t4);
+  Buffer.contents buf

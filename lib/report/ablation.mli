@@ -1,0 +1,56 @@
+(** Ablation studies for the design choices DESIGN.md calls out.
+
+    Three questions the paper leaves implicit, answered empirically on the
+    simulated substrate:
+
+    - {b Heuristic coverage}: what fraction of the target occurrences the
+      exhaustive counter finds does the linear heuristic's single pass
+      recover, per allowed test?  (Justifies Algorithm 2: the paper shows
+      it stays orders of magnitude ahead of litmus7 despite sampling [N]
+      of [N^{T_L}] frames.)
+    - {b Coherence strengthening}: with the bare [>=] reads-from rule of
+      the paper's step 4 (no own-store equality), do coherence-forbidden
+      targets ([n5], [co-iriw]-style) produce false positives on correct
+      TSO hardware?  (Motivates this implementation's [exact] rf rule.)
+    - {b Barrier alignment}: how does litmus7's target-detection ability
+      vary with barrier release skew, at fixed cost?  (Explains the
+      ordering of sync modes in Figs 9/13: tighter alignment = more
+      interaction.) *)
+
+type coverage_row = {
+  name : string;
+  iterations : int;
+  exhaustive : int;
+  heuristic : int;
+  coverage : float;  (** heuristic / exhaustive, 1.0 when both zero. *)
+}
+
+val heuristic_coverage : Common.params -> coverage_row list
+
+type exactness_row = {
+  name : string;
+  with_exact : int;  (** Target count, strengthened rule (sound). *)
+  without_exact : int;  (** Target count, bare [>=] rule. *)
+}
+
+val exactness : Common.params -> exactness_row list
+(** Over the coherence-sensitive forbidden tests; [without_exact > 0]
+    demonstrates the false positives the strengthening removes. *)
+
+type skew_row = { max_release_skew : int; target_count : int }
+
+val barrier_alignment : Common.params -> skew_row list
+(** sb target occurrences under a barrier of fixed cost and varying
+    release skew. *)
+
+type stress_row = {
+  stress_threads : int;
+  perple_count : int;
+  litmus7_count : int;
+}
+
+val stress_sensitivity : Common.params -> stress_row list
+(** sb target occurrences with 0..8 stress threads (paper, Sec II-B1)
+    hammering scratch locations, for PerpLE-heuristic and litmus7-user. *)
+
+val render : Common.params -> string

@@ -1,0 +1,75 @@
+module Catalog = Perple_litmus.Catalog
+module Ast = Perple_litmus.Ast
+module Outcome = Perple_litmus.Outcome
+module Convert = Perple_core.Convert
+module Outcome_convert = Perple_core.Outcome_convert
+module Count = Perple_core.Count
+module Engine = Perple_core.Engine
+module Perpetual = Perple_harness.Perpetual
+module Rng = Perple_util.Rng
+module Table = Perple_util.Table
+
+type row = {
+  name : string;
+  iterations : int;
+  exhaustive_count : int;
+  heuristic_count : int;
+  accurate : bool;
+}
+
+let rows (params : Common.params) =
+  List.map
+    (fun (e : Catalog.entry) ->
+      let test = e.Catalog.test in
+      let conv = Result.get_ok (Convert.convert test) in
+      let tl = Array.length conv.Convert.load_threads in
+      let iterations =
+        Engine.exhaustive_iterations_cap ~tl ~cap:params.Common.exhaustive_cap
+          ~requested:params.Common.iterations
+      in
+      let rng =
+        Rng.create (Common.seed_for params ("accuracy/" ^ test.Ast.name))
+      in
+      let run =
+        Perpetual.run ~rng ~image:conv.Convert.image
+          ~t_reads:conv.Convert.t_reads ~iterations ()
+      in
+      let target =
+        Result.get_ok (Outcome_convert.convert conv (Common.target_of test))
+      in
+      let exh = Count.exhaustive conv ~outcomes:[ target ] ~run in
+      let heur = Count.heuristic_auto conv ~outcomes:[ target ] ~run in
+      let exhaustive_count = exh.Count.counts.(0) in
+      let heuristic_count = heur.Count.counts.(0) in
+      {
+        name = test.Ast.name;
+        iterations;
+        exhaustive_count;
+        heuristic_count;
+        accurate = exhaustive_count > 0 = (heuristic_count > 0);
+      })
+    Catalog.suite
+
+let render params =
+  let rows = rows params in
+  let table =
+    Table.create ~headers:[ "test"; "N"; "exhaustive"; "heuristic"; "accurate" ]
+  in
+  List.iter (fun i -> Table.set_align table i Table.Right) [ 1; 2; 3 ];
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [
+          r.name;
+          string_of_int r.iterations;
+          string_of_int r.exhaustive_count;
+          string_of_int r.heuristic_count;
+          (if r.accurate then "yes" else "NO");
+        ])
+    rows;
+  let inaccurate = List.filter (fun r -> not r.accurate) rows in
+  Printf.sprintf
+    "Sec VII-D: heuristic accuracy (same run, both counters)\n%s\n\
+     inaccurate tests: %d (paper: 0)\n"
+    (Table.to_string table)
+    (List.length inaccurate)

@@ -1,0 +1,21 @@
+(** Sec VII-D: heuristic outcome counter accuracy.
+
+    For each suite test, the exhaustive and heuristic counters run over the
+    {e same} perpetual run; the heuristic is accurate for a test when it
+    finds the target outcome iff the exhaustive counter does (not
+    necessarily the same number of times).  The paper reports perfect
+    accuracy; additionally, by construction every heuristic hit corresponds
+    to a frame the exhaustive predicate accepts, which the property tests
+    check directly. *)
+
+type row = {
+  name : string;
+  iterations : int;
+  exhaustive_count : int;
+  heuristic_count : int;
+  accurate : bool;
+}
+
+val rows : Common.params -> row list
+
+val render : Common.params -> string

@@ -1,0 +1,59 @@
+(** Shared infrastructure for the experiment drivers: the tool lineup the
+    paper compares (PerpLE with either counter, litmus7 in five modes), and
+    uniform per-test execution producing target counts and virtual
+    runtimes. *)
+
+module Ast := Perple_litmus.Ast
+module Outcome := Perple_litmus.Outcome
+
+type tool =
+  | Perple of Perple_core.Engine.counter
+  | Litmus7 of Perple_harness.Sync_mode.t
+
+val tools : tool list
+(** PerpLE exhaustive, PerpLE heuristic, then litmus7 user / userfence /
+    pthread / timebase / none. *)
+
+val litmus7_tools : tool list
+val tool_name : tool -> string
+
+type params = {
+  seed : int;
+  iterations : int;  (** [N] for Fig 9 / Fig 10 (paper: 10k). *)
+  exhaustive_cap : int;
+      (** Max frames for the exhaustive counter; [N] is shrunk to fit
+          (documented substitution — the paper runs N^3 on a cluster). *)
+  sweep : int list;  (** Iteration counts for Fig 11 (paper: 100..100M). *)
+  variety_iterations : int;  (** Fig 13 (paper: 1k). *)
+  skew_iterations : int;  (** Fig 12 (paper: 100k). *)
+}
+
+val default_params : params
+(** Paper-scale where feasible: N=10k, sweep to 1M, exhaustive capped at
+    2.5e8 frames. *)
+
+val quick_params : params
+(** Small counts for smoke runs and the bench executable's default mode. *)
+
+type tool_result = {
+  tool : tool;
+  iterations_used : int;
+      (** May be smaller than requested for the exhaustive counter. *)
+  target_count : int;
+  virtual_runtime : int;  (** Execution + counting, virtual rounds. *)
+  detection_rate : float;  (** Target occurrences per Mrounds. *)
+}
+
+val run_tool :
+  ?config:Perple_sim.Config.t ->
+  params:params -> iterations:int -> test:Ast.t -> tool -> tool_result
+(** Runs one tool on one test.  The seed is derived from [params.seed], the
+    tool and the test name, so every (tool, test) pair gets an independent
+    but reproducible stream. *)
+
+val target_of : Ast.t -> Outcome.t
+(** The test's target outcome (partial); raises on non-convertible
+    conditions — callers only pass suite tests. *)
+
+val seed_for : params -> string -> int
+(** Stable per-test seed derivation. *)

@@ -1,0 +1,23 @@
+let ids =
+  [
+    "table2"; "fig9"; "fig10"; "fig11"; "fig12"; "fig13"; "accuracy";
+    "overall"; "ablation";
+  ]
+
+let run params = function
+  | "table2" -> Ok (Table_ii.render ())
+  | "fig9" -> Ok (Fig9.render params)
+  | "fig10" -> Ok (Fig10.render params)
+  | "fig11" -> Ok (Fig11.render params)
+  | "fig12" -> Ok (Fig12.render params)
+  | "fig13" -> Ok (Fig13.render params)
+  | "accuracy" -> Ok (Accuracy.render params)
+  | "overall" -> Ok (Overall.render params)
+  | "ablation" -> Ok (Ablation.render params)
+  | id ->
+    Error
+      (Printf.sprintf "unknown experiment %S (known: %s)" id
+         (String.concat ", " ids))
+
+let run_all params =
+  List.map (fun id -> (id, Result.get_ok (run params id))) ids

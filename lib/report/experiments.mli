@@ -1,0 +1,12 @@
+(** One entry point per reproduced table/figure, keyed by the experiment ids
+    used in DESIGN.md's experiment index. *)
+
+val ids : string list
+(** ["table2"; "fig9"; "fig10"; "fig11"; "fig12"; "fig13"; "accuracy";
+    "overall"; "ablation"]. *)
+
+val run : Common.params -> string -> (string, string) result
+(** Render one experiment by id; [Error] for unknown ids. *)
+
+val run_all : Common.params -> (string * string) list
+(** Every experiment, in order. *)

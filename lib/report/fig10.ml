@@ -1,0 +1,105 @@
+module Catalog = Perple_litmus.Catalog
+module Ast = Perple_litmus.Ast
+module Table = Perple_util.Table
+module Stats = Perple_util.Stats
+
+type row = {
+  name : string;
+  runtimes : (string * int) list;
+  speedup_vs_user : (string * float) list;
+}
+
+type summary = {
+  rows : row list;
+  geomean_speedups : (string * float) list;
+  heur_over_exh : float;
+}
+
+let summarize (params : Common.params) =
+  let rows =
+    List.map
+      (fun (e : Catalog.entry) ->
+        let test = e.Catalog.test in
+        let results =
+          List.map
+            (fun tool ->
+              let r =
+                Common.run_tool ~params ~iterations:params.Common.iterations
+                  ~test tool
+              in
+              (Common.tool_name tool, r))
+            Common.tools
+        in
+        let runtimes =
+          List.map (fun (n, r) -> (n, r.Common.virtual_runtime)) results
+        in
+        let user = List.assoc "litmus7-user" runtimes in
+        let speedup_vs_user =
+          List.map
+            (fun (n, rt) -> (n, float_of_int user /. float_of_int (max 1 rt)))
+            runtimes
+        in
+        { name = test.Ast.name; runtimes; speedup_vs_user })
+      Catalog.suite
+  in
+  let geomean_for tool_name =
+    Stats.geomean
+      (Array.of_list
+         (List.map (fun r -> List.assoc tool_name r.speedup_vs_user) rows))
+  in
+  let names = List.map Common.tool_name Common.tools in
+  let geomean_speedups = List.map (fun n -> (n, geomean_for n)) names in
+  let heur_over_exh =
+    Stats.geomean
+      (Array.of_list
+         (List.map
+            (fun r ->
+              let exh = List.assoc "perple-exh" r.runtimes in
+              let heur = List.assoc "perple-heur" r.runtimes in
+              float_of_int exh /. float_of_int (max 1 heur))
+            rows))
+  in
+  { rows; geomean_speedups; heur_over_exh }
+
+let render params =
+  let summary = summarize params in
+  let names = List.map Common.tool_name Common.tools in
+  let table = Table.create ~headers:("test" :: names) in
+  List.iteri (fun i _ -> Table.set_align table (i + 1) Table.Right) names;
+  List.iter
+    (fun r ->
+      Table.add_row table
+        (r.name
+         :: List.map
+              (fun n -> Table.ratio_cell (List.assoc n r.speedup_vs_user))
+              names))
+    summary.rows;
+  Table.add_separator table;
+  Table.add_row table
+    ("geomean"
+     :: List.map
+          (fun n -> Table.ratio_cell (List.assoc n summary.geomean_speedups))
+          names);
+  let paper =
+    "paper geomeans (PerpLE-heur speedup over modes): user 8.89x, timebase \
+     17.56x, userfence 8.85x, none 2.52x, pthread 161.35x; heur/exh 305x"
+  in
+  let heur = List.assoc "perple-heur" summary.geomean_speedups in
+  let mode_ratio name =
+    heur /. List.assoc ("litmus7-" ^ name) summary.geomean_speedups
+  in
+  Printf.sprintf
+    "Fig 10: runtime speedup vs litmus7-user (=1), %d iterations\n\
+     %s\n\
+     measured: PerpLE-heur vs user %s, timebase %s, userfence %s, none %s, \
+     pthread %s; heur/exh %s\n\
+     %s\n"
+    params.Common.iterations
+    (Table.to_string table)
+    (Table.ratio_cell heur)
+    (Table.ratio_cell (mode_ratio "timebase"))
+    (Table.ratio_cell (mode_ratio "userfence"))
+    (Table.ratio_cell (mode_ratio "none"))
+    (Table.ratio_cell (mode_ratio "pthread"))
+    (Table.ratio_cell summary.heur_over_exh)
+    paper

@@ -1,0 +1,26 @@
+(** Fig 10: testing runtime (execution + outcome counting) relative to
+    litmus7 in [user] mode, per suite test and as geometric means.
+
+    Paper values for reference: PerpLE-heuristic is 8.89x faster than
+    [user], 17.56x than [timebase], 8.85x than [userfence], 2.52x than
+    [none] and 161.35x than [pthread]; the heuristic counter beats the
+    exhaustive one by a 305x geomean.  Our virtual-clock model is expected
+    to reproduce the ordering and rough magnitudes, not the exact ratios. *)
+
+type row = {
+  name : string;
+  runtimes : (string * int) list;  (** tool name -> virtual runtime. *)
+  speedup_vs_user : (string * float) list;
+      (** tool name -> user_runtime / tool_runtime (higher = faster). *)
+}
+
+type summary = {
+  rows : row list;
+  geomean_speedups : (string * float) list;
+      (** Geomean across tests of each tool's speedup over [user]. *)
+  heur_over_exh : float;  (** Geomean heuristic-vs-exhaustive speedup. *)
+}
+
+val summarize : Common.params -> summary
+
+val render : Common.params -> string

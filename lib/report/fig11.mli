@@ -1,0 +1,26 @@
+(** Fig 11: relative target-outcome detection-rate improvement over
+    litmus7-[user], across iteration counts.
+
+    As in the paper (Sec VII-C): for each allowed-target test, each tool's
+    detection rate (target occurrences / runtime) is divided by
+    litmus7-[user]'s rate on the same test; the bar is the arithmetic mean
+    of those ratios across tests.  Tests where the baseline is zero are
+    omitted from the mean and reported separately (the paper notes [user]
+    detects nothing below ~1M iterations for many tests, while PerpLE is
+    already nonzero at 100). *)
+
+type cell = {
+  mean_improvement : float;  (** Mean ratio over tests with nonzero user. *)
+  tests_counted : int;
+  tool_nonzero : int;  (** Tests where this tool found the target at all. *)
+}
+
+type point = {
+  iterations : int;
+  cells : (string * cell) list;  (** tool name -> cell (user excluded). *)
+  user_nonzero : int;  (** Allowed tests where the baseline was nonzero. *)
+}
+
+val sweep : Common.params -> point list
+
+val render : Common.params -> string

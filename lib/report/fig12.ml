@@ -1,0 +1,54 @@
+module Catalog = Perple_litmus.Catalog
+module Convert = Perple_core.Convert
+module Skew = Perple_core.Skew
+module Perpetual = Perple_harness.Perpetual
+module Stats = Perple_util.Stats
+module Chart = Perple_util.Chart
+module Rng = Perple_util.Rng
+
+type result = {
+  histogram : Stats.Histogram.t;
+  mean : float;
+  stddev : float;
+  min_skew : int;
+  max_skew : int;
+  ground_truth_stddev : float;
+}
+
+let measure ?(test_name = "sb") (params : Common.params) =
+  let test = Perple_litmus.Catalog.find_exn test_name in
+  let conv = Result.get_ok (Convert.convert test) in
+  let rng = Rng.create (Common.seed_for params ("fig12/" ^ test_name)) in
+  let ground_truth = Stats.Histogram.create () in
+  let run =
+    Perpetual.run ~rng ~image:conv.Convert.image ~t_reads:conv.Convert.t_reads
+      ~iterations:params.Common.skew_iterations
+      ~on_sample:(fun ~round:_ ~iterations ->
+        if Array.length iterations >= 2 then
+          Stats.Histogram.add ground_truth (iterations.(0) - iterations.(1)))
+      ()
+  in
+  let histogram = Skew.measure conv ~run in
+  let min_skew, max_skew =
+    Option.value ~default:(0, 0) (Stats.Histogram.range histogram)
+  in
+  {
+    histogram;
+    mean = Stats.Histogram.mean histogram;
+    stddev = Stats.Histogram.stddev histogram;
+    min_skew;
+    max_skew;
+    ground_truth_stddev = Stats.Histogram.stddev ground_truth;
+  }
+
+let render params =
+  let r = measure params in
+  Printf.sprintf
+    "Fig 12: thread skew PDF, perpetual sb, %d iterations\n%s\n\
+     mean %.2f, stddev %.2f, range [%d, %d]; ground-truth stddev (machine \
+     counters) %.2f\n\
+     paper shape: wide distribution (threads run far ahead/behind), densest \
+     near 0\n"
+    params.Common.skew_iterations
+    (Chart.density (Stats.Histogram.pdf r.histogram))
+    r.mean r.stddev r.min_skew r.max_skew r.ground_truth_stddev

@@ -1,0 +1,22 @@
+(** Fig 12: probability density of the thread-execution skew between the
+    two threads of the perpetual [sb] test (paper: 100k iterations).
+
+    Skew is measured exactly as the paper does — by decoding loaded values
+    back to the storing thread's iteration index — and cross-checked against
+    the machine's ground-truth iteration counters sampled during the run.
+    Shape targets: a wide distribution (far wider than one iteration),
+    densest near zero. *)
+
+type result = {
+  histogram : Perple_util.Stats.Histogram.t;
+  mean : float;
+  stddev : float;
+  min_skew : int;
+  max_skew : int;
+  ground_truth_stddev : float;
+      (** From periodic machine samples of per-thread iteration counters. *)
+}
+
+val measure : ?test_name:string -> Common.params -> result
+
+val render : Common.params -> string

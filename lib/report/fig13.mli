@@ -1,0 +1,23 @@
+(** Fig 13: outcome variety for [sb], [lb] and [podwr001] (paper: 1k
+    iterations) — occurrences of {e every} possible outcome under PerpLE's
+    heuristic counter (independent per-outcome sampling, as the figure's
+    caption specifies) and under each litmus7 mode.
+
+    Shape targets: PerpLE observes more distinct outcomes and more
+    occurrences of each than litmus7 in every mode except (possibly)
+    [timebase]; the forbidden [lb] outcome 11 is observed by nobody; litmus7
+    total counts equal the iteration count (one outcome per iteration). *)
+
+type test_variety = {
+  name : string;
+  outcome_labels : string list;  (** Fig 13-style labels, e.g. ["00"]. *)
+  forbidden : bool list;  (** Per outcome, forbidden under x86-TSO. *)
+  per_tool : (string * int array) list;
+      (** tool name -> per-outcome occurrence counts. *)
+}
+
+val variety : Common.params -> string -> test_variety
+(** For one catalog test. *)
+
+val render : Common.params -> string
+(** For the paper's three tests. *)

@@ -1,0 +1,92 @@
+module Catalog = Perple_litmus.Catalog
+module Ast = Perple_litmus.Ast
+module Table = Perple_util.Table
+
+type row = {
+  name : string;
+  allowed : bool;
+  results : Common.tool_result list;
+}
+
+let rows (params : Common.params) =
+  List.map
+    (fun (e : Catalog.entry) ->
+      let test = e.Catalog.test in
+      {
+        name = test.Ast.name;
+        allowed = e.Catalog.classification = Catalog.Allowed;
+        results =
+          List.map
+            (Common.run_tool ~params ~iterations:params.Common.iterations
+               ~test)
+            Common.tools;
+      })
+    Catalog.suite
+
+let shape_violations rows =
+  let violations = ref [] in
+  List.iter
+    (fun r ->
+      let by_name name =
+        List.find
+          (fun (res : Common.tool_result) ->
+            Common.tool_name res.Common.tool = name)
+          r.results
+      in
+      let exh = by_name "perple-exh" and heur = by_name "perple-heur" in
+      if not r.allowed then
+        List.iter
+          (fun (res : Common.tool_result) ->
+            if res.Common.target_count > 0 then
+              violations :=
+                Printf.sprintf "%s: forbidden target observed by %s" r.name
+                  (Common.tool_name res.Common.tool)
+                :: !violations)
+          r.results
+      else begin
+        if exh.Common.target_count = 0 then
+          violations := (r.name ^ ": allowed target missed by perple-exh") :: !violations;
+        if heur.Common.target_count = 0 then
+          violations := (r.name ^ ": allowed target missed by perple-heur") :: !violations;
+        (* litmus7 beating the exhaustive counter would contradict Fig 9. *)
+        List.iter
+          (fun (res : Common.tool_result) ->
+            match res.Common.tool with
+            | Common.Litmus7 _ ->
+              if res.Common.target_count > exh.Common.target_count then
+                violations :=
+                  Printf.sprintf "%s: %s beats perple-exh" r.name
+                    (Common.tool_name res.Common.tool)
+                  :: !violations
+            | Common.Perple _ -> ())
+          r.results
+      end)
+    rows;
+  List.rev !violations
+
+let render params =
+  let rows = rows params in
+  let table =
+    Table.create
+      ~headers:
+        ("test" :: "tso"
+        :: List.map Common.tool_name Common.tools)
+  in
+  List.iteri (fun i _ -> Table.set_align table (i + 2) Table.Right) Common.tools;
+  List.iter
+    (fun r ->
+      Table.add_row table
+        (r.name
+         :: (if r.allowed then "A" else "F")
+         :: List.map
+              (fun (res : Common.tool_result) ->
+                string_of_int res.Common.target_count)
+              r.results))
+    rows;
+  let violations = shape_violations rows in
+  Printf.sprintf
+    "Fig 9: target outcome occurrences, %d iterations (exhaustive capped to \
+     %d frames)\n%s\nshape violations: %s\n"
+    params.Common.iterations params.Common.exhaustive_cap
+    (Table.to_string table)
+    (match violations with [] -> "none" | v -> String.concat "; " v)

@@ -1,0 +1,24 @@
+(** Fig 9: target-outcome occurrences for every test of the perpetual
+    litmus suite, PerpLE (both counters) vs litmus7 (all five modes), at a
+    fixed iteration count (paper: 10k).
+
+    Shape targets from the paper: PerpLE-exhaustive strictly dominates every
+    litmus7 mode; PerpLE-heuristic generally dominates; no tool ever counts
+    a target outcome that x86-TSO forbids (no false positives); PerpLE
+    exposes the target of {e every} allowed test, while several litmus7
+    modes miss many of them. *)
+
+type row = {
+  name : string;
+  allowed : bool;  (** Table II classification of the target. *)
+  results : Common.tool_result list;  (** In {!Common.tools} order. *)
+}
+
+val rows : Common.params -> row list
+
+val render : Common.params -> string
+
+val shape_violations : row list -> string list
+(** Paper-shape checks that failed, empty when the reproduction matches:
+    false positives on forbidden targets, allowed targets PerpLE missed,
+    litmus7 modes beating the exhaustive counter. *)

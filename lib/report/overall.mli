@@ -1,0 +1,24 @@
+(** Sec VII-G: overall impact on a whole testing campaign.
+
+    Model of the paper's 88-test run at a fixed iteration count: the 34
+    convertible tests run under PerpLE (heuristic counter) while the
+    remaining 54 non-convertible tests run under litmus7-[user] either way;
+    the baseline runs all 88 under litmus7-[user].  The paper reports the
+    mixed campaign 1.47x faster overall, with a >20000x mean detection-rate
+    improvement on the convertible tests. *)
+
+type summary = {
+  total_tests : int;
+  convertible : int;
+  baseline_runtime : int;  (** All tests under litmus7-user. *)
+  mixed_runtime : int;  (** PerpLE for convertible, litmus7-user otherwise. *)
+  campaign_speedup : float;
+  mean_detection_improvement : float;
+      (** Across convertible allowed-target tests with nonzero baseline. *)
+  perple_only : int;
+      (** Convertible allowed tests where only PerpLE found the target. *)
+}
+
+val summarize : Common.params -> summary
+
+val render : Common.params -> string

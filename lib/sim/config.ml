@@ -1,0 +1,31 @@
+type model = Sc | Tso | Pso | Tso_store_reorder | Tso_fence_ignored
+
+type t = {
+  model : model;
+  progress_chance : float;
+  drain_chance : float;
+  buffer_capacity : int;
+  jitter_chance : float;
+  jitter_mean : int;
+}
+
+let default =
+  {
+    model = Tso;
+    progress_chance = 0.9;
+    drain_chance = 0.55;
+    buffer_capacity = 8;
+    jitter_chance = 0.002;
+    jitter_mean = 400;
+  }
+
+let model_name = function
+  | Sc -> "sc"
+  | Tso -> "tso"
+  | Pso -> "pso"
+  | Tso_store_reorder -> "tso+store-reorder-bug"
+  | Tso_fence_ignored -> "tso+fence-ignored-bug"
+
+let with_model model t = { t with model }
+
+let no_jitter t = { t with jitter_chance = 0.0 }

@@ -1,0 +1,53 @@
+(** Configuration of the simulated multicore machine.
+
+    This is the substitution for the paper's hardware under test (an Intel
+    Xeon cluster): a discrete-round simulator in which every round each
+    thread may execute one instruction, store buffers drain probabilistically
+    and the OS-jitter model occasionally preempts a thread for a long burst —
+    the source of the wide thread-skew distribution of the paper's Fig 12.
+
+    The [model] field selects the consistency behaviour.  [Tso] is the
+    x86-TSO abstract machine and is the default; the buggy variants violate
+    it in controlled ways so that forbidden target outcomes become observable
+    and the violation-detection workflow can be demonstrated end to end. *)
+
+type model =
+  | Sc  (** Stores bypass the buffer: sequential consistency. *)
+  | Tso  (** FIFO store buffer with forwarding: x86-TSO. *)
+  | Pso
+      (** Store buffer FIFO per location only: stores to different
+          locations drain out of order (SPARC-PSO-style; the weaker-model
+          extension the paper's conclusion gestures at).  Coherence is
+          preserved, unlike {!Tso_store_reorder}. *)
+  | Tso_store_reorder
+      (** Buggy: the buffer drains in random order, so same-thread stores
+          can be reordered (breaks e.g. [mp]). *)
+  | Tso_fence_ignored
+      (** Buggy: [MFENCE] neither drains nor waits (breaks e.g. [amd5]). *)
+
+type t = {
+  model : model;
+  progress_chance : float;
+      (** Per round, the chance a runnable thread executes its next
+          instruction; models per-core speed variation. *)
+  drain_chance : float;
+      (** Per round, the chance a non-empty store buffer drains one entry. *)
+  buffer_capacity : int;
+      (** Stores stall when the buffer is full. *)
+  jitter_chance : float;
+      (** Per instruction attempt, the chance the thread is preempted. *)
+  jitter_mean : int;
+      (** Mean preemption length in rounds (geometric). *)
+}
+
+val default : t
+(** TSO with moderate buffering and OS jitter; the configuration used by the
+    paper-reproduction experiments. *)
+
+val model_name : model -> string
+
+val with_model : model -> t -> t
+
+val no_jitter : t -> t
+(** Same machine without preemption bursts; useful in unit tests that need
+    tightly interleaved threads. *)

@@ -1,0 +1,308 @@
+module Rng = Perple_util.Rng
+
+type barrier = No_barrier | Every_iteration of { cost : int; max_release_skew : int }
+
+type event =
+  | Exec of { thread : int; iteration : int; instr : Program.instr; value : int }
+  | Drain of { thread : int; loc : int; value : int }
+  | Barrier_release
+  | Stall of { thread : int; until : int }
+
+type stats = {
+  rounds : int;
+  instructions : int;
+  drains : int;
+  barriers : int;
+  stalls : int;
+}
+
+(* A store-buffer entry: destination cell and value. *)
+type entry = { loc : int; cell : int; value : int }
+
+type thread_state = {
+  mutable pc : int;
+  mutable iteration : int;
+  mutable buffer : entry list;  (* oldest first *)
+  mutable stall_until : int;
+  mutable waiting : bool;  (* at the barrier *)
+  mutable finished : bool;
+  regs : int array;
+}
+
+let image_uses_indexed (image : Program.image) =
+  Array.exists
+    (fun (t : Program.thread) ->
+      Array.exists
+        (function
+          | Program.Store { addr = Program.Indexed; _ }
+          | Program.Load { addr = Program.Indexed; _ } ->
+            true
+          | Program.Store _ | Program.Load _ | Program.Fence -> false)
+        t.body)
+    image.programs
+
+let run ?on_iteration_end ?on_sample ?on_event ?(sample_interval = 64)
+    ~config ~rng ~image ~iterations ~barrier () =
+  if iterations <= 0 then invalid_arg "Machine.run: iterations must be > 0";
+  let nthreads = Array.length image.Program.programs in
+  let nlocs = Array.length image.Program.location_names in
+  let cells = if image_uses_indexed image then iterations else 1 in
+  let memory =
+    Array.init nlocs (fun l -> Array.make cells image.Program.init.(l))
+  in
+  let threads =
+    Array.map
+      (fun (p : Program.thread) ->
+        {
+          pc = 0;
+          iteration = 0;
+          buffer = [];
+          stall_until = 0;
+          waiting = false;
+          finished = false;
+          regs = Array.make (max 1 p.reg_count) 0;
+        })
+      image.Program.programs
+  in
+  let clock = ref 0 in
+  let last_progress = ref 0 in
+  let instructions = ref 0 in
+  let drains = ref 0 in
+  let barriers = ref 0 in
+  let stalls = ref 0 in
+  let cell_of addr (st : thread_state) =
+    match (addr : Program.addressing) with
+    | Program.Shared -> 0
+    | Program.Indexed -> st.iteration
+  in
+  let forwarded st loc cell =
+    List.fold_left
+      (fun acc e -> if e.loc = loc && e.cell = cell then Some e.value else acc)
+      None st.buffer
+  in
+  let emit event =
+    match on_event with
+    | Some hook -> hook ~round:!clock event
+    | None -> ()
+  in
+  let drain_one t st =
+    last_progress := !clock;
+    match st.buffer with
+    | [] -> ()
+    | oldest :: rest ->
+      let entry, remaining =
+        match config.Config.model with
+        | Config.Tso_store_reorder ->
+          (* Buggy hardware: any buffered entry may drain first. *)
+          let n = List.length st.buffer in
+          let i = Rng.int rng n in
+          let chosen = List.nth st.buffer i in
+          (chosen, List.filteri (fun j _ -> j <> i) st.buffer)
+        | Config.Pso ->
+          (* Oldest entry of a uniformly chosen buffered location: FIFO per
+             location, reorderable across locations. *)
+          let locs =
+            List.sort_uniq compare (List.map (fun e -> e.loc) st.buffer)
+          in
+          let loc = List.nth locs (Rng.int rng (List.length locs)) in
+          let chosen =
+            List.find (fun e -> e.loc = loc) st.buffer
+          in
+          let removed = ref false in
+          let remaining =
+            List.filter
+              (fun e ->
+                if (not !removed) && e == chosen then begin
+                  removed := true;
+                  false
+                end
+                else true)
+              st.buffer
+          in
+          (chosen, remaining)
+        | Config.Sc | Config.Tso | Config.Tso_fence_ignored ->
+          (oldest, rest)
+      in
+      st.buffer <- remaining;
+      memory.(entry.loc).(entry.cell) <- entry.value;
+      emit (Drain { thread = t; loc = entry.loc; value = entry.value });
+      incr drains
+  in
+  let finish_iteration t st =
+    (match on_iteration_end with
+    | Some hook -> hook ~thread:t ~iteration:st.iteration ~regs:st.regs
+    | None -> ());
+    match barrier with
+    | No_barrier ->
+      st.iteration <- st.iteration + 1;
+      st.pc <- 0;
+      if st.iteration >= iterations then st.finished <- true
+    | Every_iteration _ -> st.waiting <- true
+  in
+  let execute t st =
+    last_progress := !clock;
+    let program = image.Program.programs.(t) in
+    let instr = program.body.(st.pc) in
+    match instr with
+    | Program.Store { loc; addr; value } ->
+      let stored = Program.eval_operand value ~iteration:st.iteration in
+      if
+        config.Config.model = Config.Sc
+      then begin
+        memory.(loc).(cell_of addr st) <- stored;
+        st.pc <- st.pc + 1;
+        incr instructions;
+        emit
+          (Exec { thread = t; iteration = st.iteration; instr; value = stored })
+      end
+      else if List.length st.buffer >= config.Config.buffer_capacity then
+        () (* stall: buffer full, retry next round *)
+      else begin
+        st.buffer <-
+          st.buffer @ [ { loc; cell = cell_of addr st; value = stored } ];
+        st.pc <- st.pc + 1;
+        incr instructions;
+        emit
+          (Exec { thread = t; iteration = st.iteration; instr; value = stored })
+      end
+    | Program.Load { loc; addr; reg } ->
+      let cell = cell_of addr st in
+      let value =
+        match
+          if config.Config.model = Config.Sc then None
+          else forwarded st loc cell
+        with
+        | Some v -> v
+        | None -> memory.(loc).(cell)
+      in
+      st.regs.(reg) <- value;
+      st.pc <- st.pc + 1;
+      incr instructions;
+      emit (Exec { thread = t; iteration = st.iteration; instr; value })
+    | Program.Fence ->
+      (match config.Config.model with
+      | Config.Tso_fence_ignored | Config.Sc ->
+        st.pc <- st.pc + 1;
+        incr instructions;
+        emit (Exec { thread = t; iteration = st.iteration; instr; value = 0 })
+      | Config.Tso | Config.Pso | Config.Tso_store_reorder ->
+        if st.buffer = [] then begin
+          st.pc <- st.pc + 1;
+          incr instructions;
+          emit
+            (Exec { thread = t; iteration = st.iteration; instr; value = 0 })
+        end
+        (* else stall until the buffer drains *))
+  in
+  let all_finished () = Array.for_all (fun st -> st.finished) threads in
+  let all_waiting () =
+    Array.for_all (fun st -> st.finished || st.waiting) threads
+  in
+  while not (all_finished ()) do
+    incr clock;
+    if !clock - !last_progress > 2_000_000 then
+      failwith
+        "Machine.run: livelock (no instruction or drain for 2M rounds; is \
+         drain_chance 0 with a full store buffer?)";
+    (* Randomised round-robin offset avoids systematic thread bias. *)
+    let offset = Rng.int rng nthreads in
+    for i = 0 to nthreads - 1 do
+      let t = (i + offset) mod nthreads in
+      let st = threads.(t) in
+      if (not st.finished) && (not st.waiting) && st.stall_until <= !clock
+      then begin
+        if config.Config.jitter_chance > 0.0
+           && Rng.chance rng config.Config.jitter_chance
+        then begin
+          st.stall_until <-
+            !clock
+            + 1
+            + Rng.geometric rng (1.0 /. float_of_int config.Config.jitter_mean);
+          emit (Stall { thread = t; until = st.stall_until });
+          incr stalls
+        end
+        else if Rng.chance rng config.Config.progress_chance then begin
+          let program = image.Program.programs.(t) in
+          if st.pc >= Array.length program.body then finish_iteration t st
+          else execute t st;
+          (* A body may be empty (store-only thread with zero instructions
+             cannot happen, but guard anyway). *)
+          if (not st.finished) && (not st.waiting)
+             && st.pc >= Array.length program.body
+          then finish_iteration t st
+        end
+      end
+    done;
+    (* Drain phase. *)
+    Array.iteri
+      (fun t st ->
+        if st.buffer <> [] && Rng.chance rng config.Config.drain_chance then
+          drain_one t st)
+      threads;
+    (* Barrier rendezvous. *)
+    (match barrier with
+    | Every_iteration { cost; max_release_skew }
+      when all_waiting () && not (all_finished ()) ->
+      clock := !clock + cost;
+      Array.iter
+        (fun st ->
+          if not st.finished then begin
+            while st.buffer <> [] do
+              drain_one 0 st
+            done;
+            st.waiting <- false;
+            st.iteration <- st.iteration + 1;
+            st.pc <- 0;
+            st.stall_until <-
+              (if max_release_skew > 0 then
+                 !clock + Rng.int rng (max_release_skew + 1)
+               else 0);
+            if st.iteration >= iterations then st.finished <- true
+          end)
+        threads;
+      emit Barrier_release;
+      incr barriers
+    | Every_iteration _ | No_barrier -> ());
+    (match on_sample with
+    | Some hook when !clock mod sample_interval = 0 ->
+      hook ~round:!clock
+        ~iterations:(Array.map (fun st -> st.iteration) threads)
+    | Some _ | None -> ());
+    (* Fast-forward through provably idle spans: when every live,
+       non-waiting thread is stalled beyond the next round and no store
+       buffer has anything to drain, no event can occur until the earliest
+       stall expires — jump the clock there.  This keeps barrier release
+       skew and long jitter bursts from costing simulation time without
+       changing any observable behaviour. *)
+    if Array.for_all (fun st -> st.buffer = []) threads then begin
+      let earliest = ref max_int in
+      let all_idle =
+        Array.for_all
+          (fun st ->
+            if st.finished || st.waiting then true
+            else begin
+              if st.stall_until < !earliest then earliest := st.stall_until;
+              st.stall_until > !clock + 1
+            end)
+          threads
+      in
+      if all_idle && !earliest > !clock + 1 && !earliest < max_int then
+        clock := !earliest - 1
+    end
+  done;
+  (* Termination flush: on real hardware every buffered store eventually
+     reaches memory; drain the leftovers, one round each. *)
+  Array.iter
+    (fun st ->
+      while st.buffer <> [] do
+        incr clock;
+        drain_one 0 st
+      done)
+    threads;
+  {
+    rounds = !clock;
+    instructions = !instructions;
+    drains = !drains;
+    barriers = !barriers;
+    stalls = !stalls;
+  }

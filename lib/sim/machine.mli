@@ -1,0 +1,70 @@
+(** The simulated multicore machine.
+
+    Executes one {!Program.image} for a given number of iterations per
+    thread, under a {!Config.t}.  Time advances in rounds; in each round
+    every runnable thread may execute at most one instruction and every
+    non-empty store buffer may drain one entry.  The round counter is the
+    {e virtual clock}: harness-level costs (synchronisation barriers,
+    per-iteration bookkeeping, outcome counting) are charged against it by
+    {!Perple_harness}, which lets the reproduction compare testing runtimes
+    the way the paper's Fig 10 does without real x86 hardware. *)
+
+type barrier =
+  | No_barrier
+      (** Threads run all their iterations freely (perpetual tests, and
+          litmus7's [none] mode). *)
+  | Every_iteration of { cost : int; max_release_skew : int }
+      (** All threads rendezvous after each iteration; the rendezvous
+          advances the virtual clock by [cost] rounds and drains all store
+          buffers (a real barrier is long enough for buffers to empty).
+          On release each thread restarts after an independent uniform delay
+          in [\[0, max_release_skew\]] rounds — the start-time misalignment
+          that makes per-iteration thread interaction rare on real hardware
+          and distinguishes litmus7's synchronisation modes (a timebase
+          barrier aligns tightly; a pthread barrier poorly). *)
+
+type event =
+  | Exec of { thread : int; iteration : int; instr : Program.instr; value : int }
+      (** An instruction retired; [value] is the stored or loaded value
+          (0 for fences). *)
+  | Drain of { thread : int; loc : int; value : int }
+      (** A store-buffer entry became globally visible. *)
+  | Barrier_release  (** All threads passed the per-iteration barrier. *)
+  | Stall of { thread : int; until : int }  (** OS-jitter preemption. *)
+
+type stats = {
+  rounds : int;  (** Final virtual clock value. *)
+  instructions : int;  (** Instructions executed across all threads. *)
+  drains : int;  (** Store-buffer drain events. *)
+  barriers : int;  (** Barrier rendezvous performed. *)
+  stalls : int;  (** Jitter preemptions suffered. *)
+}
+
+val run :
+  ?on_iteration_end:(thread:int -> iteration:int -> regs:int array -> unit) ->
+  ?on_sample:(round:int -> iterations:int array -> unit) ->
+  ?on_event:(round:int -> event -> unit) ->
+  ?sample_interval:int ->
+  config:Config.t ->
+  rng:Perple_util.Rng.t ->
+  image:Program.image ->
+  iterations:int ->
+  barrier:barrier ->
+  unit ->
+  stats
+(** Runs every thread for [iterations] iterations of its body.
+
+    [on_iteration_end] fires when a thread finishes an iteration, with that
+    thread's register file (reused across calls — copy if retained).
+
+    [on_sample] fires every [sample_interval] rounds (default 64) with each
+    thread's current iteration index; used to measure ground-truth thread
+    skew against the paper's value-decoding estimate.
+
+    [on_event] observes every instruction retirement, buffer drain, barrier
+    release and jitter stall with the current virtual round — the machine's
+    execution trace (pretty-printed by {!Perple_harness.Trace} and the
+    [perple trace] command).  Observation only; the schedule is unchanged.
+
+    Memory for [Indexed] operands has one cell per iteration, as litmus7
+    allocates; [Shared] operands use a single cell per location. *)

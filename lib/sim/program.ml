@@ -1,0 +1,76 @@
+module Ast = Perple_litmus.Ast
+
+type operand = Const of int | Seq of { k : int; a : int }
+
+type addressing = Shared | Indexed
+
+type instr =
+  | Store of { loc : int; addr : addressing; value : operand }
+  | Load of { loc : int; addr : addressing; reg : int }
+  | Fence
+
+type thread = { body : instr array; reg_count : int }
+
+type image = {
+  programs : thread array;
+  location_names : string array;
+  init : int array;
+}
+
+let eval_operand op ~iteration =
+  match op with Const a -> a | Seq { k; a } -> (k * iteration) + a
+
+let compile_litmus test =
+  let names = Array.of_list (Ast.locations test) in
+  let id_of name =
+    let rec find i =
+      if i >= Array.length names then raise Not_found
+      else if names.(i) = name then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  let compile_thread program =
+    let reg_count = ref 0 in
+    let body =
+      Array.map
+        (fun instr ->
+          match instr with
+          | Ast.Store (x, a) ->
+            Store { loc = id_of x; addr = Indexed; value = Const a }
+          | Ast.Load (r, x) ->
+            reg_count := max !reg_count (r + 1);
+            Load { loc = id_of x; addr = Indexed; reg = r }
+          | Ast.Mfence -> Fence)
+        program
+    in
+    { body; reg_count = !reg_count }
+  in
+  {
+    programs = Array.map compile_thread test.Ast.threads;
+    location_names = names;
+    init = Array.map (fun x -> Ast.initial_value test x) names;
+  }
+
+let location_id image name =
+  let rec find i =
+    if i >= Array.length image.location_names then raise Not_found
+    else if image.location_names.(i) = name then i
+    else find (i + 1)
+  in
+  find 0
+
+let pp_instr ~location_names ppf = function
+  | Store { loc; addr; value } ->
+    let value_str =
+      match value with
+      | Const a -> string_of_int a
+      | Seq { k; a } -> Printf.sprintf "%d*n+%d" k a
+    in
+    Format.fprintf ppf "[%s%s] <- %s" location_names.(loc)
+      (match addr with Shared -> "" | Indexed -> "[n]")
+      value_str
+  | Load { loc; addr; reg } ->
+    Format.fprintf ppf "r%d <- [%s%s]" reg location_names.(loc)
+      (match addr with Shared -> "" | Indexed -> "[n]")
+  | Fence -> Format.fprintf ppf "mfence"

@@ -1,0 +1,44 @@
+(** Executable thread programs for the simulated machine.
+
+    The machine executes a lower-level representation than
+    {!Perple_litmus.Ast}: locations are interned to integers, store values
+    may depend on the executing thread's iteration index (the arithmetic
+    sequences of perpetual tests, paper Sec III-B), and memory operands can
+    be per-iteration indexed (litmus7 allocates one cell per iteration so
+    that unsynchronised iterations do not pollute each other). *)
+
+type operand =
+  | Const of int  (** The literal constant of an ordinary litmus test. *)
+  | Seq of { k : int; a : int }
+      (** [k * n + a] where [n] is the executing thread's iteration index —
+          a perpetual test's arithmetic sequence. *)
+
+type addressing =
+  | Shared  (** One memory cell per location (perpetual tests). *)
+  | Indexed
+      (** Cell [n] of the location's array, where [n] is the executing
+          thread's iteration (litmus7-style per-iteration cells). *)
+
+type instr =
+  | Store of { loc : int; addr : addressing; value : operand }
+  | Load of { loc : int; addr : addressing; reg : int }
+  | Fence
+
+type thread = { body : instr array; reg_count : int }
+
+type image = {
+  programs : thread array;  (** One entry per test thread. *)
+  location_names : string array;  (** Interned location id -> name. *)
+  init : int array;  (** Initial value per location id. *)
+}
+
+val eval_operand : operand -> iteration:int -> int
+
+val compile_litmus : Perple_litmus.Ast.t -> image
+(** The litmus7-style image: constants, per-iteration indexed cells.  This
+    is the baseline representation the paper's Sec III-A describes. *)
+
+val location_id : image -> string -> int
+(** Interned id of a location name.  @raise Not_found if unknown. *)
+
+val pp_instr : location_names:string array -> Format.formatter -> instr -> unit

@@ -1,0 +1,99 @@
+let scale_value ~log_scale v =
+  if v < 0.0 then invalid_arg "Chart: negative value";
+  if log_scale then log10 (1.0 +. v) else v
+
+let bar_string ~width ~max_scaled scaled =
+  if max_scaled <= 0.0 then ""
+  else begin
+    let n = int_of_float (Float.round (scaled /. max_scaled *. float_of_int width)) in
+    String.make (max 0 n) '#'
+  end
+
+let value_label v =
+  if Float.is_integer v && Float.abs v < 1e7 then Printf.sprintf "%.0f" v
+  else if Float.abs v >= 1e5 || (Float.abs v < 1e-2 && v <> 0.0) then
+    Printf.sprintf "%.2e" v
+  else Printf.sprintf "%.3f" v
+
+let hbar ?(width = 50) ?(log_scale = false) series =
+  let scaled = List.map (fun (_, v) -> scale_value ~log_scale v) series in
+  let max_scaled = List.fold_left Float.max 0.0 scaled in
+  let label_width =
+    List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 series
+  in
+  let buf = Buffer.create 256 in
+  List.iter2
+    (fun (label, v) s ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-*s |%s %s\n" label_width label
+           (bar_string ~width ~max_scaled s)
+           (value_label v)))
+    series scaled;
+  Buffer.contents buf
+
+let grouped_hbar ?(width = 40) ?(log_scale = false) ~group_labels ~series () =
+  let groups = List.length group_labels in
+  List.iter
+    (fun (name, values) ->
+      if Array.length values <> groups then
+        invalid_arg
+          (Printf.sprintf
+             "Chart.grouped_hbar: series %S has %d values for %d groups" name
+             (Array.length values) groups))
+    series;
+  let max_scaled =
+    List.fold_left
+      (fun acc (_, values) ->
+        Array.fold_left
+          (fun acc v -> Float.max acc (scale_value ~log_scale v))
+          acc values)
+      0.0 series
+  in
+  let series_width =
+    List.fold_left (fun acc (name, _) -> max acc (String.length name)) 0 series
+  in
+  let buf = Buffer.create 1024 in
+  List.iteri
+    (fun gi glabel ->
+      Buffer.add_string buf glabel;
+      Buffer.add_char buf '\n';
+      List.iter
+        (fun (name, values) ->
+          let v = values.(gi) in
+          Buffer.add_string buf
+            (Printf.sprintf "  %-*s |%s %s\n" series_width name
+               (bar_string ~width ~max_scaled (scale_value ~log_scale v))
+               (value_label v)))
+        series)
+    group_labels;
+  Buffer.contents buf
+
+let density ?(width = 70) ?(height = 12) pdf =
+  match pdf with
+  | [] -> "(empty distribution)\n"
+  | _ ->
+    let sorted = List.sort (fun (a, _) (b, _) -> compare a b) pdf in
+    let lo = fst (List.hd sorted) in
+    let hi = fst (List.nth sorted (List.length sorted - 1)) in
+    let span = hi - lo + 1 in
+    let columns = min width span in
+    let bin v = min (columns - 1) ((v - lo) * columns / span) in
+    let col_mass = Array.make columns 0.0 in
+    List.iter (fun (v, p) -> col_mass.(bin v) <- col_mass.(bin v) +. p) sorted;
+    let max_mass = Array.fold_left Float.max 0.0 col_mass in
+    let buf = Buffer.create 1024 in
+    for row = height downto 1 do
+      let threshold = float_of_int row /. float_of_int height *. max_mass in
+      Buffer.add_string buf
+        (if row = height then Printf.sprintf "%8.4f |" max_mass
+         else "         |");
+      Array.iter
+        (fun m -> Buffer.add_char buf (if m >= threshold then '#' else ' '))
+        col_mass;
+      Buffer.add_char buf '\n'
+    done;
+    Buffer.add_string buf ("         +" ^ String.make columns '-' ^ "\n");
+    Buffer.add_string buf
+      (Printf.sprintf "          %-*d%*d\n" (columns / 2) lo
+         (columns - (columns / 2)) hi);
+    Buffer.contents buf

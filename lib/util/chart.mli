@@ -1,0 +1,28 @@
+(** ASCII charts for figure reproduction.
+
+    The paper's figures are bar charts (Fig 9, 10, 11, 13) and one
+    probability-density plot (Fig 12).  These renderers print the same data
+    as labelled horizontal bars so that figure shape is visible directly in
+    terminal output and in [bench_output.txt]. *)
+
+val hbar :
+  ?width:int -> ?log_scale:bool -> (string * float) list -> string
+(** [hbar series] renders one horizontal bar per (label, value).  With
+    [log_scale] the bar length is proportional to [log10 (1 + value)], which
+    matches the paper's log-scale figures.  Values must be non-negative.
+    Default [width] is 50 characters for the longest bar. *)
+
+val grouped_hbar :
+  ?width:int -> ?log_scale:bool ->
+  group_labels:string list ->
+  series:(string * float array) list ->
+  unit -> string
+(** Grouped bars, e.g. one group per litmus test and one bar per tool within
+    the group.  [series] gives (tool name, per-group values); every value
+    array must have one entry per group label. *)
+
+val density :
+  ?width:int -> ?height:int -> (int * float) list -> string
+(** [density pdf] renders an empirical PDF over integer values (Fig 12) as a
+    column plot: x is the value, column height is probability.  Input order
+    does not matter; the domain is binned down to at most [width] columns. *)

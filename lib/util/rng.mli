@@ -1,0 +1,49 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomness in the repository flows through this module so that every
+    simulation, harness run and experiment is reproducible from a single
+    integer seed.  The generator is SplitMix64 (Steele, Lea & Flood 2014),
+    which is fast, has a 64-bit state, passes BigCrush, and supports cheap
+    splitting — convenient for giving each simulated thread its own
+    independent stream. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator.  Generators created from equal
+    seeds produce equal streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator that continues [t]'s stream; the
+    original is unaffected by draws on the copy. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    statistically independent of [t]'s subsequent output. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val chance : t -> float -> bool
+(** [chance t p] is true with probability [p] (clamped to [\[0, 1\]]). *)
+
+val geometric : t -> float -> int
+(** [geometric t p] draws the number of failures before the first success in
+    Bernoulli(p) trials; used for burst lengths in the jitter model.
+    [p] must be in (0, 1]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)

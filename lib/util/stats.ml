@@ -1,0 +1,114 @@
+let mean a =
+  let n = Array.length a in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 a /. float_of_int n
+
+let geomean a =
+  let n = Array.length a in
+  if n = 0 then 1.0
+  else begin
+    let sum_logs = ref 0.0 in
+    Array.iter
+      (fun x ->
+        if x <= 0.0 then invalid_arg "Stats.geomean: non-positive entry";
+        sum_logs := !sum_logs +. log x)
+      a;
+    exp (!sum_logs /. float_of_int n)
+  end
+
+let stddev a =
+  let n = Array.length a in
+  if n < 2 then 0.0
+  else begin
+    let m = mean a in
+    let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 a in
+    sqrt (acc /. float_of_int n)
+  end
+
+let sorted_copy a =
+  let b = Array.copy a in
+  Array.sort compare b;
+  b
+
+let percentile a p =
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else begin
+    let b = sorted_copy a in
+    let p = Float.max 0.0 (Float.min 100.0 p) in
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    if lo = hi then b.(lo)
+    else begin
+      let frac = rank -. float_of_int lo in
+      b.(lo) +. (frac *. (b.(hi) -. b.(lo)))
+    end
+  end
+
+let median a = percentile a 50.0
+
+let minimum a = Array.fold_left Float.min infinity a
+let maximum a = Array.fold_left Float.max neg_infinity a
+
+module Int_map = Map.Make (Int)
+
+module Histogram = struct
+  type t = { mutable counts : int Int_map.t; mutable total : int }
+
+  let create () = { counts = Int_map.empty; total = 0 }
+
+  let add_many h v n =
+    if n < 0 then invalid_arg "Histogram.add_many: negative count";
+    if n > 0 then begin
+      let prev = Option.value ~default:0 (Int_map.find_opt v h.counts) in
+      h.counts <- Int_map.add v (prev + n) h.counts;
+      h.total <- h.total + n
+    end
+
+  let add h v = add_many h v 1
+
+  let count h v = Option.value ~default:0 (Int_map.find_opt v h.counts)
+
+  let total h = h.total
+
+  let bindings h = Int_map.bindings h.counts
+
+  let pdf h =
+    if h.total = 0 then []
+    else begin
+      let denom = float_of_int h.total in
+      List.map (fun (v, c) -> (v, float_of_int c /. denom)) (bindings h)
+    end
+
+  let mean h =
+    if h.total = 0 then 0.0
+    else begin
+      let acc =
+        Int_map.fold
+          (fun v c acc -> acc +. (float_of_int v *. float_of_int c))
+          h.counts 0.0
+      in
+      acc /. float_of_int h.total
+    end
+
+  let stddev h =
+    if h.total < 2 then 0.0
+    else begin
+      let m = mean h in
+      let acc =
+        Int_map.fold
+          (fun v c acc ->
+            acc +. (float_of_int c *. ((float_of_int v -. m) ** 2.0)))
+          h.counts 0.0
+      in
+      sqrt (acc /. float_of_int h.total)
+    end
+
+  let range h =
+    if h.total = 0 then None
+    else begin
+      let lo, _ = Int_map.min_binding h.counts in
+      let hi, _ = Int_map.max_binding h.counts in
+      Some (lo, hi)
+    end
+end

@@ -1,0 +1,55 @@
+(** Small statistics toolkit used by the experiment drivers: means,
+    geometric means (the paper reports geomean speedups), percentiles, and
+    integer-valued histograms / empirical PDFs (Fig 12). *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 on the empty array. *)
+
+val geomean : float array -> float
+(** Geometric mean of strictly positive values; raises [Invalid_argument] on
+    non-positive entries, returns 1.0 on the empty array. *)
+
+val stddev : float array -> float
+(** Population standard deviation; 0 on arrays of length < 2. *)
+
+val median : float array -> float
+(** Median (does not modify its argument); 0 on the empty array. *)
+
+val percentile : float array -> float -> float
+(** [percentile a p] for [p] in [\[0, 100\]], nearest-rank with linear
+    interpolation; does not modify its argument. *)
+
+val minimum : float array -> float
+val maximum : float array -> float
+
+(** Integer histograms keyed by arbitrary [int] values (e.g. thread skew,
+    which can be negative). *)
+module Histogram : sig
+  type t
+
+  val create : unit -> t
+
+  val add : t -> int -> unit
+  (** Count one observation of the given value. *)
+
+  val add_many : t -> int -> int -> unit
+  (** [add_many h v n] counts [n] observations of [v]. *)
+
+  val count : t -> int -> int
+  (** Observations of one value. *)
+
+  val total : t -> int
+  (** Total number of observations. *)
+
+  val bindings : t -> (int * int) list
+  (** All (value, count) pairs in increasing value order. *)
+
+  val pdf : t -> (int * float) list
+  (** Empirical probability of each observed value, increasing value order. *)
+
+  val mean : t -> float
+  val stddev : t -> float
+
+  val range : t -> (int * int) option
+  (** Smallest and largest observed values, or [None] if empty. *)
+end

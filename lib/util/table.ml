@@ -1,0 +1,86 @@
+type align = Left | Right
+
+type row = Cells of string list | Separator
+
+type t = {
+  headers : string list;
+  width : int;
+  mutable aligns : align array;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ~headers =
+  if headers = [] then invalid_arg "Table.create: no headers";
+  {
+    headers;
+    width = List.length headers;
+    aligns = Array.make (List.length headers) Left;
+    rows = [];
+  }
+
+let set_align t i a =
+  if i < 0 || i >= t.width then invalid_arg "Table.set_align: bad column";
+  t.aligns.(i) <- a
+
+let add_row t cells =
+  if List.length cells <> t.width then
+    invalid_arg "Table.add_row: wrong number of cells";
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let to_string t =
+  let rows = List.rev t.rows in
+  let widths = Array.of_list (List.map String.length t.headers) in
+  let note_row = function
+    | Separator -> ()
+    | Cells cells ->
+      List.iteri
+        (fun i c -> widths.(i) <- max widths.(i) (String.length c))
+        cells
+  in
+  List.iter note_row rows;
+  let pad i s =
+    let w = widths.(i) in
+    let n = w - String.length s in
+    if n <= 0 then s
+    else begin
+      match t.aligns.(i) with
+      | Left -> s ^ String.make n ' '
+      | Right -> String.make n ' ' ^ s
+    end
+  in
+  let buf = Buffer.create 256 in
+  let emit_cells cells =
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf " | ";
+        Buffer.add_string buf (pad i c))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  let emit_rule () =
+    Array.iteri
+      (fun i w ->
+        if i > 0 then Buffer.add_string buf "-+-";
+        Buffer.add_string buf (String.make w '-'))
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  emit_cells t.headers;
+  emit_rule ();
+  List.iter
+    (function Cells cells -> emit_cells cells | Separator -> emit_rule ())
+    rows;
+  Buffer.contents buf
+
+let print t = print_string (to_string t)
+
+let float_cell ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+
+let ratio_cell x =
+  if Float.is_nan x then "n/a"
+  else if Float.abs x >= 1e4 then Printf.sprintf "%.1ex" x
+  else if Float.is_integer x then Printf.sprintf "%.0fx" x
+  else if Float.abs x >= 10.0 then Printf.sprintf "%.1fx" x
+  else Printf.sprintf "%.2fx" x

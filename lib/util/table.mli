@@ -1,0 +1,39 @@
+(** Plain-text table rendering for experiment output.
+
+    The report drivers print the same rows as the paper's tables and figures;
+    this module handles column sizing and alignment so every driver produces
+    uniform output. *)
+
+type align = Left | Right
+
+type t
+
+val create : headers:string list -> t
+(** A table with one column per header.  Columns default to left alignment;
+    use {!set_align} for numeric columns. *)
+
+val set_align : t -> int -> align -> unit
+(** [set_align t i a] sets the alignment of the [i]-th column. *)
+
+val add_row : t -> string list -> unit
+(** Rows must have exactly as many cells as there are headers. *)
+
+val add_separator : t -> unit
+(** Insert a horizontal rule between the rows added so far and the next. *)
+
+val to_string : t -> string
+(** Render with a header rule, e.g.
+    {v
+    test     | T | TL
+    ---------+---+---
+    sb       | 2 | 2
+    v} *)
+
+val print : t -> unit
+(** [to_string] to stdout followed by a newline. *)
+
+val float_cell : ?decimals:int -> float -> string
+(** Fixed-point formatting helper, default 2 decimals. *)
+
+val ratio_cell : float -> string
+(** Format a speedup/improvement ratio compactly: ["8.89x"], ["3.1e4x"]. *)

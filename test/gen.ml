@@ -1,0 +1,103 @@
+(* QCheck generators for random-but-valid litmus tests.
+
+   Generated tests satisfy Ast.validate by construction: store constants
+   are globally unique per location, each register is loaded at most once
+   per thread (registers are numbered by load order), and conditions only
+   mention loaded registers with storable values. *)
+
+module Ast = Perple_litmus.Ast
+module Outcome = Perple_litmus.Outcome
+
+let locations = [ "x"; "y"; "z" ]
+
+(* A random test with [threads] threads of up to [max_instrs] instructions
+   each.  Constants per location are assigned 1, 2, 3... in generation
+   order, so they stay unique. *)
+let test_gen ?(max_threads = 3) ?(max_instrs = 3) () =
+  let open QCheck.Gen in
+  let* nthreads = int_range 2 max_threads in
+  let next_const = Hashtbl.create 4 in
+  let fresh_const loc =
+    let c = 1 + Option.value ~default:0 (Hashtbl.find_opt next_const loc) in
+    Hashtbl.replace next_const loc c;
+    c
+  in
+  let instr_gen ~next_reg =
+    let* choice = int_range 0 9 in
+    let* loc = oneofl locations in
+    if choice < 4 then begin
+      let reg = !next_reg in
+      incr next_reg;
+      return (Ast.Load (reg, loc))
+    end
+    else if choice < 9 then return (Ast.Store (loc, fresh_const loc))
+    else return Ast.Mfence
+  in
+  let thread_gen =
+    let* len = int_range 1 max_instrs in
+    let next_reg = ref 0 in
+    let rec build n acc =
+      if n = 0 then return (List.rev acc)
+      else
+        let* instr = instr_gen ~next_reg in
+        build (n - 1) (instr :: acc)
+    in
+    build len []
+  in
+  let rec build_threads n acc =
+    if n = 0 then return (List.rev acc)
+    else
+      let* t = thread_gen in
+      build_threads (n - 1) (t :: acc)
+  in
+  let* threads = build_threads nthreads [] in
+  (* Ensure at least one load exists so conditions are non-trivial. *)
+  let threads =
+    if
+      List.exists
+        (List.exists (function Ast.Load _ -> true | _ -> false))
+        threads
+    then threads
+    else
+      (match threads with
+      | first :: rest ->
+        (* No thread has a load, so register 0 is free in [first]. *)
+        (Ast.Load (0, "x") :: first) :: rest
+      | [] -> [ [ Ast.Load (0, "x") ] ])
+  in
+  let test =
+    Ast.make ~name:"random" ~threads
+      ~condition:{ Ast.quantifier = Ast.Exists; atoms = [] }
+      ()
+  in
+  (* Random register condition: pick a subset of loads with feasible
+     values. *)
+  let loads = Outcome.loads test in
+  let* atoms =
+    let rec pick = function
+      | [] -> return []
+      | (thread, reg, loc) :: rest ->
+        let* keep = bool in
+        if not keep then pick rest
+        else begin
+          let values = 0 :: Ast.store_constants test loc in
+          let* value = oneofl values in
+          let* tail = pick rest in
+          return (Ast.Reg_eq (thread, reg, value) :: tail)
+        end
+    in
+    pick loads
+  in
+  return
+    {
+      test with
+      Ast.condition = { Ast.quantifier = Ast.Exists; atoms };
+    }
+
+let shrink_test _ = QCheck.Iter.empty
+
+let arbitrary_test ?max_threads ?max_instrs () =
+  QCheck.make
+    ~print:(fun t -> Perple_litmus.Printer.to_string t)
+    ~shrink:shrink_test
+    (test_gen ?max_threads ?max_instrs ())

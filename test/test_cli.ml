@@ -1,0 +1,157 @@
+(* End-to-end tests of the perple CLI binary: every subcommand runs, exits
+   zero on valid input and nonzero with a useful message on invalid input.
+   The binary is a declared dune dependency, available at a stable relative
+   path inside the build sandbox. *)
+
+let check = Alcotest.check
+
+let binary =
+  lazy
+    (List.find_opt Sys.file_exists
+       [ "../bin/perple.exe"; "_build/default/bin/perple.exe" ])
+
+let have_binary = lazy (Lazy.force binary <> None)
+
+let binary_path () = Option.get (Lazy.force binary)
+
+let scratch = Filename.concat (Filename.get_temp_dir_name ()) "perple-cli-test"
+
+(* Run the CLI; return (exit code, stdout+stderr). *)
+let run_cli args =
+  ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote scratch)));
+  Sys.mkdir scratch 0o755;
+  let out = Filename.concat scratch "out.txt" in
+  let cmd =
+    Printf.sprintf "%s %s > %s 2>&1"
+      (Filename.quote (binary_path ()))
+      args (Filename.quote out)
+  in
+  let code = Sys.command cmd in
+  let ic = open_in out in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  (code, text)
+
+let contains ~sub s =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  go 0
+
+let expect_ok ?(grep = "") args =
+  if Lazy.force have_binary then begin
+    let code, text = run_cli args in
+    if code <> 0 then
+      Alcotest.failf "perple %s exited %d:\n%s" args code text;
+    if grep <> "" && not (contains ~sub:grep text) then
+      Alcotest.failf "perple %s: %S not found in output:\n%s" args grep text
+  end
+
+let expect_fail ?(grep = "") args =
+  if Lazy.force have_binary then begin
+    let code, text = run_cli args in
+    if code = 0 then Alcotest.failf "perple %s unexpectedly succeeded" args;
+    if grep <> "" && not (contains ~sub:grep text) then
+      Alcotest.failf "perple %s: %S not found in error output:\n%s" args grep
+        text
+  end
+
+let test_help () = expect_ok ~grep:"COMMANDS" "--help"
+
+let test_list () = expect_ok ~grep:"podwr001" "list"
+
+let test_show () = expect_ok ~grep:"convertible to perpetual form: yes" "show sb"
+
+let test_show_non_convertible () =
+  expect_ok ~grep:"convertible to perpetual form: no" "show 2+2w"
+
+let test_check () = expect_ok ~grep:"axiomatic checker agrees: true" "check lb"
+
+let test_convert () =
+  expect_ok ~grep:"buf1[m] >= n + 1" "convert sb"
+
+let test_run () =
+  expect_ok ~grep:"target detection rate" "run sb -n 500 --seed 2"
+
+let test_run_pso () =
+  expect_ok ~grep:"model pso" "run mp -n 500 --model pso"
+
+let test_run_stress () = expect_ok "run sb -n 300 --stress 2"
+
+let test_litmus7 () =
+  expect_ok ~grep:"target occurrences" "litmus7 sb -n 300 --mode timebase"
+
+let test_trace () = expect_ok ~grep:"exec" "trace sb -n 3 --events 10"
+
+let test_generate () =
+  expect_ok ~grep:"checker verdict under TSO: forbidden"
+    "generate \"PodWW Rfe PodRR Fre\""
+
+let test_generate_named () = expect_ok ~grep:"PSO: allowed" "generate 2+2w"
+
+let test_emit () =
+  expect_ok ~grep:"sb_counth.c"
+    (Printf.sprintf "emit sb -o %s" (Filename.quote (scratch ^ "/emit")))
+
+let test_export () =
+  expect_ok ~grep:"sb.litmus"
+    (Printf.sprintf "export -o %s" (Filename.quote (scratch ^ "/litmus")))
+
+let test_experiment_table2 () =
+  expect_ok ~grep:"mismatches vs paper's grouping: 0" "experiment table2"
+
+let test_parse_file () =
+  if Lazy.force have_binary then begin
+    ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote scratch)));
+    Sys.mkdir scratch 0o755;
+    let path = Filename.concat scratch "own.litmus" in
+    let oc = open_out path in
+    output_string oc
+      "X86 own\n{ x=0; }\n P0          | P1          ;\n MOV [x],$1  | MOV \
+       EAX,[x] ;\nexists (1:EAX=1)\n";
+    close_out oc;
+    let code =
+      Sys.command
+        (Printf.sprintf "%s show %s > /dev/null 2>&1"
+           (Filename.quote (binary_path ()))
+           (Filename.quote path))
+    in
+    check Alcotest.int "file test accepted" 0 code
+  end
+
+let test_unknown_test () = expect_fail ~grep:"unknown test" "show nope"
+
+let test_bad_cycle () =
+  expect_fail ~grep:"communication" "generate \"PodWR PodRW\""
+
+let test_bad_model () = expect_fail "run sb --model alpha"
+
+let suite =
+  [
+    ( "cli",
+      [
+        Alcotest.test_case "--help" `Quick test_help;
+        Alcotest.test_case "list" `Quick test_list;
+        Alcotest.test_case "show" `Quick test_show;
+        Alcotest.test_case "show non-convertible" `Quick
+          test_show_non_convertible;
+        Alcotest.test_case "check" `Quick test_check;
+        Alcotest.test_case "convert" `Quick test_convert;
+        Alcotest.test_case "run" `Quick test_run;
+        Alcotest.test_case "run pso" `Quick test_run_pso;
+        Alcotest.test_case "run stress" `Quick test_run_stress;
+        Alcotest.test_case "litmus7" `Quick test_litmus7;
+        Alcotest.test_case "trace" `Quick test_trace;
+        Alcotest.test_case "generate" `Quick test_generate;
+        Alcotest.test_case "generate named" `Quick test_generate_named;
+        Alcotest.test_case "emit" `Quick test_emit;
+        Alcotest.test_case "export" `Quick test_export;
+        Alcotest.test_case "experiment table2" `Quick test_experiment_table2;
+        Alcotest.test_case "parse file" `Quick test_parse_file;
+        Alcotest.test_case "unknown test" `Quick test_unknown_test;
+        Alcotest.test_case "bad cycle" `Quick test_bad_cycle;
+        Alcotest.test_case "bad model" `Quick test_bad_model;
+      ] );
+  ]

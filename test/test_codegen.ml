@@ -1,0 +1,236 @@
+(* Tests for Perple_core.Codegen: golden fragments for sb (matching the
+   paper's Fig 6/8 conditions), structural checks across the suite, and —
+   when a C toolchain is present — compile checks of the emitted C and
+   assembly. *)
+
+module Outcome = Perple_litmus.Outcome
+module Catalog = Perple_litmus.Catalog
+module Convert = Perple_core.Convert
+module Codegen = Perple_core.Codegen
+
+let check = Alcotest.check
+
+let conv_of name = Result.get_ok (Convert.convert (Catalog.find_exn name))
+
+let contains ~sub s =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  go 0
+
+let assert_contains ~what ~sub s =
+  if not (contains ~sub s) then
+    Alcotest.failf "%s: expected to find %S" what sub
+
+let sb_files =
+  lazy
+    (Result.get_ok
+       (Codegen.all_files (conv_of "sb") ~outcomes:(Outcome.all Catalog.sb)))
+
+let file name =
+  let f =
+    List.find
+      (fun (f : Codegen.file) -> f.Codegen.filename = name)
+      (Lazy.force sb_files)
+  in
+  f.Codegen.content
+
+let test_file_set () =
+  let names =
+    List.map (fun (f : Codegen.file) -> f.Codegen.filename) (Lazy.force sb_files)
+  in
+  check
+    (Alcotest.list Alcotest.string)
+    "sb files"
+    [
+      "sb_thread_0.s"; "sb_thread_1.s"; "sb_count.c"; "sb_counth.c";
+      "sb_params.h"; "sb_harness.c"; "sb_c11.c";
+    ]
+    names
+
+let test_asm_golden () =
+  let asm = file "sb_thread_0.s" in
+  assert_contains ~what:"asm" ~sub:".globl perple_sb_thread_0" asm;
+  (* The arithmetic sequence 1*n + 1. *)
+  assert_contains ~what:"asm" ~sub:"leaq 1(%rcx), %rax" asm;
+  assert_contains ~what:"asm" ~sub:"movq %rax, x(%rip)" asm;
+  assert_contains ~what:"asm" ~sub:"movq y(%rip), %r8" asm;
+  (* buf write and loop control. *)
+  assert_contains ~what:"asm" ~sub:"movq %r8, (%rdi,%rcx,8)" asm;
+  assert_contains ~what:"asm" ~sub:"jb .Lt0_loop" asm
+
+let test_asm_k2_uses_imul () =
+  let conv = conv_of "rfi013" in
+  let f = Codegen.thread_asm conv ~thread:1 in
+  (* Thread 1's second store to x has k = 2: imulq $2. *)
+  assert_contains ~what:"rfi013 asm" ~sub:"imulq $2, %rcx, %rax"
+    f.Codegen.content
+
+let test_asm_fence_preserved () =
+  let conv = conv_of "amd5" in
+  let f = Codegen.thread_asm conv ~thread:0 in
+  assert_contains ~what:"amd5 asm" ~sub:"mfence" f.Codegen.content
+
+let test_count_golden () =
+  let c = file "sb_count.c" in
+  (* Fig 6 step 4: p_out_0 is buf0[n] <= m && buf1[m] <= n, emitted as
+     strict < with the sequence offset. *)
+  assert_contains ~what:"count.c" ~sub:"static inline int p_out_0" c;
+  assert_contains ~what:"count.c" ~sub:"if (!(v < m + 1)) return 0;" c;
+  assert_contains ~what:"count.c" ~sub:"void count_sb(long N" c;
+  (* Algorithm 1: the nested frame loops and else-if chain. *)
+  assert_contains ~what:"count.c" ~sub:"for (long n = 0; n < N; n++)" c;
+  assert_contains ~what:"count.c" ~sub:"for (long m = 0; m < N; m++)" c;
+  assert_contains ~what:"count.c" ~sub:"else if (p_out_1" c
+
+let test_counth_golden () =
+  let c = file "sb_counth.c" in
+  assert_contains ~what:"counth.c" ~sub:"static inline int p_out_h0" c;
+  (* Fig 8 step 5: m is derived from buf0[n]. *)
+  assert_contains ~what:"counth.c" ~sub:"m = (v - 1) / 1 + 1;" c;
+  assert_contains ~what:"counth.c" ~sub:"if (m < 0 || m >= N) return 0;" c;
+  assert_contains ~what:"counth.c" ~sub:"void counth_sb(long N" c
+
+let test_params_golden () =
+  let p = file "sb_params.h" in
+  assert_contains ~what:"params" ~sub:"#define t_0_reads 1" p;
+  assert_contains ~what:"params" ~sub:"#define t_1_reads 1" p;
+  assert_contains ~what:"params" ~sub:"#define n_threads 2" p
+
+let test_params_mp () =
+  let conv = conv_of "mp" in
+  let p = (Codegen.params_header conv).Codegen.content in
+  assert_contains ~what:"mp params" ~sub:"#define t_0_reads 0" p;
+  assert_contains ~what:"mp params" ~sub:"#define t_1_reads 2" p
+
+let test_harness_golden () =
+  let h = file "sb_harness.c" in
+  assert_contains ~what:"harness" ~sub:"pthread_barrier_wait" h;
+  assert_contains ~what:"harness" ~sub:"the only barrier" h;
+  assert_contains ~what:"harness" ~sub:"counth_sb(n, buf0, buf1, counts);" h
+
+let test_c11_golden () =
+  let c = file "sb_c11.c" in
+  assert_contains ~what:"c11" ~sub:"#include <stdatomic.h>" c;
+  assert_contains ~what:"c11" ~sub:"static _Atomic long x = 0;" c;
+  assert_contains ~what:"c11"
+    ~sub:"atomic_store_explicit(&x, n + 1, memory_order_relaxed);" c;
+  assert_contains ~what:"c11" ~sub:"counth_sb(n, buf0, buf1, counts);" c;
+  (* The fence mapping. *)
+  let conv = conv_of "amd5" in
+  let f =
+    Result.get_ok
+      (Codegen.c11_file conv
+         ~outcomes:(Outcome.all (Catalog.find_exn "amd5")))
+  in
+  assert_contains ~what:"amd5 c11"
+    ~sub:"atomic_thread_fence(memory_order_seq_cst);" f.Codegen.content
+
+let test_name_sanitisation () =
+  let conv = conv_of "amd5+staleld" in
+  let f = Codegen.params_header conv in
+  check Alcotest.string "sanitised" "amd5_staleld_params.h" f.Codegen.filename
+
+let test_n5_exact_in_c () =
+  let conv = conv_of "n5" in
+  let target = Result.get_ok (Outcome.of_condition (Catalog.find_exn "n5")) in
+  let f = Result.get_ok (Codegen.exhaustive_counter_c conv ~outcomes:[ target ]) in
+  (* Exact rf: equality, not >=. *)
+  assert_contains ~what:"n5 count.c" ~sub:"!= m) return 0;" f.Codegen.content
+
+let balanced_braces s =
+  let depth = ref 0 in
+  String.iter
+    (fun c ->
+      if c = '{' then incr depth
+      else if c = '}' then decr depth)
+    s;
+  !depth = 0
+
+let test_all_suite_emits () =
+  List.iter
+    (fun (e : Catalog.entry) ->
+      let test = e.Catalog.test in
+      let conv = Result.get_ok (Convert.convert test) in
+      match Codegen.all_files conv ~outcomes:(Outcome.all test) with
+      | Error m -> Alcotest.failf "%s emission failed: %s" test.Perple_litmus.Ast.name m
+      | Ok files ->
+        List.iter
+          (fun (f : Codegen.file) ->
+            if Filename.check_suffix f.Codegen.filename ".c" then begin
+              if not (balanced_braces f.Codegen.content) then
+                Alcotest.failf "%s: unbalanced braces" f.Codegen.filename
+            end)
+          files)
+    Catalog.suite
+
+(* Host toolchain checks: only run when cc is available. *)
+let have_cc =
+  lazy (Sys.command "cc --version >/dev/null 2>&1" = 0)
+
+let with_temp_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ()) "perple-codegen-test"
+  in
+  ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir)));
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir))))
+    (fun () -> f dir)
+
+let test_c_compiles () =
+  if not (Lazy.force have_cc) then ()
+  else
+    List.iter
+      (fun name ->
+        let test = Catalog.find_exn name in
+        let conv = Result.get_ok (Convert.convert test) in
+        let files =
+          Result.get_ok (Codegen.all_files conv ~outcomes:(Outcome.all test))
+        in
+        with_temp_dir (fun dir ->
+            Codegen.write_to_dir ~dir files;
+            List.iter
+              (fun (f : Codegen.file) ->
+                let path = Filename.concat dir f.Codegen.filename in
+                let cmd =
+                  if Filename.check_suffix path ".c" then
+                    Some
+                      (Printf.sprintf "cc -fsyntax-only -Wall %s 2>/dev/null"
+                         (Filename.quote path))
+                  else if Filename.check_suffix path ".s" then
+                    Some
+                      (Printf.sprintf "cc -c -o /dev/null %s 2>/dev/null"
+                         (Filename.quote path))
+                  else None
+                in
+                match cmd with
+                | Some cmd ->
+                  if Sys.command cmd <> 0 then
+                    Alcotest.failf "%s does not compile" f.Codegen.filename
+                | None -> ())
+              files))
+      [ "sb"; "mp"; "podwr001"; "co-iriw"; "n5"; "rfi013" ]
+
+let suite =
+  [
+    ( "core.codegen",
+      [
+        Alcotest.test_case "file set" `Quick test_file_set;
+        Alcotest.test_case "asm golden" `Quick test_asm_golden;
+        Alcotest.test_case "asm k=2 imul" `Quick test_asm_k2_uses_imul;
+        Alcotest.test_case "asm fence" `Quick test_asm_fence_preserved;
+        Alcotest.test_case "count.c golden" `Quick test_count_golden;
+        Alcotest.test_case "counth.c golden" `Quick test_counth_golden;
+        Alcotest.test_case "params golden" `Quick test_params_golden;
+        Alcotest.test_case "params mp" `Quick test_params_mp;
+        Alcotest.test_case "harness golden" `Quick test_harness_golden;
+        Alcotest.test_case "c11 golden" `Quick test_c11_golden;
+        Alcotest.test_case "name sanitisation" `Quick test_name_sanitisation;
+        Alcotest.test_case "n5 exact in C" `Quick test_n5_exact_in_c;
+        Alcotest.test_case "whole suite emits" `Quick test_all_suite_emits;
+        Alcotest.test_case "emitted code compiles (cc)" `Slow test_c_compiles;
+      ] );
+  ]

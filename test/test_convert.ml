@@ -1,0 +1,170 @@
+(* Tests for Perple_core.Convert: arithmetic-sequence construction,
+   constant canonicalisation, decoding, and convertibility detection. *)
+
+module Ast = Perple_litmus.Ast
+module Catalog = Perple_litmus.Catalog
+module Program = Perple_sim.Program
+module Convert = Perple_core.Convert
+
+let check = Alcotest.check
+
+let conv_of name = Result.get_ok (Convert.convert (Catalog.find_exn name))
+
+let test_k_values () =
+  let conv = conv_of "rfi013" in
+  let x = Program.location_id conv.Convert.image "x" in
+  let y = Program.location_id conv.Convert.image "y" in
+  check Alcotest.int "k_x" 2 conv.Convert.k_by_loc.(x);
+  check Alcotest.int "k_y" 1 conv.Convert.k_by_loc.(y)
+
+let test_t_reads () =
+  check (Alcotest.array Alcotest.int) "sb" [| 1; 1 |] (conv_of "sb").Convert.t_reads;
+  check (Alcotest.array Alcotest.int) "mp" [| 0; 2 |] (conv_of "mp").Convert.t_reads;
+  check (Alcotest.array Alcotest.int) "rfi015" [| 0; 2; 3 |]
+    (conv_of "rfi015").Convert.t_reads
+
+let test_load_threads_frames () =
+  let conv = conv_of "rfi015" in
+  check (Alcotest.array Alcotest.int) "load threads" [| 1; 2 |]
+    conv.Convert.load_threads;
+  check (Alcotest.array Alcotest.int) "frame index" [| -1; 0; 1 |]
+    conv.Convert.frame_index
+
+let test_sequence_operands () =
+  let conv = conv_of "sb" in
+  match conv.Convert.image.Program.programs.(0).Program.body.(0) with
+  | Program.Store { addr = Program.Shared; value = Program.Seq { k = 1; a = 1 }; _ } ->
+    ()
+  | _ -> Alcotest.fail "expected shared seq store"
+
+let test_canonicalisation () =
+  (* rfi017 stores constant 2 to y; canonically it becomes 1 (k_y = 1). *)
+  let conv = conv_of "rfi017" in
+  let store = Option.get (Convert.store_for_value conv ~location:"y" ~value:2) in
+  check Alcotest.int "original" 2 store.Convert.constant;
+  check Alcotest.int "canonical" 1 store.Convert.canonical;
+  check Alcotest.int "k" 1 store.Convert.k
+
+let test_registers_renumbered () =
+  let conv = conv_of "iwp23b" in
+  let regs =
+    Array.to_list conv.Convert.image.Program.programs.(0).Program.body
+    |> List.filter_map (function
+         | Program.Load { reg; _ } -> Some reg
+         | Program.Store _ | Program.Fence -> None)
+  in
+  check (Alcotest.list Alcotest.int) "slots in order" [ 0; 1 ] regs
+
+let test_seq_value () =
+  let conv = conv_of "rfi013" in
+  let s1 = Option.get (Convert.store_for_value conv ~location:"x" ~value:1) in
+  let s2 = Option.get (Convert.store_for_value conv ~location:"x" ~value:2) in
+  check Alcotest.int "2n+1 at 3" 7 (Convert.seq_value s1 ~iteration:3);
+  check Alcotest.int "2n+2 at 3" 8 (Convert.seq_value s2 ~iteration:3)
+
+let test_decode () =
+  let conv = conv_of "rfi013" in
+  let x = Program.location_id conv.Convert.image "x" in
+  (match Convert.decode conv ~loc_id:x ~value:0 with
+  | Some Convert.Initial -> ()
+  | _ -> Alcotest.fail "0 is initial");
+  (match Convert.decode conv ~loc_id:x ~value:7 with
+  | Some (Convert.Member { store; iteration }) ->
+    check Alcotest.int "store constant" 1 store.Convert.constant;
+    check Alcotest.int "iteration" 3 iteration
+  | _ -> Alcotest.fail "7 should decode");
+  check Alcotest.bool "negative undecodable" true
+    (Convert.decode conv ~loc_id:x ~value:(-3) = None)
+
+let decode_roundtrip =
+  QCheck.Test.make ~name:"decode inverts seq_value" ~count:500
+    QCheck.(pair (oneofl [ "sb"; "rfi013"; "co-iriw"; "podwr001" ]) (int_bound 10_000))
+    (fun (name, iteration) ->
+      let conv = conv_of name in
+      List.for_all
+        (fun (store : Convert.store) ->
+          let value = Convert.seq_value store ~iteration in
+          match Convert.decode conv ~loc_id:store.Convert.loc_id ~value with
+          | Some (Convert.Member { store = s'; iteration = i' }) ->
+            s'.Convert.canonical = store.Convert.canonical
+            && s'.Convert.thread = store.Convert.thread
+            && i' = iteration
+          | Some Convert.Initial | None -> false)
+        conv.Convert.stores)
+
+let test_convert_body_vs_convert () =
+  (* A memory condition blocks convert but not convert_body. *)
+  let t = List.hd Catalog.non_convertible in
+  check Alcotest.bool "convert rejects" true
+    (Result.is_error (Convert.convert t));
+  check Alcotest.bool "convert_body accepts" true
+    (Result.is_ok (Convert.convert_body t))
+
+let test_nonzero_init_rejected () =
+  let t =
+    Ast.make ~name:"init1" ~init:[ ("x", 5) ]
+      ~threads:[ [ Ast.Load (0, "x") ] ]
+      ~condition:{ Ast.quantifier = Ast.Exists; atoms = [ Ast.Reg_eq (0, 0, 5) ] }
+      ()
+  in
+  match Convert.convert t with
+  | Error (Convert.Nonzero_initial "x") -> ()
+  | Error _ -> Alcotest.fail "wrong reason"
+  | Ok _ -> Alcotest.fail "should reject nonzero init"
+
+let test_invalid_rejected () =
+  let t =
+    Ast.make ~name:"dup"
+      ~threads:[ [ Ast.Store ("x", 1); Ast.Store ("x", 1) ] ]
+      ~condition:{ Ast.quantifier = Ast.Exists; atoms = [] }
+      ()
+  in
+  match Convert.convert t with
+  | Error (Convert.Invalid (Ast.Duplicate_constant ("x", 1))) -> ()
+  | _ -> Alcotest.fail "should surface validation error"
+
+let test_slot_of_register () =
+  let conv = conv_of "iwp23b" in
+  check (Alcotest.option Alcotest.int) "r1 -> slot 1" (Some 1)
+    (Convert.slot_of_register conv ~thread:0 ~reg:1);
+  check (Alcotest.option Alcotest.int) "missing" None
+    (Convert.slot_of_register conv ~thread:0 ~reg:7)
+
+let test_whole_suite_converts () =
+  List.iter
+    (fun (e : Catalog.entry) ->
+      match Convert.convert e.Catalog.test with
+      | Ok conv ->
+        check Alcotest.int
+          (e.Catalog.test.Ast.name ^ " TL")
+          (Ast.load_thread_count e.Catalog.test)
+          (Array.length conv.Convert.load_threads)
+      | Error r ->
+        Alcotest.failf "%s should convert: %s" e.Catalog.test.Ast.name
+          (Format.asprintf "%a" Convert.pp_reason r))
+    Catalog.suite
+
+let suite =
+  [
+    ( "core.convert",
+      [
+        Alcotest.test_case "k values" `Quick test_k_values;
+        Alcotest.test_case "t_reads" `Quick test_t_reads;
+        Alcotest.test_case "load threads/frames" `Quick
+          test_load_threads_frames;
+        Alcotest.test_case "sequence operands" `Quick test_sequence_operands;
+        Alcotest.test_case "canonicalisation" `Quick test_canonicalisation;
+        Alcotest.test_case "registers renumbered" `Quick
+          test_registers_renumbered;
+        Alcotest.test_case "seq_value" `Quick test_seq_value;
+        Alcotest.test_case "decode" `Quick test_decode;
+        QCheck_alcotest.to_alcotest decode_roundtrip;
+        Alcotest.test_case "convert_body vs convert" `Quick
+          test_convert_body_vs_convert;
+        Alcotest.test_case "nonzero init" `Quick test_nonzero_init_rejected;
+        Alcotest.test_case "invalid test" `Quick test_invalid_rejected;
+        Alcotest.test_case "slot_of_register" `Quick test_slot_of_register;
+        Alcotest.test_case "whole suite converts" `Quick
+          test_whole_suite_converts;
+      ] );
+  ]

@@ -1,0 +1,338 @@
+(* Tests for Perple_harness: sync modes, the litmus7-style runner and the
+   perpetual runner. *)
+
+module Ast = Perple_litmus.Ast
+module Outcome = Perple_litmus.Outcome
+module Catalog = Perple_litmus.Catalog
+module Machine = Perple_sim.Machine
+module Config = Perple_sim.Config
+module Sync_mode = Perple_harness.Sync_mode
+module Litmus7 = Perple_harness.Litmus7
+module Perpetual = Perple_harness.Perpetual
+module Convert = Perple_core.Convert
+module Rng = Perple_util.Rng
+
+let check = Alcotest.check
+
+(* --- Sync modes ---------------------------------------------------------- *)
+
+let test_mode_names () =
+  check Alcotest.int "five modes" 5 (List.length Sync_mode.all);
+  List.iter
+    (fun mode ->
+      check Alcotest.bool "name roundtrip" true
+        (Sync_mode.of_name (Sync_mode.name mode) = Some mode))
+    Sync_mode.all;
+  check Alcotest.bool "unknown" true (Sync_mode.of_name "magic" = None)
+
+let test_mode_barriers () =
+  check Alcotest.bool "none is barrier-free" true
+    (Sync_mode.barrier Sync_mode.None_mode = Machine.No_barrier);
+  let cost mode =
+    match Sync_mode.barrier mode with
+    | Machine.Every_iteration { cost; _ } -> cost
+    | Machine.No_barrier -> 0
+  in
+  check Alcotest.bool "pthread most expensive" true
+    (cost Sync_mode.Pthread > cost Sync_mode.Timebase);
+  check Alcotest.bool "timebase pricier than user" true
+    (cost Sync_mode.Timebase > cost Sync_mode.User)
+
+(* --- litmus7 runner ------------------------------------------------------ *)
+
+let run_l7 ?(config = Config.default) ?(mode = Sync_mode.User) ?(seed = 1)
+    ?(iterations = 2000) test =
+  Litmus7.run ~config ~rng:(Rng.create seed) ~test ~mode ~iterations ()
+
+let test_histogram_total () =
+  List.iter
+    (fun mode ->
+      let result = run_l7 ~mode ~iterations:500 Catalog.sb in
+      let total =
+        List.fold_left (fun acc (_, n) -> acc + n) 0 result.Litmus7.histogram
+      in
+      check Alcotest.int
+        ("total = iterations in " ^ Sync_mode.name mode)
+        500 total)
+    Sync_mode.all
+
+let test_histogram_outcomes_legal () =
+  (* Every observed outcome must bind every load to a feasible value. *)
+  let result = run_l7 ~iterations:1000 Catalog.sb in
+  let all = Outcome.all Catalog.sb in
+  List.iter
+    (fun (o, _) ->
+      if not (List.exists (Outcome.equal o) all) then
+        Alcotest.failf "illegal outcome %s" (Outcome.to_string o))
+    result.Litmus7.histogram
+
+let test_sc_never_relaxed () =
+  let config = Config.with_model Config.Sc Config.default in
+  let result = run_l7 ~config ~iterations:3000 Catalog.sb in
+  let target = Result.get_ok (Outcome.of_condition Catalog.sb) in
+  check Alcotest.int "SC never shows sb target" 0
+    (Litmus7.count result ~partial:target)
+
+let test_observed () =
+  let result = run_l7 ~iterations:2000 Catalog.sb in
+  check Alcotest.bool "some outcomes observed" true
+    (List.length (Litmus7.observed result) >= 2)
+
+let test_runtime_ordering () =
+  let runtime mode =
+    (run_l7 ~mode ~iterations:300 Catalog.sb).Litmus7.virtual_runtime
+  in
+  let user = runtime Sync_mode.User in
+  let none = runtime Sync_mode.None_mode in
+  let pthread = runtime Sync_mode.Pthread in
+  let timebase = runtime Sync_mode.Timebase in
+  check Alcotest.bool "user > none" true (user > none);
+  check Alcotest.bool "timebase > user" true (timebase > user);
+  check Alcotest.bool "pthread > timebase" true (pthread > timebase)
+
+let test_litmus7_determinism () =
+  let a = run_l7 ~seed:33 Catalog.sb in
+  let b = run_l7 ~seed:33 Catalog.sb in
+  check Alcotest.bool "same histogram" true
+    (a.Litmus7.histogram = b.Litmus7.histogram)
+
+let test_store_only_thread () =
+  (* mp's thread 0 performs no loads; the histogram still has one outcome
+     per iteration, over thread 1's two registers. *)
+  let result = run_l7 ~iterations:400 Catalog.mp in
+  List.iter
+    (fun (o, _) -> check Alcotest.int "two bindings" 2 (List.length o))
+    result.Litmus7.histogram
+
+(* --- Perpetual runner ---------------------------------------------------- *)
+
+let sb_conv = Result.get_ok (Convert.convert Catalog.sb)
+
+let run_perp ?(seed = 1) ?(iterations = 1000) conv =
+  Perpetual.run ~rng:(Rng.create seed) ~image:conv.Convert.image
+    ~t_reads:conv.Convert.t_reads ~iterations ()
+
+let test_buf_sizes () =
+  let run = run_perp ~iterations:500 sb_conv in
+  check Alcotest.int "thread 0 buf" 500 (Array.length run.Perpetual.bufs.(0));
+  check Alcotest.int "thread 1 buf" 500 (Array.length run.Perpetual.bufs.(1))
+
+let test_buf_sizes_multi_load () =
+  let conv = Result.get_ok (Convert.convert (Catalog.find_exn "iwp23b")) in
+  let run = run_perp ~iterations:300 conv in
+  check Alcotest.int "r_t * N" 600 (Array.length run.Perpetual.bufs.(0))
+
+let test_store_only_buf_empty () =
+  let conv = Result.get_ok (Convert.convert Catalog.mp) in
+  let run = run_perp ~iterations:200 conv in
+  check Alcotest.int "store-only thread has no buf" 0
+    (Array.length run.Perpetual.bufs.(0));
+  check Alcotest.int "load thread buf" 400
+    (Array.length run.Perpetual.bufs.(1))
+
+(* Every value in a perpetual run's bufs decodes: it is the initial value
+   or a member of some store's arithmetic sequence with iteration < N.
+   This is the uniqueness property that makes perpetual tests analysable
+   (paper, Sec III-B). *)
+let test_buf_values_decode () =
+  List.iter
+    (fun name ->
+      let conv = Result.get_ok (Convert.convert (Catalog.find_exn name)) in
+      let run = run_perp ~iterations:400 conv in
+      let loads = Outcome.loads conv.Convert.test in
+      List.iter
+        (fun (thread, reg, location) ->
+          let slot = Option.get (Convert.slot_of_register conv ~thread ~reg) in
+          let reads = conv.Convert.t_reads.(thread) in
+          let loc_id =
+            Perple_sim.Program.location_id conv.Convert.image location
+          in
+          for i = 0 to run.Perpetual.iterations - 1 do
+            let value = run.Perpetual.bufs.(thread).((reads * i) + slot) in
+            match Convert.decode conv ~loc_id ~value with
+            | Some Convert.Initial -> ()
+            | Some (Convert.Member { iteration; _ }) ->
+              if iteration >= run.Perpetual.iterations then
+                Alcotest.failf "%s: decoded iteration %d out of range" name
+                  iteration
+            | None ->
+              Alcotest.failf "%s: value %d does not decode" name value
+          done)
+        loads)
+    [ "sb"; "rfi013"; "co-iriw"; "podwr001"; "mp" ]
+
+let test_perpetual_runtime_overhead () =
+  let run = run_perp ~iterations:500 sb_conv in
+  check Alcotest.bool "runtime includes bookkeeping" true
+    (run.Perpetual.virtual_runtime
+    >= run.Perpetual.machine.Machine.rounds
+       + (Perpetual.iteration_overhead * 500))
+
+let test_stress_extend () =
+  let module Stress = Perple_harness.Stress in
+  let image = Perple_sim.Program.compile_litmus Catalog.sb in
+  let extended = Stress.extend_image image ~threads:3 in
+  check Alcotest.int "threads added" 5
+    (Array.length extended.Perple_sim.Program.programs);
+  check Alcotest.int "locations added" 5
+    (Array.length extended.Perple_sim.Program.location_names);
+  check Alcotest.bool "unchanged when zero" true
+    (Stress.extend_image image ~threads:0 == image);
+  (* Scratch locations never collide with test locations. *)
+  Array.iteri
+    (fun i name ->
+      if i >= 2 then
+        check Alcotest.bool "scratch prefix" true
+          (String.length name > String.length Stress.scratch_prefix
+           && String.sub name 0 (String.length Stress.scratch_prefix)
+              = Stress.scratch_prefix))
+    extended.Perple_sim.Program.location_names
+
+let test_stress_perpetual () =
+  (* Stressed runs complete, keep buf sizes, and every buf value still
+     decodes (stress threads never touch test locations). *)
+  let run =
+    Perpetual.run ~stress_threads:4 ~rng:(Rng.create 5)
+      ~image:sb_conv.Convert.image ~t_reads:sb_conv.Convert.t_reads
+      ~iterations:500 ()
+  in
+  check Alcotest.int "buf size" 500 (Array.length run.Perpetual.bufs.(0));
+  Array.iter
+    (fun buf ->
+      Array.iter
+        (fun value ->
+          let x = Perple_sim.Program.location_id sb_conv.Convert.image "x" in
+          let y = Perple_sim.Program.location_id sb_conv.Convert.image "y" in
+          let decodes loc =
+            Convert.decode sb_conv ~loc_id:loc ~value <> None
+          in
+          if not (decodes x || decodes y) then
+            Alcotest.failf "stressed buf value %d does not decode" value)
+        buf)
+    run.Perpetual.bufs
+
+let test_stress_litmus7 () =
+  let result =
+    Litmus7.run ~stress_threads:3 ~rng:(Rng.create 6) ~test:Catalog.sb
+      ~mode:Sync_mode.User ~iterations:300 ()
+  in
+  let total =
+    List.fold_left (fun acc (_, n) -> acc + n) 0 result.Litmus7.histogram
+  in
+  check Alcotest.int "histogram still complete" 300 total
+
+let test_trace_recording () =
+  let module Trace = Perple_harness.Trace in
+  let trace, run =
+    Trace.trace_perpetual ~rng:(Rng.create 3) ~image:sb_conv.Convert.image
+      ~t_reads:sb_conv.Convert.t_reads ~iterations:50 ()
+  in
+  check Alcotest.int "run completed" 50 run.Perpetual.iterations;
+  (* 2 threads x 50 iterations x 2 instructions, plus 100 drains. *)
+  check Alcotest.int "all events recorded" 300 (Trace.length trace);
+  (* Rounds are non-decreasing. *)
+  let rounds =
+    List.map (fun (e : Trace.entry) -> e.Trace.round) (Trace.entries trace)
+  in
+  check Alcotest.bool "rounds monotone" true
+    (List.sort compare rounds = rounds);
+  (* Exec and Drain counts match machine stats. *)
+  let execs, drains =
+    List.fold_left
+      (fun (e, d) (entry : Trace.entry) ->
+        match entry.Trace.event with
+        | Machine.Exec _ -> (e + 1, d)
+        | Machine.Drain _ -> (e, d + 1)
+        | Machine.Barrier_release | Machine.Stall _ -> (e, d))
+      (0, 0) (Trace.entries trace)
+  in
+  check Alcotest.int "execs" run.Perpetual.machine.Machine.instructions execs;
+  check Alcotest.int "drains" run.Perpetual.machine.Machine.drains drains
+
+let test_trace_limit () =
+  let module Trace = Perple_harness.Trace in
+  let trace, _ =
+    Trace.trace_perpetual ~limit:10 ~rng:(Rng.create 3)
+      ~image:sb_conv.Convert.image ~t_reads:sb_conv.Convert.t_reads
+      ~iterations:100 ()
+  in
+  check Alcotest.int "capped" 10 (Trace.length trace)
+
+let test_trace_render () =
+  let module Trace = Perple_harness.Trace in
+  let trace, _ =
+    Trace.trace_perpetual ~limit:20 ~rng:(Rng.create 3)
+      ~image:sb_conv.Convert.image ~t_reads:sb_conv.Convert.t_reads
+      ~iterations:10 ()
+  in
+  let text =
+    Trace.render
+      ~location_names:sb_conv.Convert.image.Perple_sim.Program.location_names
+      trace
+  in
+  check Alcotest.bool "mentions exec" true
+    (String.length text > 0
+    && String.split_on_char '\n' text
+       |> List.exists (fun l ->
+              String.length l > 0
+              && String.index_opt l 'x' <> None))
+
+let test_trace_observation_only () =
+  (* Tracing must not change the schedule: same seed, same bufs. *)
+  let module Trace = Perple_harness.Trace in
+  let plain =
+    Perpetual.run ~rng:(Rng.create 9) ~image:sb_conv.Convert.image
+      ~t_reads:sb_conv.Convert.t_reads ~iterations:200 ()
+  in
+  let _, traced =
+    Trace.trace_perpetual ~rng:(Rng.create 9) ~image:sb_conv.Convert.image
+      ~t_reads:sb_conv.Convert.t_reads ~iterations:200 ()
+  in
+  check Alcotest.bool "identical bufs" true
+    (plain.Perpetual.bufs = traced.Perpetual.bufs)
+
+let test_t_reads_mismatch () =
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Perpetual.run: t_reads arity mismatch") (fun () ->
+      ignore
+        (Perpetual.run ~rng:(Rng.create 1) ~image:sb_conv.Convert.image
+           ~t_reads:[| 1 |] ~iterations:10 ()))
+
+let suite =
+  [
+    ( "harness.sync_mode",
+      [
+        Alcotest.test_case "names" `Quick test_mode_names;
+        Alcotest.test_case "barrier parameters" `Quick test_mode_barriers;
+      ] );
+    ( "harness.litmus7",
+      [
+        Alcotest.test_case "histogram total" `Quick test_histogram_total;
+        Alcotest.test_case "outcomes legal" `Quick
+          test_histogram_outcomes_legal;
+        Alcotest.test_case "SC never relaxed" `Quick test_sc_never_relaxed;
+        Alcotest.test_case "observed" `Quick test_observed;
+        Alcotest.test_case "runtime ordering" `Quick test_runtime_ordering;
+        Alcotest.test_case "determinism" `Quick test_litmus7_determinism;
+        Alcotest.test_case "store-only thread" `Quick test_store_only_thread;
+      ] );
+    ( "harness.perpetual",
+      [
+        Alcotest.test_case "buf sizes" `Quick test_buf_sizes;
+        Alcotest.test_case "buf sizes multi-load" `Quick
+          test_buf_sizes_multi_load;
+        Alcotest.test_case "store-only buf" `Quick test_store_only_buf_empty;
+        Alcotest.test_case "buf values decode" `Quick test_buf_values_decode;
+        Alcotest.test_case "runtime overhead" `Quick
+          test_perpetual_runtime_overhead;
+        Alcotest.test_case "t_reads mismatch" `Quick test_t_reads_mismatch;
+        Alcotest.test_case "stress extend" `Quick test_stress_extend;
+        Alcotest.test_case "stress perpetual" `Quick test_stress_perpetual;
+        Alcotest.test_case "stress litmus7" `Quick test_stress_litmus7;
+        Alcotest.test_case "trace recording" `Quick test_trace_recording;
+        Alcotest.test_case "trace limit" `Quick test_trace_limit;
+        Alcotest.test_case "trace render" `Quick test_trace_render;
+        Alcotest.test_case "trace observation only" `Quick
+          test_trace_observation_only;
+      ] );
+  ]

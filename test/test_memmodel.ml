@@ -1,0 +1,309 @@
+(* Tests for Perple_memmodel: known outcome sets for classic tests, SC/TSO
+   inclusion, Table II classification, and the operational-vs-axiomatic
+   agreement property (the model-equivalence cross-check), both on the
+   catalog and on random tests. *)
+
+module Ast = Perple_litmus.Ast
+module Outcome = Perple_litmus.Outcome
+module Catalog = Perple_litmus.Catalog
+module Operational = Perple_memmodel.Operational
+module Axiomatic = Perple_memmodel.Axiomatic
+
+let check = Alcotest.check
+
+let outcome_set model test = Operational.reachable_outcomes model test
+
+let labels outcomes = List.map Outcome.short_label outcomes
+
+(* --- Known outcome sets -------------------------------------------------- *)
+
+let test_sb_outcomes () =
+  check
+    (Alcotest.list Alcotest.string)
+    "SC excludes 00" [ "01"; "10"; "11" ]
+    (labels (outcome_set Operational.Sc Catalog.sb));
+  check
+    (Alcotest.list Alcotest.string)
+    "TSO allows all four" [ "00"; "01"; "10"; "11" ]
+    (labels (outcome_set Operational.Tso Catalog.sb))
+
+let test_lb_outcomes () =
+  let lb = Catalog.lb in
+  check
+    (Alcotest.list Alcotest.string)
+    "TSO forbids 11" [ "00"; "01"; "10" ]
+    (labels (outcome_set Operational.Tso lb));
+  check
+    (Alcotest.list Alcotest.string)
+    "SC same for lb" [ "00"; "01"; "10" ]
+    (labels (outcome_set Operational.Sc lb))
+
+let test_mp_outcomes () =
+  check
+    (Alcotest.list Alcotest.string)
+    "TSO forbids 10" [ "00"; "01"; "11" ]
+    (labels (outcome_set Operational.Tso Catalog.mp))
+
+let test_forwarding_tso_only () =
+  (* amd3's target needs store forwarding: reachable under TSO only. *)
+  let amd3 = Catalog.find_exn "amd3" in
+  let target = Result.get_ok (Outcome.of_condition amd3) in
+  check Alcotest.bool "TSO" true
+    (Operational.condition_reachable Operational.Tso amd3 ~partial:target);
+  check Alcotest.bool "SC" false
+    (Operational.condition_reachable Operational.Sc amd3 ~partial:target)
+
+let test_fence_restores_order () =
+  (* amd5 = sb + mfences: the relaxed outcome disappears. *)
+  let amd5 = Catalog.find_exn "amd5" in
+  check
+    (Alcotest.list Alcotest.string)
+    "amd5 TSO" [ "01"; "10"; "11" ]
+    (labels (outcome_set Operational.Tso amd5))
+
+let test_sc_subset_tso_catalog () =
+  List.iter
+    (fun (e : Catalog.entry) ->
+      let test = e.Catalog.test in
+      let sc = outcome_set Operational.Sc test in
+      let tso = outcome_set Operational.Tso test in
+      List.iter
+        (fun o ->
+          if not (List.exists (Outcome.equal o) tso) then
+            Alcotest.failf "%s: SC outcome %s missing under TSO"
+              test.Ast.name (Outcome.to_string o))
+        sc)
+    Catalog.suite
+
+let test_table_ii_classification () =
+  List.iter
+    (fun (e : Catalog.entry) ->
+      let expected = e.Catalog.classification = Catalog.Allowed in
+      let got =
+        Result.get_ok (Operational.target_allowed Operational.Tso e.Catalog.test)
+      in
+      check Alcotest.bool e.Catalog.test.Ast.name expected got)
+    Catalog.suite
+
+let test_targets_are_genuine () =
+  (* Every allowed target is SC-unreachable: it distinguishes the models
+     (paper: "the most informative outcome"). *)
+  List.iter
+    (fun (e : Catalog.entry) ->
+      let got =
+        Result.get_ok (Operational.target_allowed Operational.Sc e.Catalog.test)
+      in
+      check Alcotest.bool (e.Catalog.test.Ast.name ^ " not SC") false got)
+    Catalog.allowed
+
+let test_state_count () =
+  check Alcotest.bool "sb explores states" true
+    (Operational.state_count Operational.Tso Catalog.sb > 10);
+  check Alcotest.bool "SC smaller than TSO" true
+    (Operational.state_count Operational.Sc Catalog.sb
+    < Operational.state_count Operational.Tso Catalog.sb)
+
+(* --- Axiomatic ----------------------------------------------------------- *)
+
+let test_candidate_count () =
+  (* sb: 2 loads x 2 rf choices each, ws orders trivial. *)
+  check Alcotest.int "sb candidates" 4 (Axiomatic.candidate_count Catalog.sb);
+  let n5 = Catalog.find_exn "n5" in
+  (* n5: 2 loads x 3 choices each, 2 ws orders for x. *)
+  check Alcotest.int "n5 candidates" 18 (Axiomatic.candidate_count n5)
+
+let test_agreement_catalog () =
+  List.iter
+    (fun (e : Catalog.entry) ->
+      let test = e.Catalog.test in
+      List.iter
+        (fun model ->
+          let op = Operational.reachable_outcomes model test in
+          let ax = Axiomatic.reachable_outcomes model test in
+          if
+            List.length op <> List.length ax
+            || not (List.for_all2 Outcome.equal op ax)
+          then
+            Alcotest.failf "%s under %s: operational and axiomatic disagree"
+              test.Ast.name
+              (Operational.model_to_string model))
+        [ Operational.Sc; Operational.Tso ])
+    Catalog.suite
+
+let test_axiomatic_final_memory () =
+  (* 2+2w: exists (x=1 /\ y=1) needs each location's last write to be the
+     other thread's *first* store — a ws/po cycle under any model that
+     keeps same-thread W->W order.  Forbidden under SC and TSO; PSO drops
+     W->W order across locations, making it reachable. *)
+  let t = List.hd Catalog.non_convertible in
+  check Alcotest.string "is 2+2w" "2+2w" t.Ast.name;
+  check Alcotest.bool "2+2w forbidden under TSO" false
+    (Axiomatic.condition_reachable Operational.Tso t);
+  check Alcotest.bool "2+2w forbidden under SC" false
+    (Axiomatic.condition_reachable Operational.Sc t);
+  check Alcotest.bool "2+2w reachable under PSO" true
+    (Axiomatic.condition_reachable Operational.Pso t)
+
+let test_forall_semantics () =
+  (* Coherence always holds: a single-writer load can only return 0 or 1,
+     and under any model reading 1 is not guaranteed but reading "0 or 1"
+     universally is not expressible; instead check a genuinely universal
+     fact: after mp+fences, seeing y=1 forces x=1 — as a forall over a
+     strengthened test body it must hold, and its violation must not. *)
+  let always model test atoms =
+    Operational.condition_always model test
+      ~partial:
+        (List.map
+           (fun (t, r, v) -> { Outcome.thread = t; reg = r; value = v })
+           atoms)
+  in
+  (* Thread 1 of this test loads x after an mfence-separated handshake in
+     which it can only start once y=1; every execution ends with r0=1. *)
+  let t =
+    Ast.make ~name:"always1"
+      ~threads:[ [ Ast.Store ("x", 1) ]; [ Ast.Load (0, "x") ] ]
+      ~condition:{ Ast.quantifier = Ast.Forall; atoms = [ Ast.Reg_eq (1, 0, 1) ] }
+      ()
+  in
+  (* Not universal: the load may run before the store. *)
+  check Alcotest.bool "not always 1" false
+    (always Operational.Tso t [ (1, 0, 1) ]);
+  (* Universal tautology over the only loaded register's possible values
+     is not expressible as one atom; but a test whose only store precedes
+     its own load in one thread always reads it. *)
+  let own =
+    Ast.make ~name:"always2"
+      ~threads:[ [ Ast.Store ("x", 1); Ast.Load (0, "x") ] ]
+      ~condition:{ Ast.quantifier = Ast.Forall; atoms = [ Ast.Reg_eq (0, 0, 1) ] }
+      ()
+  in
+  check Alcotest.bool "own store always read" true
+    (always Operational.Tso own [ (0, 0, 1) ]);
+  check Alcotest.bool "verdict forall" true
+    (Result.get_ok (Operational.condition_verdict Operational.Tso own));
+  check Alcotest.bool "verdict exists (sb)" true
+    (Result.get_ok (Operational.condition_verdict Operational.Tso Catalog.sb))
+
+(* --- PSO extension -------------------------------------------------------- *)
+
+let test_pso_relaxes_mp () =
+  (* Under PSO, same-thread stores to different locations reorder: mp's
+     target becomes observable; TSO still forbids it. *)
+  let target = Result.get_ok (Outcome.of_condition Catalog.mp) in
+  check Alcotest.bool "PSO allows mp" true
+    (Operational.condition_reachable Operational.Pso Catalog.mp
+       ~partial:target);
+  check Alcotest.bool "TSO forbids mp" false
+    (Operational.condition_reachable Operational.Tso Catalog.mp
+       ~partial:target)
+
+let test_pso_keeps_fences () =
+  (* mp+fences and safe022 fence the writer: still forbidden under PSO. *)
+  List.iter
+    (fun name ->
+      let test = Catalog.find_exn name in
+      check Alcotest.bool (name ^ " forbidden under PSO") false
+        (Result.get_ok (Operational.target_allowed Operational.Pso test)))
+    [ "mp+fences"; "safe022"; "amd5" ]
+
+let test_pso_superset_of_tso () =
+  (* Everything TSO can do, PSO can do. *)
+  List.iter
+    (fun (e : Catalog.entry) ->
+      let test = e.Catalog.test in
+      let tso = outcome_set Operational.Tso test in
+      let pso = outcome_set Operational.Pso test in
+      List.iter
+        (fun o ->
+          if not (List.exists (Outcome.equal o) pso) then
+            Alcotest.failf "%s: TSO outcome %s missing under PSO"
+              test.Ast.name (Outcome.to_string o))
+        tso)
+    Catalog.suite
+
+let test_pso_coherent () =
+  (* PSO preserves per-location order: staleld (coherence) tests stay
+     forbidden. *)
+  List.iter
+    (fun name ->
+      let test = Catalog.find_exn name in
+      check Alcotest.bool (name ^ " forbidden under PSO") false
+        (Result.get_ok (Operational.target_allowed Operational.Pso test)))
+    [ "mp+staleld"; "n4"; "n5"; "co-iriw" ]
+
+let test_pso_agreement_catalog () =
+  List.iter
+    (fun (e : Catalog.entry) ->
+      let test = e.Catalog.test in
+      let op = Operational.reachable_outcomes Operational.Pso test in
+      let ax = Axiomatic.reachable_outcomes Operational.Pso test in
+      if
+        List.length op <> List.length ax
+        || not (List.for_all2 Outcome.equal op ax)
+      then
+        Alcotest.failf "%s under PSO: operational and axiomatic disagree"
+          test.Ast.name)
+    Catalog.suite
+
+let agreement_property =
+  QCheck.Test.make ~name:"operational = axiomatic on random tests" ~count:50
+    (Gen.arbitrary_test ~max_threads:3 ~max_instrs:2 ())
+    (fun test ->
+      List.for_all
+        (fun model ->
+          let op = Operational.reachable_outcomes model test in
+          let ax = Axiomatic.reachable_outcomes model test in
+          List.length op = List.length ax
+          && List.for_all2 Outcome.equal op ax)
+        [ Operational.Sc; Operational.Tso; Operational.Pso ])
+
+let sc_subset_property =
+  QCheck.Test.make ~name:"SC outcomes are TSO outcomes on random tests"
+    ~count:50
+    (Gen.arbitrary_test ~max_threads:3 ~max_instrs:2 ())
+    (fun test ->
+      let sc = Operational.reachable_outcomes Operational.Sc test in
+      let tso = Operational.reachable_outcomes Operational.Tso test in
+      List.for_all (fun o -> List.exists (Outcome.equal o) tso) sc)
+
+let suite =
+  [
+    ( "memmodel.operational",
+      [
+        Alcotest.test_case "sb outcomes" `Quick test_sb_outcomes;
+        Alcotest.test_case "lb outcomes" `Quick test_lb_outcomes;
+        Alcotest.test_case "mp outcomes" `Quick test_mp_outcomes;
+        Alcotest.test_case "forwarding TSO-only" `Quick
+          test_forwarding_tso_only;
+        Alcotest.test_case "fences restore order" `Quick
+          test_fence_restores_order;
+        Alcotest.test_case "SC subset of TSO (catalog)" `Quick
+          test_sc_subset_tso_catalog;
+        Alcotest.test_case "Table II classification" `Quick
+          test_table_ii_classification;
+        Alcotest.test_case "targets distinguish models" `Quick
+          test_targets_are_genuine;
+        Alcotest.test_case "state counts" `Quick test_state_count;
+      ] );
+    ( "memmodel.axiomatic",
+      [
+        Alcotest.test_case "candidate counts" `Quick test_candidate_count;
+        Alcotest.test_case "agreement on catalog" `Quick
+          test_agreement_catalog;
+        Alcotest.test_case "final-memory conditions" `Quick
+          test_axiomatic_final_memory;
+        QCheck_alcotest.to_alcotest agreement_property;
+        QCheck_alcotest.to_alcotest sc_subset_property;
+      ] );
+    ( "memmodel.forall",
+      [ Alcotest.test_case "forall semantics" `Quick test_forall_semantics ] );
+    ( "memmodel.pso",
+      [
+        Alcotest.test_case "relaxes mp" `Quick test_pso_relaxes_mp;
+        Alcotest.test_case "fences hold" `Quick test_pso_keeps_fences;
+        Alcotest.test_case "superset of TSO" `Quick test_pso_superset_of_tso;
+        Alcotest.test_case "coherence holds" `Quick test_pso_coherent;
+        Alcotest.test_case "checker agreement" `Quick
+          test_pso_agreement_catalog;
+      ] );
+  ]

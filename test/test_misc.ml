@@ -1,0 +1,184 @@
+(* Assorted edge cases across module boundaries that the focused suites do
+   not cover: printer summaries, parser corner syntax, engine option
+   handling, seed derivation, and the experiments registry. *)
+
+module Ast = Perple_litmus.Ast
+module Outcome = Perple_litmus.Outcome
+module Parser = Perple_litmus.Parser
+module Printer = Perple_litmus.Printer
+module Catalog = Perple_litmus.Catalog
+module Engine = Perple_core.Engine
+module R = Perple_report
+
+let check = Alcotest.check
+
+let contains ~sub s =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  go 0
+
+(* --- Printer ------------------------------------------------------------- *)
+
+let test_summary () =
+  let s = Printer.summary Catalog.sb in
+  check Alcotest.bool "name" true (contains ~sub:"sb" s);
+  check Alcotest.bool "signature" true (contains ~sub:"[T=2, TL=2]" s);
+  check Alcotest.bool "condition" true (contains ~sub:"exists" s)
+
+let test_printer_condition_kinds () =
+  check Alcotest.string "~exists"
+    "~exists (0:EAX=1)"
+    (Printer.condition_to_string
+       { Ast.quantifier = Ast.Not_exists; atoms = [ Ast.Reg_eq (0, 0, 1) ] });
+  check Alcotest.string "forall with location"
+    "forall (x=2)"
+    (Printer.condition_to_string
+       { Ast.quantifier = Ast.Forall; atoms = [ Ast.Loc_eq ("x", 2) ] })
+
+let test_printer_nonzero_init () =
+  let t =
+    Ast.make ~name:"init7" ~init:[ ("x", 7) ]
+      ~threads:[ [ Ast.Load (0, "x") ] ]
+      ~condition:{ Ast.quantifier = Ast.Exists; atoms = [] }
+      ()
+  in
+  let printed = Printer.to_string t in
+  check Alcotest.bool "init printed" true (contains ~sub:"x=7;" printed);
+  let reparsed = Result.get_ok (Parser.parse printed) in
+  check Alcotest.int "roundtrips" 7 (Ast.initial_value reparsed "x")
+
+(* --- Parser corners ------------------------------------------------------ *)
+
+let test_parser_multiline_init () =
+  let text =
+    "X86 t\n{\n  x=0;\n  y=0;\n}\n P0          ;\n MOV EAX,[x] ;\nexists \
+     (0:EAX=0)\n"
+  in
+  check Alcotest.bool "multiline init" true
+    (Result.is_ok (Parser.parse text))
+
+let test_parser_locations_line_skipped () =
+  let text =
+    "X86 t\n{ x=0; }\n P0          ;\n MOV EAX,[x] ;\nlocations [x;]\nexists \
+     (0:EAX=0)\n"
+  in
+  let t = Result.get_ok (Parser.parse text) in
+  check Alcotest.bool "condition parsed past locations" true
+    (t.Ast.condition.Ast.atoms = [ Ast.Reg_eq (0, 0, 0) ])
+
+let test_parser_bracketed_init_and_condition () =
+  let text =
+    "X86 t\n{ [x]=0; }\n P0          ;\n MOV EAX,[x] ;\nexists ([x]=0)\n"
+  in
+  let t = Result.get_ok (Parser.parse text) in
+  check Alcotest.bool "bracketed location atom" true
+    (t.Ast.condition.Ast.atoms = [ Ast.Loc_eq ("x", 0) ])
+
+let test_parser_int_prefix_init () =
+  let text =
+    "X86 t\n{ int x = 0; }\n P0          ;\n MOV EAX,[x] ;\nexists (0:EAX=0)\n"
+  in
+  check Alcotest.bool "typed init tolerated" true
+    (Result.is_ok (Parser.parse text))
+
+(* --- Engine option handling ---------------------------------------------- *)
+
+let test_engine_custom_outcomes () =
+  let outcomes = Outcome.all Catalog.sb in
+  let report =
+    Result.get_ok
+      (Engine.run ~outcomes ~seed:1 ~iterations:500 Catalog.sb)
+  in
+  check Alcotest.int "all four counted" 4 (Array.length report.Engine.counts);
+  (* First-match chain: heuristic counts at most one outcome per index. *)
+  check Alcotest.bool "bounded" true
+    (Array.fold_left ( + ) 0 report.Engine.counts <= 500)
+
+let test_engine_exhaustive_counter () =
+  let report =
+    Result.get_ok
+      (Engine.run ~counter:Engine.Exhaustive ~exhaustive_cap:10_000 ~seed:1
+         ~iterations:5_000 Catalog.sb)
+  in
+  (* N capped (by halving) so that N^2 <= 10_000. *)
+  let n = report.Engine.run.Perple_harness.Perpetual.iterations in
+  check Alcotest.bool "iterations capped" true (n <= 100);
+  check Alcotest.int "frames = N^2" (n * n) report.Engine.frames_examined;
+  check Alcotest.bool "within cap" true
+    (report.Engine.frames_examined <= 10_000)
+
+let test_engine_stress_changes_run () =
+  let plain =
+    Result.get_ok (Engine.run ~seed:4 ~iterations:800 Catalog.sb)
+  in
+  let stressed =
+    Result.get_ok
+      (Engine.run ~stress_threads:4 ~seed:4 ~iterations:800 Catalog.sb)
+  in
+  check Alcotest.bool "stress perturbs the schedule" true
+    (plain.Engine.run.Perple_harness.Perpetual.bufs
+    <> stressed.Engine.run.Perple_harness.Perpetual.bufs)
+
+(* --- Report plumbing ------------------------------------------------------ *)
+
+let test_seed_for_distinct () =
+  let p = R.Common.quick_params in
+  check Alcotest.bool "distinct per test" true
+    (R.Common.seed_for p "a" <> R.Common.seed_for p "b");
+  check Alcotest.int "stable" (R.Common.seed_for p "sb")
+    (R.Common.seed_for p "sb");
+  let p' = { p with R.Common.seed = p.R.Common.seed + 1 } in
+  check Alcotest.bool "depends on base seed" true
+    (R.Common.seed_for p "sb" <> R.Common.seed_for p' "sb")
+
+let test_tool_lineup () =
+  check Alcotest.int "seven tools" 7 (List.length R.Common.tools);
+  check
+    (Alcotest.list Alcotest.string)
+    "names"
+    [
+      "perple-exh"; "perple-heur"; "litmus7-user"; "litmus7-userfence";
+      "litmus7-pthread"; "litmus7-timebase"; "litmus7-none";
+    ]
+    (List.map R.Common.tool_name R.Common.tools)
+
+let test_experiment_ids_render () =
+  (* Registry is total: every id renders under tiny parameters.  The heavy
+     ones are covered by test_report; here only the registry contract. *)
+  List.iter
+    (fun id ->
+      check Alcotest.bool (id ^ " known") true
+        (List.mem id R.Experiments.ids))
+    [ "table2"; "fig9"; "fig10"; "fig11"; "fig12"; "fig13"; "accuracy";
+      "overall"; "ablation" ]
+
+let suite =
+  [
+    ( "misc",
+      [
+        Alcotest.test_case "printer summary" `Quick test_summary;
+        Alcotest.test_case "printer conditions" `Quick
+          test_printer_condition_kinds;
+        Alcotest.test_case "printer nonzero init" `Quick
+          test_printer_nonzero_init;
+        Alcotest.test_case "parser multiline init" `Quick
+          test_parser_multiline_init;
+        Alcotest.test_case "parser locations line" `Quick
+          test_parser_locations_line_skipped;
+        Alcotest.test_case "parser bracketed forms" `Quick
+          test_parser_bracketed_init_and_condition;
+        Alcotest.test_case "parser typed init" `Quick
+          test_parser_int_prefix_init;
+        Alcotest.test_case "engine custom outcomes" `Quick
+          test_engine_custom_outcomes;
+        Alcotest.test_case "engine exhaustive cap" `Quick
+          test_engine_exhaustive_counter;
+        Alcotest.test_case "engine stress" `Quick
+          test_engine_stress_changes_run;
+        Alcotest.test_case "seed derivation" `Quick test_seed_for_distinct;
+        Alcotest.test_case "tool lineup" `Quick test_tool_lineup;
+        Alcotest.test_case "experiment ids" `Quick test_experiment_ids_render;
+      ] );
+  ]

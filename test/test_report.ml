@@ -1,0 +1,239 @@
+(* Integration tests for Perple_report: each experiment driver runs at
+   smoke scale and satisfies the paper's shape claims, plus Skew
+   measurements. *)
+
+module Catalog = Perple_litmus.Catalog
+module Convert = Perple_core.Convert
+module Skew = Perple_core.Skew
+module Perpetual = Perple_harness.Perpetual
+module Stats = Perple_util.Stats
+module Config = Perple_sim.Config
+module Rng = Perple_util.Rng
+module R = Perple_report
+
+let check = Alcotest.check
+
+(* Smaller than quick_params: these run inside the default test suite. *)
+let tiny =
+  {
+    R.Common.quick_params with
+    R.Common.iterations = 600;
+    exhaustive_cap = 360_000;
+    sweep = [ 100; 600 ];
+    variety_iterations = 400;
+    skew_iterations = 4_000;
+  }
+
+(* --- Skew ---------------------------------------------------------------- *)
+
+let test_skew_measurement () =
+  let conv = Result.get_ok (Convert.convert Catalog.sb) in
+  let run =
+    Perpetual.run ~rng:(Rng.create 2) ~image:conv.Convert.image
+      ~t_reads:conv.Convert.t_reads ~iterations:5_000 ()
+  in
+  let h = Skew.measure conv ~run in
+  check Alcotest.bool "samples" true (Stats.Histogram.total h > 1_000);
+  (* Mean skew should be small relative to its spread. *)
+  check Alcotest.bool "centered" true
+    (Float.abs (Stats.Histogram.mean h) < 4.0 *. Stats.Histogram.stddev h)
+
+let test_skew_between_filter () =
+  let conv = Result.get_ok (Convert.convert Catalog.sb) in
+  let run =
+    Perpetual.run ~rng:(Rng.create 2) ~image:conv.Convert.image
+      ~t_reads:conv.Convert.t_reads ~iterations:2_000 ()
+  in
+  let all = Skew.measure conv ~run in
+  let pair01 = Skew.measure ~between:(0, 1) conv ~run in
+  let pair10 = Skew.measure ~between:(1, 0) conv ~run in
+  check Alcotest.int "pairs partition"
+    (Stats.Histogram.total all)
+    (Stats.Histogram.total pair01 + Stats.Histogram.total pair10)
+
+let test_skew_jitter_widens () =
+  let conv = Result.get_ok (Convert.convert Catalog.sb) in
+  let stddev config seed =
+    let run =
+      Perpetual.run ~config ~rng:(Rng.create seed) ~image:conv.Convert.image
+        ~t_reads:conv.Convert.t_reads ~iterations:8_000 ()
+    in
+    Stats.Histogram.stddev (Skew.measure conv ~run)
+  in
+  check Alcotest.bool "jitter widens skew" true
+    (stddev Config.default 3 > 3.0 *. stddev (Config.no_jitter Config.default) 3)
+
+(* --- Experiment drivers -------------------------------------------------- *)
+
+let test_table_ii () =
+  let rows = R.Table_ii.rows () in
+  check Alcotest.int "34 rows" 34 (List.length rows);
+  List.iter
+    (fun (r : R.Table_ii.row) ->
+      check Alcotest.bool (r.R.Table_ii.name ^ " matches paper") true
+        r.R.Table_ii.matches_catalog;
+      check Alcotest.bool (r.R.Table_ii.name ^ " convertible") true
+        r.R.Table_ii.convertible)
+    rows
+
+let test_fig9_shape () =
+  let rows = R.Fig9.rows tiny in
+  check Alcotest.int "34 rows" 34 (List.length rows);
+  let violations = R.Fig9.shape_violations rows in
+  check (Alcotest.list Alcotest.string) "no shape violations" [] violations
+
+let test_fig10_shape () =
+  let s = R.Fig10.summarize tiny in
+  let geo name = List.assoc name s.R.Fig10.geomean_speedups in
+  check Alcotest.bool "heuristic fastest" true
+    (geo "perple-heur" > geo "litmus7-none");
+  check Alcotest.bool "none faster than user" true (geo "litmus7-none" > 1.0);
+  check Alcotest.bool "pthread slowest" true (geo "litmus7-pthread" < 0.2);
+  check Alcotest.bool "timebase slower than user" true
+    (geo "litmus7-timebase" < 1.0);
+  check Alcotest.bool "heuristic beats exhaustive" true
+    (s.R.Fig10.heur_over_exh > 5.0)
+
+let test_fig11_shape () =
+  let points = R.Fig11.sweep tiny in
+  check Alcotest.int "sweep points" 2 (List.length points);
+  let last = List.nth points 1 in
+  let heur = List.assoc "perple-heur" last.R.Fig11.cells in
+  (* PerpLE exposes every allowed target and improves on user wherever the
+     baseline is nonzero. *)
+  check Alcotest.int "heuristic nonzero on all allowed" 12
+    heur.R.Fig11.tool_nonzero;
+  check Alcotest.bool "improvement over user" true
+    (heur.R.Fig11.tests_counted = 0
+    || heur.R.Fig11.mean_improvement > 1.0)
+
+let test_fig12_shape () =
+  let r = R.Fig12.measure tiny in
+  check Alcotest.bool "wide" true (r.R.Fig12.max_skew - r.R.Fig12.min_skew > 20);
+  check Alcotest.bool "roughly centered" true
+    (Float.abs r.R.Fig12.mean < Float.max 5.0 r.R.Fig12.stddev)
+
+let test_fig13_shape () =
+  let v = R.Fig13.variety tiny "sb" in
+  check Alcotest.int "four outcomes" 4 (List.length v.R.Fig13.outcome_labels);
+  (* litmus7 counts sum to N per mode; PerpLE samples independently. *)
+  List.iter
+    (fun (tool, counts) ->
+      if tool <> "perple-heur" then
+        check Alcotest.int (tool ^ " total") tiny.R.Common.variety_iterations
+          (Array.fold_left ( + ) 0 counts))
+    v.R.Fig13.per_tool;
+  (* The forbidden lb outcome 11 is observed by nobody. *)
+  let lb = R.Fig13.variety tiny "lb" in
+  let idx_11 =
+    Option.get
+      (List.find_index (fun l -> l = "11") lb.R.Fig13.outcome_labels)
+  in
+  check Alcotest.bool "lb 11 forbidden" true
+    (List.nth lb.R.Fig13.forbidden idx_11);
+  List.iter
+    (fun (tool, counts) ->
+      check Alcotest.int (tool ^ " lb 11") 0 counts.(idx_11))
+    lb.R.Fig13.per_tool
+
+let test_accuracy () =
+  let rows = R.Accuracy.rows tiny in
+  List.iter
+    (fun (r : R.Accuracy.row) ->
+      check Alcotest.bool (r.R.Accuracy.name ^ " accurate") true
+        r.R.Accuracy.accurate)
+    rows
+
+let test_overall () =
+  let s = R.Overall.summarize tiny in
+  check Alcotest.int "88 tests" 88 s.R.Overall.total_tests;
+  check Alcotest.int "34 convertible" 34 s.R.Overall.convertible;
+  check Alcotest.bool "campaign speedup > 1" true
+    (s.R.Overall.campaign_speedup > 1.0);
+  check Alcotest.bool "detection improvement" true
+    (s.R.Overall.mean_detection_improvement > 1.0)
+
+let test_ablation () =
+  let coverage = R.Ablation.heuristic_coverage tiny in
+  check Alcotest.int "12 allowed tests" 12 (List.length coverage);
+  List.iter
+    (fun (r : R.Ablation.coverage_row) ->
+      (* Heuristic hits are a subset of exhaustive hits. *)
+      check Alcotest.bool (r.R.Ablation.name ^ " subset") true
+        (r.R.Ablation.heuristic <= r.R.Ablation.exhaustive);
+      check Alcotest.bool (r.R.Ablation.name ^ " coverage in [0,1]") true
+        (r.R.Ablation.coverage >= 0.0 && r.R.Ablation.coverage <= 1.0))
+    coverage;
+  (* The false-positive demonstration needs enough iterations for the
+     rare both-read-other's-store pattern to appear; deterministic seed. *)
+  let exactness =
+    R.Ablation.exactness { tiny with R.Common.iterations = 4_000 }
+  in
+  List.iter
+    (fun (r : R.Ablation.exactness_row) ->
+      check Alcotest.int (r.R.Ablation.name ^ " sound with exact rf") 0
+        r.R.Ablation.with_exact)
+    exactness;
+  (* The bare >= rule admits the n5 false positive the strengthening
+     removes (probabilistic but reliable at this iteration count). *)
+  let n5 =
+    List.find (fun (r : R.Ablation.exactness_row) -> r.R.Ablation.name = "n5")
+      exactness
+  in
+  check Alcotest.bool "bare >= rule is unsound on n5" true
+    (n5.R.Ablation.without_exact > 0)
+
+let test_ablation_alignment () =
+  let rows = R.Ablation.barrier_alignment tiny in
+  let counts = List.map (fun (r : R.Ablation.skew_row) -> r.R.Ablation.target_count) rows in
+  (* Tightest alignment beats loosest. *)
+  check Alcotest.bool "alignment helps" true
+    (List.hd counts > List.nth counts (List.length counts - 1))
+
+let test_experiments_registry () =
+  check Alcotest.int "nine experiments" 9 (List.length R.Experiments.ids);
+  check Alcotest.bool "unknown id" true
+    (Result.is_error (R.Experiments.run tiny "fig99"));
+  (* The cheapest drivers render without error. *)
+  List.iter
+    (fun id ->
+      match R.Experiments.run tiny id with
+      | Ok text -> check Alcotest.bool (id ^ " non-empty") true (text <> "")
+      | Error m -> Alcotest.failf "%s failed: %s" id m)
+    [ "table2"; "fig12" ]
+
+let test_run_tool_seeding () =
+  (* Distinct tests and tools get distinct seeds, same call repeats. *)
+  let test = Catalog.sb in
+  let tool = R.Common.Perple Perple_core.Engine.Heuristic in
+  let a = R.Common.run_tool ~params:tiny ~iterations:500 ~test tool in
+  let b = R.Common.run_tool ~params:tiny ~iterations:500 ~test tool in
+  check Alcotest.int "reproducible" a.R.Common.target_count
+    b.R.Common.target_count
+
+let suite =
+  [
+    ( "core.skew",
+      [
+        Alcotest.test_case "measurement" `Quick test_skew_measurement;
+        Alcotest.test_case "between filter" `Quick test_skew_between_filter;
+        Alcotest.test_case "jitter widens" `Quick test_skew_jitter_widens;
+      ] );
+    ( "report",
+      [
+        Alcotest.test_case "Table II" `Quick test_table_ii;
+        Alcotest.test_case "Fig 9 shape" `Slow test_fig9_shape;
+        Alcotest.test_case "Fig 10 shape" `Slow test_fig10_shape;
+        Alcotest.test_case "Fig 11 shape" `Slow test_fig11_shape;
+        Alcotest.test_case "Fig 12 shape" `Quick test_fig12_shape;
+        Alcotest.test_case "Fig 13 shape" `Slow test_fig13_shape;
+        Alcotest.test_case "accuracy" `Slow test_accuracy;
+        Alcotest.test_case "overall" `Slow test_overall;
+        Alcotest.test_case "ablation" `Slow test_ablation;
+        Alcotest.test_case "ablation alignment" `Quick
+          test_ablation_alignment;
+        Alcotest.test_case "experiments registry" `Quick
+          test_experiments_registry;
+        Alcotest.test_case "tool seeding" `Quick test_run_tool_seeding;
+      ] );
+  ]

@@ -1,0 +1,171 @@
+(* Cross-layer soundness: the simulated machine, the harnesses and the
+   model checkers must tell one consistent story.
+
+   - Every outcome the litmus7-style runner observes on the faithful
+     machine is reachable according to the operational checker (the
+     machine is an implementation of the abstract machine).
+   - Same under SC and PSO configurations, against the matching model.
+   - Same for random tests (property).
+   - The perpetual pipeline agrees with the litmus7 pipeline on which
+     outcomes are observable at all (over a decent run). *)
+
+module Ast = Perple_litmus.Ast
+module Outcome = Perple_litmus.Outcome
+module Catalog = Perple_litmus.Catalog
+module Operational = Perple_memmodel.Operational
+module Config = Perple_sim.Config
+module Litmus7 = Perple_harness.Litmus7
+module Sync_mode = Perple_harness.Sync_mode
+module Convert = Perple_core.Convert
+module OC = Perple_core.Outcome_convert
+module Count = Perple_core.Count
+module Perpetual = Perple_harness.Perpetual
+module Rng = Perple_util.Rng
+
+let check = Alcotest.check
+
+let model_pairs =
+  [
+    (Config.Sc, Operational.Sc);
+    (Config.Tso, Operational.Tso);
+    (Config.Pso, Operational.Pso);
+  ]
+
+let observed_subset_of_reachable ~test ~sim_model ~checker_model ~seed =
+  let reachable = Operational.reachable_outcomes checker_model test in
+  let result =
+    Litmus7.run
+      ~config:(Config.with_model sim_model Config.default)
+      ~rng:(Rng.create seed) ~test ~mode:Sync_mode.Timebase ~iterations:300 ()
+  in
+  List.iter
+    (fun outcome ->
+      if not (List.exists (Outcome.equal outcome) reachable) then
+        Alcotest.failf "%s on %s: machine produced %s, checker forbids it"
+          test.Ast.name
+          (Config.model_name sim_model)
+          (Outcome.to_string outcome))
+    (Litmus7.observed result)
+
+let test_machine_implements_models () =
+  List.iter
+    (fun (e : Catalog.entry) ->
+      List.iter
+        (fun (sim_model, checker_model) ->
+          observed_subset_of_reachable ~test:e.Catalog.test ~sim_model
+            ~checker_model ~seed:17)
+        model_pairs)
+    Catalog.suite
+
+let machine_soundness_property =
+  QCheck.Test.make
+    ~name:"machine outcomes are checker-reachable (random tests)" ~count:30
+    (Gen.arbitrary_test ~max_threads:3 ~max_instrs:2 ())
+    (fun test ->
+      List.for_all
+        (fun (sim_model, checker_model) ->
+          let reachable =
+            Operational.reachable_outcomes checker_model test
+          in
+          let result =
+            Litmus7.run
+              ~config:(Config.with_model sim_model Config.default)
+              ~rng:(Rng.create 23) ~test ~mode:Sync_mode.Timebase
+              ~iterations:300 ()
+          in
+          List.for_all
+            (fun o -> List.exists (Outcome.equal o) reachable)
+            (Litmus7.observed result))
+        model_pairs)
+
+(* The perpetual pipeline's exhaustive counter and the litmus7 runner agree
+   on observability: over a generous run, any outcome one sees the other
+   can see — both being filtered through the checker keeps this from
+   flaking (we only assert checker-reachability, the strongest property
+   that is deterministic). *)
+let test_perpetual_counts_reachable_only () =
+  List.iter
+    (fun name ->
+      let test = Catalog.find_exn name in
+      let conv = Result.get_ok (Convert.convert test) in
+      let run =
+        Perpetual.run ~rng:(Rng.create 29) ~image:conv.Convert.image
+          ~t_reads:conv.Convert.t_reads ~iterations:400 ()
+      in
+      let outcomes = Outcome.all test in
+      let converted =
+        List.map (fun o -> Result.get_ok (OC.convert conv o)) outcomes
+      in
+      let result = Count.exhaustive_independent conv ~outcomes:converted ~run in
+      let reachable = Operational.reachable_outcomes Operational.Tso test in
+      List.iteri
+        (fun i o ->
+          if
+            result.Count.counts.(i) > 0
+            && not (List.exists (Outcome.equal o) reachable)
+          then
+            Alcotest.failf "%s: perpetual counter observed forbidden %s" name
+              (Outcome.to_string o))
+        outcomes)
+    [ "sb"; "lb"; "mp"; "iwp23b"; "rfi013"; "n5"; "podwr001"; "iriw" ]
+
+(* The extension models get the same guarantee: perpetual counting on the
+   PSO machine never counts a PSO-forbidden outcome, and mp's target (PSO-
+   allowed) is found there. *)
+let test_perpetual_pso_soundness () =
+  let config = Config.with_model Config.Pso Config.default in
+  List.iter
+    (fun name ->
+      let test = Catalog.find_exn name in
+      let conv = Result.get_ok (Convert.convert test) in
+      let run =
+        Perpetual.run ~config ~rng:(Rng.create 31) ~image:conv.Convert.image
+          ~t_reads:conv.Convert.t_reads ~iterations:600 ()
+      in
+      let outcomes = Outcome.all test in
+      let converted =
+        List.map (fun o -> Result.get_ok (OC.convert conv o)) outcomes
+      in
+      let result =
+        Count.exhaustive_independent conv ~outcomes:converted ~run
+      in
+      let reachable = Operational.reachable_outcomes Operational.Pso test in
+      List.iteri
+        (fun i o ->
+          if
+            result.Count.counts.(i) > 0
+            && not (List.exists (Outcome.equal o) reachable)
+          then
+            Alcotest.failf "%s on PSO: counted PSO-forbidden %s" name
+              (Outcome.to_string o))
+        outcomes)
+    [ "sb"; "mp"; "lb"; "amd5"; "safe022"; "n5" ];
+  (* And the PSO-allowed mp target is actually observed. *)
+  let test = Catalog.mp in
+  let conv = Result.get_ok (Convert.convert test) in
+  let run =
+    Perpetual.run ~config ~rng:(Rng.create 33) ~image:conv.Convert.image
+      ~t_reads:conv.Convert.t_reads ~iterations:3_000 ()
+  in
+  let target =
+    Result.get_ok
+      (OC.convert conv (Result.get_ok (Outcome.of_condition test)))
+  in
+  let count =
+    (Count.heuristic_auto conv ~outcomes:[ target ] ~run).Count.counts.(0)
+  in
+  check Alcotest.bool "mp target observed under PSO" true (count > 0)
+
+let suite =
+  [
+    ( "soundness",
+      [
+        Alcotest.test_case "machine implements the models (suite)" `Slow
+          test_machine_implements_models;
+        QCheck_alcotest.to_alcotest machine_soundness_property;
+        Alcotest.test_case "perpetual counts reachable only" `Quick
+          test_perpetual_counts_reachable_only;
+        Alcotest.test_case "PSO perpetual soundness" `Quick
+          test_perpetual_pso_soundness;
+      ] );
+  ]
