@@ -15,8 +15,10 @@ module Catalog = Perple_litmus.Catalog
 module Operational = Perple_memmodel.Operational
 module Axiomatic = Perple_memmodel.Axiomatic
 module Config = Perple_sim.Config
+module Fault = Perple_sim.Fault
 module Sync_mode = Perple_harness.Sync_mode
 module Litmus7 = Perple_harness.Litmus7
+module Supervisor = Perple_harness.Supervisor
 module Convert = Perple_core.Convert
 module Outcome_convert = Perple_core.Outcome_convert
 module Engine = Perple_core.Engine
@@ -248,15 +250,24 @@ let all_outcomes_arg =
     & info [ "all-outcomes" ]
         ~doc:"Count every possible outcome, not just the target.")
 
+let cap_arg =
+  Arg.(
+    value
+    & opt int 250_000_000
+    & info [ "cap" ] ~docv:"FRAMES"
+        ~doc:
+          "Frame budget for the exhaustive counter; the run length is \
+           capped to stay within it (the cap is reported, not silent).")
+
 let run_cmd =
-  let run spec iterations seed counter model all_outcomes stress =
+  let run spec iterations seed counter model all_outcomes stress cap =
     Result.bind (load_test spec) (fun test ->
         let outcomes =
           if all_outcomes then Some (Outcome.all test) else None
         in
         match
           Engine.run ~config:(config_of_model model) ~counter ?outcomes
-            ~stress_threads:stress ~seed ~iterations test
+            ~exhaustive_cap:cap ~stress_threads:stress ~seed ~iterations test
         with
         | Error r -> fail "%s" (Format.asprintf "%a" Convert.pp_reason r)
         | Ok report ->
@@ -268,6 +279,15 @@ let run_cmd =
             | Engine.Heuristic -> "heuristic"
             | Engine.Exhaustive -> "exhaustive")
             (Config.model_name model);
+          if
+            report.Engine.run.Perple_harness.Perpetual.iterations
+            <> report.Engine.requested_iterations
+          then
+            Printf.printf
+              "note: requested %d iterations, ran %d (exhaustive counter \
+               cap keeps the frame count within budget)\n"
+              report.Engine.requested_iterations
+              report.Engine.run.Perple_harness.Perpetual.iterations;
           List.iteri
             (fun i o ->
               Printf.printf "  %-24s %d\n" (Outcome.to_string o)
@@ -286,7 +306,7 @@ let run_cmd =
     (wrap
        Term.(
          const run $ test_arg $ iterations_arg $ seed_arg $ counter_arg
-         $ model_arg $ all_outcomes_arg $ stress_arg))
+         $ model_arg $ all_outcomes_arg $ stress_arg $ cap_arg))
 
 (* --- litmus7 baseline ---------------------------------------------------- *)
 
@@ -337,6 +357,191 @@ let litmus7_cmd =
        Term.(
          const run $ test_arg $ iterations_arg $ seed_arg $ mode_arg
          $ model_arg $ stress_arg))
+
+(* --- supervise ------------------------------------------------------------ *)
+
+let fault_conv =
+  Arg.conv
+    ( (fun s ->
+        match Fault.of_string s with
+        | Ok f -> Ok f
+        | Error m -> Error (`Msg m)),
+      Fault.pp )
+
+let supervise_cmd =
+  let faults_arg =
+    Arg.(
+      value & opt_all fault_conv []
+      & info [ "fault" ] ~docv:"KIND@PROB"
+          ~doc:
+            "Inject a fault (repeatable): $(b,hang\\@P), $(b,crash\\@P), \
+             $(b,livelock\\@P) trigger per thread per run with probability \
+             P; $(b,store-loss\\@P) silently drops each drained store with \
+             probability P.")
+  in
+  let runs_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "runs" ] ~docv:"R"
+          ~doc:"Number of supervised runs in the campaign.")
+  in
+  let watchdog_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "watchdog-rounds" ] ~docv:"ROUNDS"
+          ~doc:
+            "Abort an attempt past this many virtual rounds (default: \
+             64*N + 10000).")
+  in
+  let min_retired_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "min-retired" ] ~docv:"K"
+          ~doc:
+            "Smallest salvageable prefix: an aborted attempt with at least \
+             $(docv) retired iterations is accepted as truncated (default: \
+             N/100).")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "max-retries" ] ~docv:"R"
+          ~doc:"Retries per run after the first attempt.")
+  in
+  let backoff_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "backoff" ] ~docv:"F"
+          ~doc:"Iteration-budget multiplier per retry, in (0, 1].")
+  in
+  let run spec iterations seed model stress faults runs watchdog min_retired
+      retries backoff =
+    if runs <= 0 then fail "--runs must be positive"
+    else if backoff <= 0.0 || backoff > 1.0 then
+      fail "--backoff must be in (0, 1]"
+    else
+      Result.bind (load_test spec) (fun test ->
+          let config =
+            Config.with_faults faults (config_of_model model)
+          in
+          let base = Supervisor.default_policy ~iterations in
+          let policy =
+            {
+              Supervisor.watchdog_rounds =
+                Option.value watchdog ~default:base.Supervisor.watchdog_rounds;
+              min_retired =
+                Option.value min_retired
+                  ~default:base.Supervisor.min_retired;
+              max_retries = retries;
+              backoff;
+            }
+          in
+          Printf.printf
+            "supervised campaign: %s, %d runs x %d iterations, faults: %s\n"
+            test.Ast.name runs iterations
+            (Fault.profile_to_string faults);
+          Printf.printf
+            "policy: watchdog %d rounds, min retired %d, max retries %d, \
+             backoff %.2f\n"
+            policy.Supervisor.watchdog_rounds policy.Supervisor.min_retired
+            policy.Supervisor.max_retries policy.Supervisor.backoff;
+          let campaign_rng = Perple_util.Rng.create seed in
+          let by_class = Hashtbl.create 4 in
+          let tally cls =
+            Hashtbl.replace by_class cls
+              (1 + Option.value ~default:0 (Hashtbl.find_opt by_class cls))
+          in
+          let total_retries = ref 0 in
+          let total_targets = ref 0 in
+          let total_runtime = ref 0 in
+          let failed = ref 0 in
+          let rec campaign i =
+            if i > runs then Ok ()
+            else begin
+              let run_seed =
+                Int64.to_int (Perple_util.Rng.bits64 campaign_rng)
+                land max_int
+              in
+              match
+                Engine.run ~config ~policy ~stress_threads:stress
+                  ~seed:run_seed ~iterations test
+              with
+              | Error r ->
+                fail "%s" (Format.asprintf "%a" Convert.pp_reason r)
+              | Ok report ->
+                let sup = Option.get report.Engine.supervision in
+                let attempts = sup.Supervisor.attempts in
+                tally sup.Supervisor.outcome;
+                total_retries := !total_retries + List.length attempts - 1;
+                total_targets :=
+                  !total_targets + Engine.target_count report;
+                total_runtime := !total_runtime + report.Engine.virtual_runtime;
+                if sup.Supervisor.run = None then incr failed;
+                Printf.printf
+                  "run %3d  %-9s  attempts %d  retired %d/%d  rounds %d  \
+                   target %d%s\n"
+                  i
+                  (Supervisor.outcome_name sup.Supervisor.outcome)
+                  (List.length attempts)
+                  report.Engine.salvaged_iterations iterations
+                  sup.Supervisor.total_rounds
+                  (Engine.target_count report)
+                  (if report.Engine.degraded then "  [degraded]" else "");
+                if List.length attempts > 1 then
+                  List.iter
+                    (fun (a : Supervisor.attempt) ->
+                      Printf.printf
+                        "         #%d %-9s  retired %d/%d  rounds %d%s%s\n"
+                        a.Supervisor.index
+                        (Supervisor.outcome_name a.Supervisor.outcome)
+                        a.Supervisor.retired a.Supervisor.requested
+                        a.Supervisor.rounds
+                        (if a.Supervisor.lost_stores > 0 then
+                           Printf.sprintf "  lost stores %d"
+                             a.Supervisor.lost_stores
+                         else "")
+                        (match a.Supervisor.exn with
+                        | Some m -> "  exn: " ^ m
+                        | None -> ""))
+                    attempts;
+                campaign (i + 1)
+            end
+          in
+          Result.map
+            (fun () ->
+              let count cls =
+                Option.value ~default:0 (Hashtbl.find_opt by_class cls)
+              in
+              Printf.printf
+                "campaign summary: %d ok, %d truncated, %d timeout, %d \
+                 crashed; %d retries; %d runs lost\n"
+                (count Supervisor.Ok)
+                (count Supervisor.Truncated)
+                (count Supervisor.Timeout)
+                (count Supervisor.Crashed)
+                !total_retries !failed;
+              Printf.printf
+                "total target occurrences: %d; total virtual runtime: %d \
+                 rounds; detection rate: %.3f per Mround\n"
+                !total_targets !total_runtime
+                (if !total_runtime = 0 then 0.0
+                 else
+                   float_of_int !total_targets
+                   /. float_of_int !total_runtime
+                   *. 1_000_000.0))
+            (campaign 1))
+  in
+  Cmd.v
+    (Cmd.info "supervise"
+       ~doc:
+         "Run a fault-injected campaign under the supervisor: watchdog, \
+          outcome classification, retry with backoff, checkpoint salvage; \
+          prints the per-run supervision ledger.")
+    (wrap
+       Term.(
+         const run $ test_arg $ iterations_arg $ seed_arg $ model_arg
+         $ stress_arg $ faults_arg $ runs_arg $ watchdog_arg
+         $ min_retired_arg $ retries_arg $ backoff_arg))
 
 (* --- emit ---------------------------------------------------------------- *)
 
@@ -645,6 +850,7 @@ let main_cmd =
       convert_cmd;
       run_cmd;
       litmus7_cmd;
+      supervise_cmd;
       emit_cmd;
       trace_cmd;
       generate_cmd;

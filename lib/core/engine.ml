@@ -1,5 +1,7 @@
 module Outcome = Perple_litmus.Outcome
 module Perpetual = Perple_harness.Perpetual
+module Supervisor = Perple_harness.Supervisor
+module Machine = Perple_sim.Machine
 module Rng = Perple_util.Rng
 
 type counter = Exhaustive | Heuristic
@@ -12,6 +14,10 @@ type report = {
   frames_examined : int;
   counter : counter;
   virtual_runtime : int;
+  requested_iterations : int;
+  degraded : bool;
+  salvaged_iterations : int;
+  supervision : Supervisor.supervised option;
 }
 
 let exhaustive_iterations_cap ~tl ~cap ~requested =
@@ -29,12 +35,17 @@ let exhaustive_iterations_cap ~tl ~cap ~requested =
     shrink requested
   end
 
-let run ?(config = Perple_sim.Config.default) ?(counter = Heuristic)
-    ?outcomes ?(exhaustive_cap = 250_000_000) ?(stress_threads = 0) ~seed
-    ~iterations test =
+let run ?(config = Perple_sim.Config.default) ?faults ?policy
+    ?(counter = Heuristic) ?outcomes ?(exhaustive_cap = 250_000_000)
+    ?(stress_threads = 0) ~seed ~iterations test =
   match Convert.convert_body test with
   | Error _ as e -> e
   | Ok conversion -> (
+    let config =
+      match faults with
+      | Some faults -> Perple_sim.Config.with_faults faults config
+      | None -> config
+    in
     let outcomes =
       match outcomes with
       | Some o -> o
@@ -60,6 +71,7 @@ let run ?(config = Perple_sim.Config.default) ?(counter = Heuristic)
       | Error e -> Error e
       | Ok converted ->
         let tl = Array.length conversion.Convert.load_threads in
+        let requested_iterations = iterations in
         let iterations =
           match counter with
           | Heuristic -> iterations
@@ -68,16 +80,51 @@ let run ?(config = Perple_sim.Config.default) ?(counter = Heuristic)
               ~requested:iterations
         in
         let rng = Rng.create seed in
-        let run =
-          Perpetual.run ~config ~stress_threads ~rng
-            ~image:conversion.Convert.image
-            ~t_reads:conversion.Convert.t_reads ~iterations ()
+        (* Obtain the run: supervised (watchdog + retry + salvage) when a
+           policy is given, a single direct run otherwise.  Either way a
+           run cut short by faults is salvaged: counting proceeds over the
+           fully retired prefix instead of discarding the run. *)
+        let run, supervision =
+          match policy with
+          | Some policy ->
+            let sup =
+              Supervisor.run_perpetual ~config ~stress_threads ~policy ~rng
+                ~image:conversion.Convert.image
+                ~t_reads:conversion.Convert.t_reads ~iterations ()
+            in
+            let run =
+              match sup.Supervisor.run with
+              | Some run -> run
+              | None ->
+                Perpetual.empty ~t_reads:conversion.Convert.t_reads
+                  ~virtual_runtime:sup.Supervisor.total_rounds
+                  ~termination:Machine.Watchdog_abort
+            in
+            (run, Some sup)
+          | None ->
+            let run =
+              Perpetual.run ~config ~stress_threads ~rng
+                ~image:conversion.Convert.image
+                ~t_reads:conversion.Convert.t_reads ~iterations ()
+            in
+            (Perpetual.truncate run ~iterations:(Perpetual.retired run), None)
         in
+        let degraded = run.Perpetual.iterations < iterations in
         let result =
-          match counter with
-          | Exhaustive ->
-            Count.exhaustive conversion ~outcomes:converted ~run
-          | Heuristic -> Count.heuristic_auto conversion ~outcomes:converted ~run
+          if run.Perpetual.iterations = 0 then
+            { Count.counts = Array.make (List.length outcomes) 0;
+              frames_examined = 0 }
+          else
+            match counter with
+            | Exhaustive ->
+              Count.exhaustive conversion ~outcomes:converted ~run
+            | Heuristic ->
+              Count.heuristic_auto conversion ~outcomes:converted ~run
+        in
+        let run_rounds =
+          match supervision with
+          | Some sup -> sup.Supervisor.total_rounds
+          | None -> run.Perpetual.virtual_runtime
         in
         Ok
           {
@@ -88,8 +135,11 @@ let run ?(config = Perple_sim.Config.default) ?(counter = Heuristic)
             frames_examined = result.Count.frames_examined;
             counter;
             virtual_runtime =
-              run.Perpetual.virtual_runtime
-              + (Count.frame_cost * result.Count.frames_examined);
+              run_rounds + (Count.frame_cost * result.Count.frames_examined);
+            requested_iterations;
+            degraded;
+            salvaged_iterations = run.Perpetual.iterations;
+            supervision;
           }))
 
 let target_count report =

@@ -13,17 +13,34 @@ type counter = Exhaustive | Heuristic
 type report = {
   conversion : Convert.t;
   run : Perple_harness.Perpetual.run;
+      (** The (possibly salvaged) run the counts were computed over;
+          [run.iterations] is the {e effective} length — see
+          [requested_iterations]. *)
   outcomes : Outcome.t list;  (** The outcomes of interest, in order. *)
   counts : int array;  (** Occurrences per outcome of interest. *)
   frames_examined : int;
   counter : counter;
   virtual_runtime : int;
       (** Execution plus counting, in virtual rounds — the paper's
-          "runtime including both test execution and outcome counting". *)
+          "runtime including both test execution and outcome counting".
+          For supervised runs this includes every retried attempt. *)
+  requested_iterations : int;
+      (** The caller's iteration request, before the exhaustive-counter
+          cap and before any fault salvage; compare with
+          [run.iterations] to see how much actually ran. *)
+  degraded : bool;
+      (** True iff faults (or watchdog aborts) left fewer iterations than
+          the effective request: the counts cover a salvaged prefix. *)
+  salvaged_iterations : int;
+      (** Iterations the counts actually cover; equals [run.iterations]. *)
+  supervision : Perple_harness.Supervisor.supervised option;
+      (** The per-attempt ledger, when a supervision policy was used. *)
 }
 
 val run :
   ?config:Perple_sim.Config.t ->
+  ?faults:Perple_sim.Fault.profile ->
+  ?policy:Perple_harness.Supervisor.policy ->
   ?counter:counter ->
   ?outcomes:Outcome.t list ->
   ?exhaustive_cap:int ->
@@ -36,7 +53,17 @@ val run :
     outcome; [counter] defaults to [Heuristic].  With [Exhaustive], the run
     length is capped so that the frame count stays within [exhaustive_cap]
     (default [2.5e8]); the paper itself deems the exhaustive counter
-    impractical at scale (Sec VII-B). *)
+    impractical at scale (Sec VII-B); the effective length is surfaced via
+    [requested_iterations] vs [run.iterations] instead of being applied
+    silently.
+
+    [faults] (overriding [config.faults]) injects failures; [policy]
+    supervises the run — watchdog, retries with backoff and split RNGs,
+    and checkpoint salvage ({!Perple_harness.Supervisor}).  Without a
+    policy, runs truncated by crash faults are still salvaged: counting
+    proceeds over the completed prefix and the report is marked
+    [degraded].  Beware that a hang or livelock fault without a policy
+    leaves no watchdog to bound the run. *)
 
 val target_count : report -> int
 (** Occurrences of the first outcome of interest (the target). *)

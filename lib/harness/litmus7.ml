@@ -7,12 +7,13 @@ module Config = Perple_sim.Config
 type result = {
   histogram : (Outcome.t * int) list;
   iterations : int;
+  retired : int;
   virtual_runtime : int;
   machine : Machine.stats;
 }
 
-let run ?(config = Config.default) ?(stress_threads = 0) ~rng ~test ~mode
-    ~iterations () =
+let run ?(config = Config.default) ?(stress_threads = 0) ?watchdog ~rng ~test
+    ~mode ~iterations () =
   let image =
     Stress.extend_image (Program.compile_litmus test)
       ~threads:stress_threads
@@ -33,7 +34,7 @@ let run ?(config = Config.default) ?(stress_threads = 0) ~rng ~test ~mode
   in
   let stats =
     Machine.run ~config ~rng ~image ~iterations
-      ~barrier:(Sync_mode.barrier mode)
+      ~barrier:(Sync_mode.barrier mode) ?watchdog
       ~on_iteration_end:(fun ~thread ~iteration ~regs ->
         if thread < Array.length slots_of_thread then
           List.iter
@@ -41,9 +42,15 @@ let run ?(config = Config.default) ?(stress_threads = 0) ~rng ~test ~mode
             slots_of_thread.(thread))
       ()
   in
-  (* Tally one outcome per iteration, litmus7-style. *)
+  (* Tally one outcome per fully retired iteration, litmus7-style; a run
+     cut short by faults or the watchdog contributes its completed prefix
+     only (iterations past it would tally as all-zero garbage). *)
+  let retired =
+    Array.fold_left min iterations
+      (Array.sub stats.Machine.iterations_retired 0 (Ast.thread_count test))
+  in
   let table = Hashtbl.create 64 in
-  for n = 0 to iterations - 1 do
+  for n = 0 to retired - 1 do
     let outcome =
       Array.to_list
         (Array.mapi
@@ -62,6 +69,7 @@ let run ?(config = Config.default) ?(stress_threads = 0) ~rng ~test ~mode
   {
     histogram;
     iterations;
+    retired;
     virtual_runtime =
       stats.Machine.rounds + (Sync_mode.iteration_overhead * iterations);
     machine = stats;

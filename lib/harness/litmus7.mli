@@ -16,9 +16,13 @@ module Outcome := Perple_litmus.Outcome
 
 type result = {
   histogram : (Outcome.t * int) list;
-      (** Occurrences of every observed outcome; counts sum to the number
-          of iterations. *)
-  iterations : int;
+      (** Occurrences of every observed outcome; counts sum to [retired]
+          (equal to [iterations] for a completed, fault-free run). *)
+  iterations : int;  (** Requested iteration count. *)
+  retired : int;
+      (** Iterations every test thread fully retired — the prefix the
+          histogram tallies; shorter than [iterations] when a fault or the
+          [watchdog] cut the run short. *)
   virtual_runtime : int;  (** Rounds: machine + bookkeeping. *)
   machine : Perple_sim.Machine.stats;
 }
@@ -26,6 +30,7 @@ type result = {
 val run :
   ?config:Perple_sim.Config.t ->
   ?stress_threads:int ->
+  ?watchdog:(round:int -> iterations:int array -> bool) ->
   rng:Perple_util.Rng.t ->
   test:Ast.t ->
   mode:Sync_mode.t ->

@@ -33,6 +33,8 @@ val run :
   ?config:Perple_sim.Config.t ->
   ?on_sample:(round:int -> iterations:int array -> unit) ->
   ?on_event:(round:int -> Perple_sim.Machine.event -> unit) ->
+  ?on_iteration_end:(thread:int -> iteration:int -> regs:int array -> unit) ->
+  ?watchdog:(round:int -> iterations:int array -> bool) ->
   ?stress_threads:int ->
   rng:Perple_util.Rng.t ->
   image:Perple_sim.Program.image ->
@@ -43,4 +45,30 @@ val run :
 (** Registers in the image must be numbered by load slot (the Converter
     guarantees this): thread [t]'s [i]-th load targets register [i].
     [stress_threads] (default 0) adds {!Stress} threads that perturb
-    scheduling without touching test locations. *)
+    scheduling without touching test locations.
+
+    [on_iteration_end] runs after the perpetual buf bookkeeping for the
+    same iteration; the [regs] array is the machine's live register file
+    (see {!Perple_sim.Machine.run} — copy if retained).  [watchdog] is
+    forwarded to the machine; when it aborts, the returned [bufs] are
+    valid over the retired prefix only (see {!retired}). *)
+
+val retired : run -> int
+(** The number of iterations every test thread fully retired — the
+    longest prefix of [bufs] that holds real data.  Equals [iterations]
+    for a completed, fault-free run. *)
+
+val truncate : run -> iterations:int -> run
+(** [truncate run ~iterations] keeps the first [iterations] iterations of
+    every buf — the checkpoint-salvage step for runs cut short by faults
+    or the watchdog.  [virtual_runtime] and machine stats are kept (the
+    rounds were spent regardless).  Raises [Invalid_argument] if
+    [iterations] exceeds the run's. *)
+
+val empty :
+  t_reads:int array ->
+  virtual_runtime:int ->
+  termination:Perple_sim.Machine.termination ->
+  run
+(** A zero-iteration run, used when supervision exhausts its retries
+    without salvageable data. *)

@@ -1,0 +1,233 @@
+module Machine = Perple_sim.Machine
+module Config = Perple_sim.Config
+module Rng = Perple_util.Rng
+module Ast = Perple_litmus.Ast
+
+type outcome = Ok | Timeout | Crashed | Truncated
+
+let outcome_name = function
+  | Ok -> "ok"
+  | Timeout -> "timeout"
+  | Crashed -> "crashed"
+  | Truncated -> "truncated"
+
+type policy = {
+  watchdog_rounds : int;
+  min_retired : int;
+  max_retries : int;
+  backoff : float;
+}
+
+let default_policy ~iterations =
+  {
+    watchdog_rounds = (64 * iterations) + 10_000;
+    min_retired = max 1 (iterations / 100);
+    max_retries = 3;
+    backoff = 0.5;
+  }
+
+type attempt = {
+  index : int;
+  outcome : outcome;
+  requested : int;
+  retired : int;
+  rounds : int;
+  lost_stores : int;
+  termination : Machine.termination;
+  exn : string option;
+  last_regs : int array array;
+}
+
+type supervised = {
+  attempts : attempt list;
+  outcome : outcome;
+  run : Perpetual.run option;
+  salvaged_iterations : int;
+  degraded : bool;
+  total_rounds : int;
+}
+
+(* Classification shared by both runners: [retired] out of [requested]
+   iterations were completed before [termination] ended the attempt. *)
+let classify policy ~requested ~retired (termination : Machine.termination) =
+  if retired >= requested then Ok
+  else if retired >= policy.min_retired then Truncated
+  else
+    match termination with
+    | Machine.Watchdog_abort | Machine.Hung -> Timeout
+    | Machine.Completed -> Crashed
+
+let backed_off policy budget =
+  max 1 (int_of_float (float_of_int budget *. policy.backoff))
+
+let run_perpetual ?(config = Config.default) ?(stress_threads = 0) ~policy
+    ~rng ~image ~t_reads ~iterations () =
+  let nthreads = Array.length t_reads in
+  let attempts = ref [] in
+  let total_rounds = ref 0 in
+  (* Best salvageable partial seen across failed attempts: if retries run
+     out, its prefix is still better than nothing (checkpoint salvage). *)
+  let best = ref None in
+  let finish outcome run salvaged =
+    {
+      attempts = List.rev !attempts;
+      outcome;
+      run;
+      salvaged_iterations = salvaged;
+      degraded = salvaged < iterations;
+      total_rounds = !total_rounds;
+    }
+  in
+  let rec go index budget =
+    let arng = Rng.split rng in
+    let last_regs = Array.make nthreads [||] in
+    let snapshot ~thread ~iteration:_ ~regs =
+      (* The machine reuses [regs] across iterations: copy defensively. *)
+      if thread < nthreads then last_regs.(thread) <- Array.copy regs
+    in
+    let watchdog ~round ~iterations:_ = round > policy.watchdog_rounds in
+    let record outcome ~retired ~rounds ~lost_stores ~termination ~exn =
+      attempts :=
+        {
+          index;
+          outcome;
+          requested = budget;
+          retired;
+          rounds;
+          lost_stores;
+          termination;
+          exn;
+          last_regs;
+        }
+        :: !attempts
+    in
+    let retry_or_fail outcome =
+      if index >= policy.max_retries then
+        match !best with
+        | Some (retired, run) ->
+          finish Truncated
+            (Some (Perpetual.truncate run ~iterations:retired))
+            retired
+        | None -> finish outcome None 0
+      else go (index + 1) (backed_off policy budget)
+    in
+    match
+      try
+        Stdlib.Ok
+          (Perpetual.run ~config ~stress_threads ~watchdog
+             ~on_iteration_end:snapshot ~rng:arng ~image ~t_reads
+             ~iterations:budget ())
+      with e -> Stdlib.Error (Printexc.to_string e)
+    with
+    | Stdlib.Error msg ->
+      record Crashed ~retired:0 ~rounds:0 ~lost_stores:0
+        ~termination:Machine.Completed ~exn:(Some msg);
+      retry_or_fail Crashed
+    | Stdlib.Ok run ->
+      let stats = run.Perpetual.machine in
+      total_rounds := !total_rounds + run.Perpetual.virtual_runtime;
+      let retired = Perpetual.retired run in
+      let outcome = classify policy ~requested:budget ~retired
+          stats.Machine.termination
+      in
+      record outcome ~retired ~rounds:stats.Machine.rounds
+        ~lost_stores:stats.Machine.lost_stores
+        ~termination:stats.Machine.termination ~exn:None;
+      (match outcome with
+      | Ok -> finish Ok (Some run) retired
+      | Truncated ->
+        finish Truncated
+          (Some (Perpetual.truncate run ~iterations:retired))
+          retired
+      | Timeout | Crashed ->
+        (match !best with
+        | Some (r, _) when r >= retired -> ()
+        | Some _ | None -> if retired > 0 then best := Some (retired, run));
+        retry_or_fail outcome)
+  in
+  go 0 iterations
+
+type litmus7_supervised = {
+  l7_attempts : attempt list;
+  l7_outcome : outcome;
+  l7_result : Litmus7.result option;
+  l7_total_rounds : int;
+}
+
+let run_litmus7 ?(config = Config.default) ?(stress_threads = 0) ~policy ~rng
+    ~test ~mode ~iterations () =
+  let nthreads = Ast.thread_count test in
+  let attempts = ref [] in
+  let total_rounds = ref 0 in
+  let best = ref None in
+  let finish outcome result =
+    {
+      l7_attempts = List.rev !attempts;
+      l7_outcome = outcome;
+      l7_result = result;
+      l7_total_rounds = !total_rounds;
+    }
+  in
+  let rec go index budget =
+    let arng = Rng.split rng in
+    let last_regs = Array.make nthreads [||] in
+    let watchdog ~round ~iterations:_ = round > policy.watchdog_rounds in
+    let retry_or_fail outcome =
+      if index >= policy.max_retries then
+        match !best with
+        | Some (_, result) -> finish Truncated (Some result)
+        | None -> finish outcome None
+      else go (index + 1) (backed_off policy budget)
+    in
+    match
+      try
+        Stdlib.Ok
+          (Litmus7.run ~config ~stress_threads ~watchdog ~rng:arng ~test
+             ~mode ~iterations:budget ())
+      with e -> Stdlib.Error (Printexc.to_string e)
+    with
+    | Stdlib.Error msg ->
+      attempts :=
+        {
+          index;
+          outcome = Crashed;
+          requested = budget;
+          retired = 0;
+          rounds = 0;
+          lost_stores = 0;
+          termination = Machine.Completed;
+          exn = Some msg;
+          last_regs;
+        }
+        :: !attempts;
+      retry_or_fail Crashed
+    | Stdlib.Ok result ->
+      let stats = result.Litmus7.machine in
+      total_rounds := !total_rounds + result.Litmus7.virtual_runtime;
+      let retired = result.Litmus7.retired in
+      let outcome =
+        classify policy ~requested:budget ~retired stats.Machine.termination
+      in
+      attempts :=
+        {
+          index;
+          outcome;
+          requested = budget;
+          retired;
+          rounds = stats.Machine.rounds;
+          lost_stores = stats.Machine.lost_stores;
+          termination = stats.Machine.termination;
+          exn = None;
+          last_regs;
+        }
+        :: !attempts;
+      (match outcome with
+      | Ok -> finish Ok (Some result)
+      | Truncated -> finish Truncated (Some result)
+      | Timeout | Crashed ->
+        (match !best with
+        | Some (r, _) when r >= retired -> ()
+        | Some _ | None -> if retired > 0 then best := Some (retired, result));
+        retry_or_fail outcome)
+  in
+  go 0 iterations

@@ -1,0 +1,125 @@
+(** Supervised execution: watchdog, outcome classification, retry with
+    backoff, and checkpoint salvage for harness runs.
+
+    The paper's campaigns are long batch jobs on real hardware, where
+    individual runs hang, crash or livelock; the campaign's value depends
+    on surviving them.  This module wraps {!Perpetual.run} (and
+    {!Litmus7.run}) the way a campaign driver would:
+
+    - a {e virtual-clock watchdog} aborts any attempt whose round count
+      exceeds the policy's budget (catching fault-injected hangs and
+      livelocks that would otherwise spin forever);
+    - each attempt is {e classified} [Ok | Timeout | Crashed | Truncated];
+    - failed attempts are {e retried}, each with a freshly split RNG (so
+      the retry explores a different schedule and fault draw) and an
+      exponentially backed-off iteration budget — a flaky environment
+      still yields a small complete run instead of repeated large losses;
+    - partial results are {e salvaged}: the longest fully retired prefix
+      of a truncated run is kept rather than discarded.
+
+    Everything is deterministic: equal seeds, configs and policies produce
+    identical ledgers, classifications and salvaged data. *)
+
+module Machine := Perple_sim.Machine
+
+type outcome =
+  | Ok  (** The attempt retired every requested iteration. *)
+  | Timeout
+      (** The watchdog (or hang quiescence) aborted the attempt with
+          fewer than [min_retired] iterations salvageable. *)
+  | Crashed
+      (** The run raised, or terminated early with fewer than
+          [min_retired] iterations retired. *)
+  | Truncated
+      (** A partial prefix of at least [min_retired] iterations was
+          salvaged. *)
+
+val outcome_name : outcome -> string
+
+type policy = {
+  watchdog_rounds : int;
+      (** Per-attempt virtual-round budget; the watchdog aborts beyond
+          it. *)
+  min_retired : int;
+      (** K: the smallest salvageable prefix.  An aborted attempt with at
+          least this many retired iterations is accepted as [Truncated];
+          below it the attempt counts as [Timeout]/[Crashed] and is
+          retried. *)
+  max_retries : int;  (** Retries after the first attempt. *)
+  backoff : float;
+      (** Iteration-budget multiplier per retry, in (0, 1]; 0.5 halves
+          the budget each time. *)
+}
+
+val default_policy : iterations:int -> policy
+(** A generous budget ([64·N + 10_000] rounds — an order of magnitude
+    above typical fault-free runs), [min_retired = max 1 (N/100)],
+    3 retries, backoff 0.5. *)
+
+type attempt = {
+  index : int;  (** 0 for the first attempt. *)
+  outcome : outcome;
+  requested : int;  (** This attempt's (possibly backed-off) budget. *)
+  retired : int;  (** Iterations every test thread completed. *)
+  rounds : int;  (** Machine rounds consumed (0 if the run raised). *)
+  lost_stores : int;
+  termination : Machine.termination;
+  exn : string option;  (** The exception message, if the run raised. *)
+  last_regs : int array array;
+      (** Defensive {e copy} of each test thread's final register file —
+          the machine reuses its [regs] arrays across iterations, so the
+          supervisor snapshots them with [Array.copy] (see the hazard note
+          on {!Perple_sim.Machine.run}). *)
+}
+
+type supervised = {
+  attempts : attempt list;  (** The ledger, in execution order. *)
+  outcome : outcome;  (** Final classification of the whole supervised run. *)
+  run : Perpetual.run option;
+      (** The accepted run, already truncated to its salvaged prefix;
+          [None] when retries were exhausted with nothing salvageable. *)
+  salvaged_iterations : int;
+      (** Iterations of usable data in [run] (0 when [run] is [None]). *)
+  degraded : bool;
+      (** True iff fewer iterations than originally requested were
+          delivered — by truncation or by backed-off retry. *)
+  total_rounds : int;
+      (** Virtual runtime summed over every attempt: the true cost of the
+          supervised run, which detection rates must be charged against. *)
+}
+
+val run_perpetual :
+  ?config:Perple_sim.Config.t ->
+  ?stress_threads:int ->
+  policy:policy ->
+  rng:Perple_util.Rng.t ->
+  image:Perple_sim.Program.image ->
+  t_reads:int array ->
+  iterations:int ->
+  unit ->
+  supervised
+(** Never raises on a faulty run: machine exceptions are caught and
+    classified as [Crashed].  Each attempt draws its RNG by splitting
+    [rng], so the supervised stream is reproducible from the caller's
+    seed. *)
+
+type litmus7_supervised = {
+  l7_attempts : attempt list;
+  l7_outcome : outcome;
+  l7_result : Litmus7.result option;
+      (** The accepted result; its histogram already covers only the
+          retired prefix. *)
+  l7_total_rounds : int;
+}
+
+val run_litmus7 :
+  ?config:Perple_sim.Config.t ->
+  ?stress_threads:int ->
+  policy:policy ->
+  rng:Perple_util.Rng.t ->
+  test:Perple_litmus.Ast.t ->
+  mode:Sync_mode.t ->
+  iterations:int ->
+  unit ->
+  litmus7_supervised
+(** The same supervision for the litmus7-style baseline runner. *)

@@ -7,6 +7,7 @@ type t = {
   buffer_capacity : int;
   jitter_chance : float;
   jitter_mean : int;
+  faults : Fault.profile;
 }
 
 let default =
@@ -17,6 +18,7 @@ let default =
     buffer_capacity = 8;
     jitter_chance = 0.002;
     jitter_mean = 400;
+    faults = Fault.none;
   }
 
 let model_name = function
@@ -29,3 +31,5 @@ let model_name = function
 let with_model model t = { t with model }
 
 let no_jitter t = { t with jitter_chance = 0.0 }
+
+let with_faults faults t = { t with faults }

@@ -38,6 +38,10 @@ type t = {
       (** Per instruction attempt, the chance the thread is preempted. *)
   jitter_mean : int;
       (** Mean preemption length in rounds (geometric). *)
+  faults : Fault.profile;
+      (** Fault-injection profile (default empty).  With an empty profile
+          the machine draws no extra random numbers, so fault-free runs
+          stay bit-identical to builds that predate fault injection. *)
 }
 
 val default : t
@@ -51,3 +55,5 @@ val with_model : model -> t -> t
 val no_jitter : t -> t
 (** Same machine without preemption bursts; useful in unit tests that need
     tightly interleaved threads. *)
+
+val with_faults : Fault.profile -> t -> t

@@ -1,0 +1,89 @@
+module Rng = Perple_util.Rng
+
+type kind = Hang | Crash | Store_loss | Livelock
+
+type spec = { kind : kind; probability : float }
+
+type profile = spec list
+
+let none = []
+
+let livelock_factor = 0.001
+
+let kind_name = function
+  | Hang -> "hang"
+  | Crash -> "crash"
+  | Store_loss -> "store-loss"
+  | Livelock -> "livelock"
+
+let kind_of_name = function
+  | "hang" -> Some Hang
+  | "crash" -> Some Crash
+  | "store-loss" | "store_loss" | "loss" -> Some Store_loss
+  | "livelock" -> Some Livelock
+  | _ -> None
+
+let of_string s =
+  match String.index_opt s '@' with
+  | None ->
+    Error
+      (Printf.sprintf
+         "fault spec %S: expected KIND@PROB (e.g. hang@0.01)" s)
+  | Some i -> (
+    let name = String.sub s 0 i in
+    let prob = String.sub s (i + 1) (String.length s - i - 1) in
+    match kind_of_name name with
+    | None ->
+      Error
+        (Printf.sprintf
+           "unknown fault kind %S (expected hang, crash, store-loss or \
+            livelock)"
+           name)
+    | Some kind -> (
+      match float_of_string_opt prob with
+      | Some p when p >= 0.0 && p <= 1.0 -> Ok { kind; probability = p }
+      | Some _ | None ->
+        Error
+          (Printf.sprintf "fault probability %S: expected a float in [0, 1]"
+             prob)))
+
+let to_string { kind; probability } =
+  Printf.sprintf "%s@%g" (kind_name kind) probability
+
+let pp ppf spec = Format.pp_print_string ppf (to_string spec)
+
+let profile_to_string = function
+  | [] -> "none"
+  | profile -> String.concat "," (List.map to_string profile)
+
+type armed = {
+  hang_at : int option;
+  crash_at : int option;
+  loss_chance : float;
+  livelock_at : int option;
+}
+
+let disarmed =
+  { hang_at = None; crash_at = None; loss_chance = 0.0; livelock_at = None }
+
+let earliest a b =
+  match (a, b) with
+  | Some x, Some y -> Some (min x y)
+  | (Some _ as s), None | None, (Some _ as s) -> s
+  | None, None -> None
+
+let arm profile ~rng ~iterations =
+  let onset () = Some (Rng.int rng (max 1 iterations)) in
+  List.fold_left
+    (fun armed spec ->
+      match spec.kind with
+      | Store_loss ->
+        { armed with loss_chance = Float.max armed.loss_chance spec.probability }
+      | Hang when Rng.chance rng spec.probability ->
+        { armed with hang_at = earliest armed.hang_at (onset ()) }
+      | Crash when Rng.chance rng spec.probability ->
+        { armed with crash_at = earliest armed.crash_at (onset ()) }
+      | Livelock when Rng.chance rng spec.probability ->
+        { armed with livelock_at = earliest armed.livelock_at (onset ()) }
+      | Hang | Crash | Livelock -> armed)
+    disarmed profile

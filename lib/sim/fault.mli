@@ -1,0 +1,82 @@
+(** Fault injection for the simulated machine.
+
+    The paper's campaigns run on real hardware where individual runs hang,
+    die or silently lose data; a verification campaign is only as good as
+    its ability to survive those failures.  This module models the failure
+    modes so the supervision layer ({!Perple_harness.Supervisor}) can be
+    exercised deterministically: every fault decision is drawn from the
+    run's own {!Perple_util.Rng}, so a seed reproduces the faults exactly.
+
+    A {e profile} is a list of fault specs; {!Config.t} carries one in its
+    [faults] field (empty by default, in which case the machine draws no
+    extra random numbers and behaves bit-identically to a fault-free
+    build).  At the start of a run the machine {e arms} the profile once
+    per thread: each probabilistic spec either triggers for that thread —
+    fixing the onset point — or stays dormant for the whole run. *)
+
+type kind =
+  | Hang
+      (** The thread stops retiring instructions at a uniformly drawn
+          iteration and never resumes; its buffered stores still drain.
+          The run cannot complete — a watchdog must abort it. *)
+  | Crash
+      (** The thread's iteration loop terminates early at a uniformly
+          drawn iteration, leaving a short [buf] prefix; the rest of the
+          machine runs to completion. *)
+  | Store_loss
+      (** Each drained store is silently dropped (removed from the buffer
+          but never written to memory) with the given probability.  No
+          event is emitted — the loss is invisible except through the
+          [lost_stores] counter and wrong memory contents. *)
+  | Livelock
+      (** From a uniformly drawn iteration on, the thread's effective
+          progress chance collapses by {!livelock_factor}: it still
+          crawls forward, defeating pure no-progress detection, but a
+          round-budget watchdog catches it. *)
+
+type spec = { kind : kind; probability : float }
+(** For [Hang], [Crash] and [Livelock], [probability] is the per-thread,
+    per-run chance the fault triggers at all; for [Store_loss] it is the
+    per-drain loss probability (armed on every thread). *)
+
+type profile = spec list
+
+val none : profile
+
+val livelock_factor : float
+(** Multiplier applied to [progress_chance] once a livelock fault sets
+    in (0.001). *)
+
+val kind_name : kind -> string
+
+val kind_of_name : string -> kind option
+
+val of_string : string -> (spec, string) result
+(** Parses the CLI syntax [KIND\@PROB], e.g. ["hang\@0.01"],
+    ["store-loss\@0.002"].  The probability must be in [\[0, 1\]]. *)
+
+val to_string : spec -> string
+(** Inverse of {!of_string}. *)
+
+val pp : Format.formatter -> spec -> unit
+
+val profile_to_string : profile -> string
+(** Comma-separated specs; ["none"] for the empty profile. *)
+
+(** {2 Arming (used by {!Machine})} *)
+
+type armed = {
+  hang_at : int option;  (** Iteration at which the thread hangs. *)
+  crash_at : int option;  (** Iteration at which the thread crashes. *)
+  loss_chance : float;  (** Per-drain silent-loss probability. *)
+  livelock_at : int option;
+      (** Iteration from which progress collapses. *)
+}
+
+val disarmed : armed
+
+val arm : profile -> rng:Perple_util.Rng.t -> iterations:int -> armed
+(** Draws one thread's armed faults.  Deterministic: equal rng states and
+    profiles give equal arms.  Onset iterations are uniform over
+    [\[0, iterations)].  When several specs of the same kind trigger, the
+    earliest onset (respectively the largest loss probability) wins. *)

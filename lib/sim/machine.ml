@@ -8,12 +8,20 @@ type event =
   | Barrier_release
   | Stall of { thread : int; until : int }
 
+type termination =
+  | Completed
+  | Watchdog_abort
+  | Hung
+
 type stats = {
   rounds : int;
   instructions : int;
   drains : int;
   barriers : int;
   stalls : int;
+  termination : termination;
+  iterations_retired : int array;
+  lost_stores : int;
 }
 
 (* A store-buffer entry: destination cell and value. *)
@@ -26,6 +34,7 @@ type thread_state = {
   mutable stall_until : int;
   mutable waiting : bool;  (* at the barrier *)
   mutable finished : bool;
+  mutable hung : bool;  (* fault-injected: never retires again *)
   regs : int array;
 }
 
@@ -41,8 +50,8 @@ let image_uses_indexed (image : Program.image) =
         t.body)
     image.programs
 
-let run ?on_iteration_end ?on_sample ?on_event ?(sample_interval = 64)
-    ~config ~rng ~image ~iterations ~barrier () =
+let run ?on_iteration_end ?on_sample ?on_event ?watchdog
+    ?(sample_interval = 64) ~config ~rng ~image ~iterations ~barrier () =
   if iterations <= 0 then invalid_arg "Machine.run: iterations must be > 0";
   let nthreads = Array.length image.Program.programs in
   let nlocs = Array.length image.Program.location_names in
@@ -60,16 +69,32 @@ let run ?on_iteration_end ?on_sample ?on_event ?(sample_interval = 64)
           stall_until = 0;
           waiting = false;
           finished = false;
+          hung = false;
           regs = Array.make (max 1 p.reg_count) 0;
         })
       image.Program.programs
   in
+  (* Arm the fault profile once per thread, up front, so the arming draws
+     sit at a fixed point of the random stream.  An empty profile draws
+     nothing: fault-free runs are bit-identical to pre-fault builds. *)
+  let faults =
+    if config.Config.faults = [] then [||]
+    else
+      Array.map
+        (fun _ -> Fault.arm config.Config.faults ~rng ~iterations)
+        threads
+  in
+  let has_faults = Array.length faults > 0 in
+  let fault_of t = if has_faults then faults.(t) else Fault.disarmed in
   let clock = ref 0 in
   let last_progress = ref 0 in
   let instructions = ref 0 in
   let drains = ref 0 in
   let barriers = ref 0 in
   let stalls = ref 0 in
+  let lost_stores = ref 0 in
+  let aborted = ref None in
+  let next_watchdog = ref sample_interval in
   let cell_of addr (st : thread_state) =
     match (addr : Program.addressing) with
     | Program.Shared -> 0
@@ -124,9 +149,16 @@ let run ?on_iteration_end ?on_sample ?on_event ?(sample_interval = 64)
           (oldest, rest)
       in
       st.buffer <- remaining;
-      memory.(entry.loc).(entry.cell) <- entry.value;
-      emit (Drain { thread = t; loc = entry.loc; value = entry.value });
-      incr drains
+      let loss = (fault_of t).Fault.loss_chance in
+      if loss > 0.0 && Rng.chance rng loss then
+        (* Silent store loss: the entry leaves the buffer but never
+           reaches memory, and no event betrays it. *)
+        incr lost_stores
+      else begin
+        memory.(entry.loc).(entry.cell) <- entry.value;
+        emit (Drain { thread = t; loc = entry.loc; value = entry.value });
+        incr drains
+      end
   in
   let finish_iteration t st =
     (match on_iteration_end with
@@ -198,18 +230,45 @@ let run ?on_iteration_end ?on_sample ?on_event ?(sample_interval = 64)
   let all_waiting () =
     Array.for_all (fun st -> st.finished || st.waiting) threads
   in
-  while not (all_finished ()) do
+  while !aborted = None && not (all_finished ()) do
     incr clock;
     if !clock - !last_progress > 2_000_000 then
       failwith
         "Machine.run: livelock (no instruction or drain for 2M rounds; is \
          drain_chance 0 with a full store buffer?)";
+    (* Watchdog: polled at the sampling cadence ([>=] so fast-forward
+       jumps cannot skip a check).  Observation only — no rng draws. *)
+    (match watchdog with
+    | Some should_abort when !clock >= !next_watchdog ->
+      next_watchdog := !clock + sample_interval;
+      if
+        should_abort ~round:!clock
+          ~iterations:(Array.map (fun st -> st.iteration) threads)
+      then aborted := Some Watchdog_abort
+    | Some _ | None -> ());
+    if !aborted = None then begin
     (* Randomised round-robin offset avoids systematic thread bias. *)
     let offset = Rng.int rng nthreads in
     for i = 0 to nthreads - 1 do
       let t = (i + offset) mod nthreads in
       let st = threads.(t) in
-      if (not st.finished) && (not st.waiting) && st.stall_until <= !clock
+      (* Fault triggers: crash and hang fire as soon as the thread's
+         iteration reaches the armed onset, even while stalled or at the
+         barrier.  Neither draws from the rng. *)
+      if has_faults then begin
+        let a = fault_of t in
+        (match a.Fault.crash_at with
+        | Some c when (not st.finished) && st.iteration >= c ->
+          st.finished <- true;
+          st.waiting <- false
+        | Some _ | None -> ());
+        match a.Fault.hang_at with
+        | Some h when (not st.hung) && st.iteration >= h -> st.hung <- true
+        | Some _ | None -> ()
+      end;
+      if
+        (not st.finished) && (not st.waiting) && (not st.hung)
+        && st.stall_until <= !clock
       then begin
         if config.Config.jitter_chance > 0.0
            && Rng.chance rng config.Config.jitter_chance
@@ -221,7 +280,14 @@ let run ?on_iteration_end ?on_sample ?on_event ?(sample_interval = 64)
           emit (Stall { thread = t; until = st.stall_until });
           incr stalls
         end
-        else if Rng.chance rng config.Config.progress_chance then begin
+        else begin
+        let progress_chance =
+          match (fault_of t).Fault.livelock_at with
+          | Some l when st.iteration >= l ->
+            config.Config.progress_chance *. Fault.livelock_factor
+          | Some _ | None -> config.Config.progress_chance
+        in
+        if Rng.chance rng progress_chance then begin
           let program = image.Program.programs.(t) in
           if st.pc >= Array.length program.body then finish_iteration t st
           else execute t st;
@@ -230,6 +296,7 @@ let run ?on_iteration_end ?on_sample ?on_event ?(sample_interval = 64)
           if (not st.finished) && (not st.waiting)
              && st.pc >= Array.length program.body
           then finish_iteration t st
+        end
         end
       end
     done;
@@ -244,11 +311,11 @@ let run ?on_iteration_end ?on_sample ?on_event ?(sample_interval = 64)
     | Every_iteration { cost; max_release_skew }
       when all_waiting () && not (all_finished ()) ->
       clock := !clock + cost;
-      Array.iter
-        (fun st ->
+      Array.iteri
+        (fun t st ->
           if not st.finished then begin
             while st.buffer <> [] do
-              drain_one 0 st
+              drain_one t st
             done;
             st.waiting <- false;
             st.iteration <- st.iteration + 1;
@@ -279,7 +346,7 @@ let run ?on_iteration_end ?on_sample ?on_event ?(sample_interval = 64)
       let all_idle =
         Array.for_all
           (fun st ->
-            if st.finished || st.waiting then true
+            if st.finished || st.waiting || st.hung then true
             else begin
               if st.stall_until < !earliest then earliest := st.stall_until;
               st.stall_until > !clock + 1
@@ -288,21 +355,37 @@ let run ?on_iteration_end ?on_sample ?on_event ?(sample_interval = 64)
       in
       if all_idle && !earliest > !clock + 1 && !earliest < max_int then
         clock := !earliest - 1
+    end;
+    (* Fault quiescence: when every unfinished thread is hung (or parked
+       at a barrier that a hung thread prevents from ever releasing) and
+       no buffered store remains, no event can ever happen again — abort
+       instead of spinning to the livelock limit. *)
+    if
+      has_faults
+      && Array.exists (fun st -> st.hung && not st.finished) threads
+      && Array.for_all (fun st -> st.finished || st.hung || st.waiting) threads
+      && Array.for_all (fun st -> st.buffer = []) threads
+    then aborted := Some Hung
     end
   done;
   (* Termination flush: on real hardware every buffered store eventually
-     reaches memory; drain the leftovers, one round each. *)
-  Array.iter
-    (fun st ->
-      while st.buffer <> [] do
-        incr clock;
-        drain_one 0 st
-      done)
-    threads;
+     reaches memory; drain the leftovers, one round each.  An aborted run
+     stops dead instead — its in-flight stores are part of the loss. *)
+  if !aborted = None then
+    Array.iteri
+      (fun t st ->
+        while st.buffer <> [] do
+          incr clock;
+          drain_one t st
+        done)
+      threads;
   {
     rounds = !clock;
     instructions = !instructions;
     drains = !drains;
     barriers = !barriers;
     stalls = !stalls;
+    termination = Option.value ~default:Completed !aborted;
+    iterations_retired = Array.map (fun st -> st.iteration) threads;
+    lost_stores = !lost_stores;
   }

@@ -32,18 +32,36 @@ type event =
   | Barrier_release  (** All threads passed the per-iteration barrier. *)
   | Stall of { thread : int; until : int }  (** OS-jitter preemption. *)
 
+type termination =
+  | Completed  (** Every thread retired all its iterations. *)
+  | Watchdog_abort  (** The [watchdog] callback requested an abort. *)
+  | Hung
+      (** Fault injection left every unfinished thread hung (or parked at
+          a barrier a hung thread can never release) with empty buffers:
+          no event could ever happen again. *)
+
 type stats = {
   rounds : int;  (** Final virtual clock value. *)
   instructions : int;  (** Instructions executed across all threads. *)
   drains : int;  (** Store-buffer drain events. *)
   barriers : int;  (** Barrier rendezvous performed. *)
   stalls : int;  (** Jitter preemptions suffered. *)
+  termination : termination;
+      (** [Completed] unless the run was cut short; aborted runs skip the
+          termination flush, so in-flight stores stay unperformed. *)
+  iterations_retired : int array;
+      (** Per thread, the number of fully retired iterations; equals
+          [iterations] everywhere iff the run completed without crash
+          faults. *)
+  lost_stores : int;
+      (** Stores silently dropped by {!Fault.Store_loss} injection. *)
 }
 
 val run :
   ?on_iteration_end:(thread:int -> iteration:int -> regs:int array -> unit) ->
   ?on_sample:(round:int -> iterations:int array -> unit) ->
   ?on_event:(round:int -> event -> unit) ->
+  ?watchdog:(round:int -> iterations:int array -> bool) ->
   ?sample_interval:int ->
   config:Config.t ->
   rng:Perple_util.Rng.t ->
@@ -55,7 +73,21 @@ val run :
 (** Runs every thread for [iterations] iterations of its body.
 
     [on_iteration_end] fires when a thread finishes an iteration, with that
-    thread's register file (reused across calls — copy if retained).
+    thread's register file.  {b Hazard}: the [regs] array is the thread's
+    live register file, reused across calls — a callback that retains it
+    without [Array.copy] will observe the values being clobbered by later
+    iterations (regression-tested in [test_sim]; the supervision layer
+    copies defensively).
+
+    [watchdog] is polled at the sampling cadence with the current round and
+    per-thread iteration counts; returning [true] aborts the run with
+    [termination = Watchdog_abort].  Partial results (register files already
+    delivered through [on_iteration_end]) remain valid — this is how the
+    supervisor bounds runs that fault injection has hung or livelocked.
+
+    Fault injection ([config.faults]) is armed per thread at run start from
+    [rng]; an empty profile draws nothing, keeping fault-free runs
+    bit-identical to builds without fault injection.
 
     [on_sample] fires every [sample_interval] rounds (default 64) with each
     thread's current iteration index; used to measure ground-truth thread

@@ -121,7 +121,35 @@ let test_parse_file () =
     check Alcotest.int "file test accepted" 0 code
   end
 
+let test_supervise () =
+  expect_ok ~grep:"campaign summary:"
+    "supervise sb --fault hang@0.05 -n 2000 --runs 3 --seed 1"
+
+let test_supervise_deterministic () =
+  if Lazy.force have_binary then begin
+    let args = "supervise sb --fault hang@0.1 -n 1500 --runs 4 --seed 9" in
+    let code_a, text_a = run_cli args in
+    let code_b, text_b = run_cli args in
+    check Alcotest.int "first run ok" 0 code_a;
+    check Alcotest.int "second run ok" 0 code_b;
+    check Alcotest.string "same ledger for same seed" text_a text_b
+  end
+
+let test_supervise_fault_free () =
+  expect_ok ~grep:"0 retries; 0 runs lost"
+    "supervise sb -n 500 --runs 2 --seed 3"
+
+let test_run_cap_note () =
+  expect_ok ~grep:"requested 5000"
+    "run sb -n 5000 --counter exhaustive --cap 10000"
+
 let test_unknown_test () = expect_fail ~grep:"unknown test" "show nope"
+
+let test_bad_fault_spec () =
+  expect_fail "supervise sb --fault meteor@0.1 -n 100"
+
+let test_bad_fault_probability () =
+  expect_fail "supervise sb --fault hang@1.5 -n 100"
 
 let test_bad_cycle () =
   expect_fail ~grep:"communication" "generate \"PodWR PodRW\""
@@ -150,8 +178,17 @@ let suite =
         Alcotest.test_case "export" `Quick test_export;
         Alcotest.test_case "experiment table2" `Quick test_experiment_table2;
         Alcotest.test_case "parse file" `Quick test_parse_file;
+        Alcotest.test_case "supervise" `Quick test_supervise;
+        Alcotest.test_case "supervise determinism" `Quick
+          test_supervise_deterministic;
+        Alcotest.test_case "supervise fault-free" `Quick
+          test_supervise_fault_free;
+        Alcotest.test_case "run cap note" `Quick test_run_cap_note;
         Alcotest.test_case "unknown test" `Quick test_unknown_test;
         Alcotest.test_case "bad cycle" `Quick test_bad_cycle;
         Alcotest.test_case "bad model" `Quick test_bad_model;
+        Alcotest.test_case "bad fault spec" `Quick test_bad_fault_spec;
+        Alcotest.test_case "bad fault probability" `Quick
+          test_bad_fault_probability;
       ] );
   ]

@@ -107,7 +107,15 @@ let test_engine_exhaustive_counter () =
   check Alcotest.bool "iterations capped" true (n <= 100);
   check Alcotest.int "frames = N^2" (n * n) report.Engine.frames_examined;
   check Alcotest.bool "within cap" true
-    (report.Engine.frames_examined <= 10_000)
+    (report.Engine.frames_examined <= 10_000);
+  (* The silent cap is surfaced: the report keeps the caller's request so
+     the shortfall is visible instead of being applied quietly. *)
+  check Alcotest.int "original request surfaced" 5_000
+    report.Engine.requested_iterations;
+  check Alcotest.int "effective length surfaced" n
+    report.Engine.salvaged_iterations;
+  check Alcotest.bool "cap alone is not degradation" false
+    report.Engine.degraded
 
 let test_engine_stress_changes_run () =
   let plain =

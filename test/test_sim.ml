@@ -257,6 +257,161 @@ let test_indexed_memory_isolation () =
   check Alcotest.bool "only 0 or same-index 1" true
     (List.for_all (fun v -> v = 0 || v = 1) !loaded)
 
+(* --- Fault injection ------------------------------------------------------ *)
+
+module Fault = Perple_sim.Fault
+
+let with_faults faults = Config.with_faults faults Config.default
+
+let fault kind probability = { Fault.kind; probability }
+
+let test_fault_parse () =
+  (match Fault.of_string "hang@0.01" with
+  | Ok { Fault.kind = Fault.Hang; probability } ->
+    check (Alcotest.float 1e-9) "probability" 0.01 probability
+  | Ok _ | Error _ -> Alcotest.fail "hang@0.01 should parse");
+  List.iter
+    (fun spec ->
+      match Fault.of_string (Fault.to_string spec) with
+      | Ok round -> check Alcotest.bool "roundtrip" true (round = spec)
+      | Error m -> Alcotest.failf "roundtrip failed: %s" m)
+    [
+      fault Fault.Hang 0.5;
+      fault Fault.Crash 1.0;
+      fault Fault.Store_loss 0.001;
+      fault Fault.Livelock 0.0;
+    ];
+  List.iter
+    (fun s ->
+      check Alcotest.bool ("rejects " ^ s) true
+        (Result.is_error (Fault.of_string s)))
+    [ "hang"; "hang@"; "hang@1.5"; "hang@-0.1"; "meteor@0.1"; "@0.5" ]
+
+let test_fault_arm_deterministic () =
+  let profile = [ fault Fault.Hang 0.3; fault Fault.Crash 0.7 ] in
+  let a = Fault.arm profile ~rng:(Rng.create 11) ~iterations:1000 in
+  let b = Fault.arm profile ~rng:(Rng.create 11) ~iterations:1000 in
+  check Alcotest.bool "equal arms" true (a = b);
+  check Alcotest.bool "no fault, no arm" true
+    (Fault.arm [] ~rng:(Rng.create 11) ~iterations:1000 = Fault.disarmed)
+
+let test_fault_hang () =
+  let stats =
+    run_sb ~config:(with_faults [ fault Fault.Hang 1.0 ]) ~iterations:100 ()
+  in
+  check Alcotest.bool "aborted as hung" true
+    (stats.Machine.termination = Machine.Hung);
+  Array.iter
+    (fun retired ->
+      check Alcotest.bool "no thread completed" true (retired < 100))
+    stats.Machine.iterations_retired
+
+let test_fault_crash () =
+  let stats =
+    run_sb ~config:(with_faults [ fault Fault.Crash 1.0 ]) ~iterations:100 ()
+  in
+  check Alcotest.bool "machine completed" true
+    (stats.Machine.termination = Machine.Completed);
+  Array.iter
+    (fun retired ->
+      check Alcotest.bool "every thread truncated" true (retired < 100))
+    stats.Machine.iterations_retired
+
+let test_fault_store_loss () =
+  let stats =
+    run_sb
+      ~config:(with_faults [ fault Fault.Store_loss 0.4 ])
+      ~iterations:200 ()
+  in
+  check Alcotest.bool "stores lost" true (stats.Machine.lost_stores > 0);
+  (* Every buffered store either drains or is lost: 2 per iteration. *)
+  check Alcotest.int "drained + lost = stores" 400
+    (stats.Machine.drains + stats.Machine.lost_stores)
+
+let test_fault_livelock_watchdog () =
+  (* A livelocked thread crawls (progress / 1000): without a watchdog the
+     run would take essentially forever, with one it aborts at the round
+     budget with partial progress. *)
+  let stats =
+    Machine.run
+      ~config:(with_faults [ fault Fault.Livelock 1.0 ])
+      ~rng:(Rng.create 2) ~image:sb_image ~iterations:5_000
+      ~barrier:Machine.No_barrier
+      ~watchdog:(fun ~round ~iterations:_ -> round > 3_000)
+      ()
+  in
+  check Alcotest.bool "watchdog fired" true
+    (stats.Machine.termination = Machine.Watchdog_abort);
+  check Alcotest.bool "partial progress only" true
+    (Array.for_all (fun r -> r < 5_000) stats.Machine.iterations_retired)
+
+let test_watchdog_abort_clean_run () =
+  let stats =
+    Machine.run ~config:Config.default ~rng:(Rng.create 1) ~image:sb_image
+      ~iterations:10_000 ~barrier:Machine.No_barrier
+      ~watchdog:(fun ~round ~iterations:_ -> round > 200)
+      ()
+  in
+  check Alcotest.bool "aborted" true
+    (stats.Machine.termination = Machine.Watchdog_abort);
+  check Alcotest.bool "stopped near the budget" true
+    (stats.Machine.rounds >= 200 && stats.Machine.rounds < 2_000)
+
+let test_zero_probability_faults_identical () =
+  (* Arming draws nothing for probability-0 specs, so the random stream —
+     and with it the whole run — matches the fault-free machine. *)
+  let collect config =
+    let seen = ref [] in
+    let stats =
+      run_sb ~config ~iterations:150
+        ~on_iteration_end:(fun ~thread ~iteration:_ ~regs ->
+          seen := (thread, regs.(0)) :: !seen)
+        ()
+    in
+    (stats, !seen)
+  in
+  let plain_stats, plain = collect Config.default in
+  let faulted_stats, faulted =
+    collect
+      (with_faults
+         [
+           fault Fault.Hang 0.0;
+           fault Fault.Crash 0.0;
+           fault Fault.Livelock 0.0;
+           fault Fault.Store_loss 0.0;
+         ])
+  in
+  check Alcotest.bool "same observations" true (plain = faulted);
+  check Alcotest.bool "same stats" true (plain_stats = faulted_stats)
+
+(* The on_iteration_end register-array reuse hazard: the machine hands the
+   callback its live register file, so retaining it without Array.copy
+   observes values clobbered by later iterations.  The supervision layer
+   copies defensively for exactly this reason.  The perpetual image is used
+   because its Seq-valued stores make loaded values grow over the run, so
+   the clobbering is observable regardless of the schedule. *)
+let test_regs_reuse_hazard () =
+  let conversion =
+    match Perple_core.Convert.convert_body Catalog.sb with
+    | Ok c -> c
+    | Error _ -> Alcotest.fail "sb should convert"
+  in
+  let snapshots = ref [] in
+  ignore
+    (Machine.run ~config:Config.default ~rng:(Rng.create 1)
+       ~image:conversion.Perple_core.Convert.image ~iterations:200
+       ~barrier:Machine.No_barrier
+       ~on_iteration_end:(fun ~thread ~iteration:_ ~regs ->
+         if thread = 0 then snapshots := (regs, Array.copy regs) :: !snapshots)
+       ());
+  (match !snapshots with
+  | [] -> Alcotest.fail "no iterations observed"
+  | (first_live, _) :: _ ->
+    check Alcotest.bool "the machine reuses one array" true
+      (List.for_all (fun (live, _) -> live == first_live) !snapshots));
+  check Alcotest.bool "retained array was clobbered" true
+    (List.exists (fun (live, copy) -> live <> copy) !snapshots)
+
 let suite =
   [
     ( "sim.program",
@@ -289,5 +444,22 @@ let suite =
         Alcotest.test_case "sampling" `Quick test_sampling;
         Alcotest.test_case "indexed memory isolation" `Quick
           test_indexed_memory_isolation;
+      ] );
+    ( "sim.fault",
+      [
+        Alcotest.test_case "spec parsing" `Quick test_fault_parse;
+        Alcotest.test_case "deterministic arming" `Quick
+          test_fault_arm_deterministic;
+        Alcotest.test_case "hang quiesces the machine" `Quick test_fault_hang;
+        Alcotest.test_case "crash truncates threads" `Quick test_fault_crash;
+        Alcotest.test_case "store loss accounting" `Quick
+          test_fault_store_loss;
+        Alcotest.test_case "livelock needs a watchdog" `Quick
+          test_fault_livelock_watchdog;
+        Alcotest.test_case "watchdog aborts clean run" `Quick
+          test_watchdog_abort_clean_run;
+        Alcotest.test_case "zero-probability faults are free" `Quick
+          test_zero_probability_faults_identical;
+        Alcotest.test_case "regs reuse hazard" `Quick test_regs_reuse_hazard;
       ] );
   ]
