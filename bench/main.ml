@@ -7,16 +7,23 @@
      dune exec bench/main.exe -- --full       paper-scale experiment drivers
      dune exec bench/main.exe -- --micro-only micro-benchmarks only
      dune exec bench/main.exe -- --drivers-only
+     dune exec bench/main.exe -- --check-counters
+                                              factorized-vs-reference counter
+                                              agreement over the catalog
+                                              (exit 1 on any mismatch)
+     dune exec bench/main.exe -- --json FILE  also emit results as JSON
 
    The experiment drivers print the same rows/series as the paper's Table II
    and Figs 9-13 plus the Sec VII-D/VII-G summaries; the micro suite holds
    one bechamel Test.make group per table/figure, measuring real wall-clock
    time of that experiment's kernel (most importantly, the exhaustive
-   vs. heuristic counter gap of Fig 10). *)
+   vs. heuristic counter gap of Fig 10, plus the factorized-vs-reference
+   exhaustive kernels and the 1-vs-N-domain campaign engine). *)
 
 open Bechamel
 open Toolkit
 module Catalog = Perple_litmus.Catalog
+module Ast = Perple_litmus.Ast
 module Outcome = Perple_litmus.Outcome
 module Operational = Perple_memmodel.Operational
 module Convert = Perple_core.Convert
@@ -56,6 +63,32 @@ let sb_all_outcomes =
        (fun o -> Result.get_ok (OC.convert conv o))
        (Outcome.all Catalog.sb))
 
+(* Frame-space size per kernel run, for the frames/sec column of the JSON
+   emitter (absent entries report null). *)
+let frames_per_run =
+  [
+    ("fig9:perpetual-run+count-1k", 1_000);
+    ("fig10:exhaustive-reference-1k", 1_000_000);
+    ("fig10:exhaustive-factorized-1k", 1_000_000);
+    ("fig10:exhaustive-reference-4k", 16_000_000);
+    ("fig10:exhaustive-factorized-4k", 16_000_000);
+    ("fig10:heuristic-count-1k", 1_000);
+    ("fig10:heuristic-count-4k", 4_000);
+    ("fig11:engine-end-to-end-1k", 1_000);
+    ("fig12:skew-measure-4k", 4_000);
+    ("fig13:variety-count-1k", 1_000);
+    ("overall:litmus7-user-500", 500);
+    ("overall:perpetual-500", 500);
+  ]
+
+let campaign_runs = 8
+let campaign_iterations = 400
+
+let campaign ~jobs () =
+  Result.get_ok
+    (Engine.campaign ~jobs ~runs:campaign_runs ~seed:7
+       ~iterations:campaign_iterations Catalog.sb)
+
 (* One Test.make per table/figure of the evaluation. *)
 let micro_tests =
   [
@@ -75,12 +108,28 @@ let micro_tests =
              ~outcomes:[ Lazy.force sb_target ]
              ~run));
     (* Fig 10: the counting-cost gap — exhaustive N^2 vs heuristic N on an
-       identical prepared 1k-iteration run. *)
-    Test.make ~name:"fig10:exhaustive-count-1k"
+       identical prepared run, with the naive odometer (the paper's
+       Algorithm 1 cost model) and the factorized kernel side by side. *)
+    Test.make ~name:"fig10:exhaustive-reference-1k"
+      (Staged.stage (fun () ->
+           Count.exhaustive_reference (Lazy.force sb_conv)
+             ~outcomes:[ Lazy.force sb_target ]
+             ~run:(Lazy.force run_1k)));
+    Test.make ~name:"fig10:exhaustive-factorized-1k"
       (Staged.stage (fun () ->
            Count.exhaustive (Lazy.force sb_conv)
              ~outcomes:[ Lazy.force sb_target ]
              ~run:(Lazy.force run_1k)));
+    Test.make ~name:"fig10:exhaustive-reference-4k"
+      (Staged.stage (fun () ->
+           Count.exhaustive_reference (Lazy.force sb_conv)
+             ~outcomes:[ Lazy.force sb_target ]
+             ~run:(Lazy.force run_4k)));
+    Test.make ~name:"fig10:exhaustive-factorized-4k"
+      (Staged.stage (fun () ->
+           Count.exhaustive (Lazy.force sb_conv)
+             ~outcomes:[ Lazy.force sb_target ]
+             ~run:(Lazy.force run_4k)));
     Test.make ~name:"fig10:heuristic-count-1k"
       (Staged.stage (fun () ->
            Count.heuristic_auto (Lazy.force sb_conv)
@@ -105,6 +154,12 @@ let micro_tests =
            Count.heuristic_independent (Lazy.force sb_conv)
              ~outcomes:(Lazy.force sb_all_outcomes)
              ~run:(Lazy.force run_1k)));
+    (* Campaign engine: identical 8x400 SB campaigns on 1 vs 4 domains
+       (results are bit-identical; only wall clock may differ). *)
+    Test.make ~name:"campaign:sb-8x400-jobs1"
+      (Staged.stage (campaign ~jobs:1));
+    Test.make ~name:"campaign:sb-8x400-jobs4"
+      (Staged.stage (campaign ~jobs:4));
     (* Sec VII-G: baseline execution cost, litmus7-user vs perpetual. *)
     Test.make ~name:"overall:litmus7-user-500"
       (Staged.stage (fun () ->
@@ -156,20 +211,167 @@ let run_micro () =
       Perple_util.Table.add_row table [ label; pretty_time ns ])
     (List.sort compare rows);
   Perple_util.Table.print table;
-  (* The Fig 10 headline in wall-clock terms. *)
-  let find label = List.assoc ("perple/" ^ label) rows in
-  try
-    let exh = find "fig10:exhaustive-count-1k" in
-    let heur = find "fig10:heuristic-count-1k" in
-    Printf.printf
-      "\nwall-clock counting speedup, heuristic vs exhaustive (sb, N=1k): \
-       %s (paper geomean across suite: 305x; grows with N)\n"
-      (Perple_util.Table.ratio_cell (exh /. heur))
-  with Not_found -> ()
+  let find label = List.assoc_opt ("perple/" ^ label) rows in
+  let headline fmt a b =
+    match (find a, find b) with
+    | Some x, Some y when (not (Float.is_nan x)) && not (Float.is_nan y) ->
+      Printf.printf fmt (Perple_util.Table.ratio_cell (x /. y))
+    | _ -> ()
+  in
+  (* The Fig 10 headline in wall-clock terms: Algorithm 1 vs Algorithm 2
+     (reference kernels, the paper's comparison)... *)
+  headline
+    "\nwall-clock counting speedup, heuristic vs exhaustive (sb, N=1k): %s \
+     (paper geomean across suite: 305x; grows with N)\n"
+    "fig10:exhaustive-reference-1k" "fig10:heuristic-count-1k";
+  (* ...and the factorized kernel against the reference odometer. *)
+  headline
+    "factorized exhaustive kernel vs reference odometer (sb, N=1k): %s\n"
+    "fig10:exhaustive-reference-1k" "fig10:exhaustive-factorized-1k";
+  headline
+    "factorized exhaustive kernel vs reference odometer (sb, N=4k): %s \
+     (target: >= 10x)\n"
+    "fig10:exhaustive-reference-4k" "fig10:exhaustive-factorized-4k";
+  headline
+    "campaign wall-clock, 1 domain vs 4 domains (sb, 8x400): %s (1.00x on \
+     a single-core host; results bit-identical either way)\n"
+    "campaign:sb-8x400-jobs1" "campaign:sb-8x400-jobs4";
+  rows
+
+(* --- Factorized-vs-reference agreement over the catalog ------------------ *)
+
+(* Exhaustive run length per test, bounded so the reference odometer stays
+   affordable at any T_L. *)
+let check_iterations ~tl =
+  if tl >= 4 then 12 else if tl = 3 then 40 else if tl = 2 then 300 else 600
+
+let check_counters () =
+  print_endline
+    "== factorized-vs-reference counter agreement (full catalog) ==";
+  let mismatches = ref 0 in
+  let checked = ref 0 in
+  List.iter
+    (fun (e : Catalog.entry) ->
+      let test = e.Catalog.test in
+      match Convert.convert test with
+      | Error _ -> ()
+      | Ok conv ->
+        let tl = Array.length conv.Convert.load_threads in
+        let iterations = check_iterations ~tl in
+        let run =
+          Perpetual.run ~rng:(Rng.create 11) ~image:conv.Convert.image
+            ~t_reads:conv.Convert.t_reads ~iterations ()
+        in
+        let outcomes =
+          List.filter_map
+            (fun o -> Result.to_option (OC.convert conv o))
+            (Outcome.all test)
+        in
+        let pair name (a : Count.result) (b : Count.result) =
+          incr checked;
+          if a.Count.counts <> b.Count.counts then begin
+            incr mismatches;
+            Printf.printf "MISMATCH %s/%s: [%s] vs [%s]\n" test.Ast.name name
+              (String.concat ";"
+                 (List.map string_of_int (Array.to_list a.Count.counts)))
+              (String.concat ";"
+                 (List.map string_of_int (Array.to_list b.Count.counts)))
+          end
+        in
+        pair "first-match"
+          (Count.exhaustive conv ~outcomes ~run)
+          (Count.exhaustive_reference conv ~outcomes ~run);
+        pair "independent"
+          (Count.exhaustive_independent conv ~outcomes ~run)
+          (Count.exhaustive_independent_reference conv ~outcomes ~run);
+        (match Outcome.of_condition test with
+        | Error _ -> ()
+        | Ok target ->
+          let outcomes = [ Result.get_ok (OC.convert conv target) ] in
+          pair "target"
+            (Count.exhaustive conv ~outcomes ~run)
+            (Count.exhaustive_reference conv ~outcomes ~run)))
+    Catalog.suite;
+  Printf.printf "%d comparisons, %d mismatches\n" !checked !mismatches;
+  !mismatches = 0
+
+(* --- JSON emission -------------------------------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float f =
+  if Float.is_nan f || Float.is_integer f && Float.abs f > 1e15 then "null"
+  else Printf.sprintf "%.6g" f
+
+let emit_json ~path ~mode ~micro ~drivers ~counters_agree =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"schema\": \"perple-bench/1\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"mode\": \"%s\",\n" mode);
+  Buffer.add_string b "  \"micro\": [\n";
+  let micro = List.sort compare micro in
+  List.iteri
+    (fun i (label, ns) ->
+      let short =
+        match String.index_opt label '/' with
+        | Some j -> String.sub label (j + 1) (String.length label - j - 1)
+        | None -> label
+      in
+      let frames = List.assoc_opt short frames_per_run in
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"name\": \"%s\", \"ns_per_run\": %s, \"frames_per_run\": \
+            %s, \"frames_per_sec\": %s}%s\n"
+           (json_escape label) (json_float ns)
+           (match frames with Some f -> string_of_int f | None -> "null")
+           (match frames with
+           | Some f when (not (Float.is_nan ns)) && ns > 0.0 ->
+             json_float (float_of_int f /. (ns /. 1e9))
+           | _ -> "null")
+           (if i = List.length micro - 1 then "" else ",")))
+    micro;
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b "  \"drivers\": [\n";
+  List.iteri
+    (fun i (id, lines) ->
+      Buffer.add_string b
+        (Printf.sprintf "    {\"id\": \"%s\", \"rows\": %d}%s\n"
+           (json_escape id) lines
+           (if i = List.length drivers - 1 then "" else ",")))
+    drivers;
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"counters_agree\": %s\n"
+       (match counters_agree with
+       | Some true -> "true"
+       | Some false -> "false"
+       | None -> "null"));
+  Buffer.add_string b "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Printf.printf "bench results written to %s\n" path
 
 let run_drivers params =
-  List.iter
-    (fun (id, text) -> Printf.printf "==== %s ====\n%s\n%!" id text)
+  List.map
+    (fun (id, text) ->
+      Printf.printf "==== %s ====\n%s\n%!" id text;
+      let lines =
+        String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 0 text
+      in
+      (id, lines))
     (Report.Experiments.run_all params)
 
 let () =
@@ -177,8 +379,39 @@ let () =
   let full = List.mem "--full" args in
   let micro_only = List.mem "--micro-only" args in
   let drivers_only = List.mem "--drivers-only" args in
+  let counters_only = List.mem "--check-counters" args in
+  let json_path =
+    let rec find = function
+      | "--json" :: path :: _ -> Some path
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
   let params =
     if full then Report.Common.default_params else Report.Common.quick_params
   in
-  if not micro_only then run_drivers params;
-  if not drivers_only then run_micro ()
+  let drivers =
+    if (not micro_only) && not counters_only then run_drivers params else []
+  in
+  let micro =
+    if (not drivers_only) && not counters_only then run_micro () else []
+  in
+  let counters_agree =
+    if counters_only || json_path <> None then Some (check_counters ())
+    else None
+  in
+  (match json_path with
+  | Some path ->
+    let mode =
+      if counters_only then "check-counters"
+      else if micro_only then "micro-only"
+      else if drivers_only then "drivers-only"
+      else if full then "full"
+      else "quick"
+    in
+    emit_json ~path ~mode ~micro ~drivers ~counters_agree
+  | None -> ());
+  match counters_agree with
+  | Some false -> exit 1
+  | Some true | None -> ()

@@ -225,24 +225,43 @@ let convert_cmd =
 
 (* --- run ----------------------------------------------------------------- *)
 
+let counter_name = function
+  | Engine.Heuristic -> "heuristic"
+  | Engine.Exhaustive -> "exhaustive"
+  | Engine.Exhaustive_reference -> "exhaustive-reference"
+
 let counter_arg =
   let counter_conv =
     Arg.conv
       ( (function
          | "heur" | "heuristic" -> Ok Engine.Heuristic
          | "exh" | "exhaustive" -> Ok Engine.Exhaustive
-         | _ -> Error (`Msg "expected heur or exh")),
+         | "exh-ref" | "reference" -> Ok Engine.Exhaustive_reference
+         | _ -> Error (`Msg "expected heur, exh or exh-ref")),
         fun ppf c ->
           Format.pp_print_string ppf
             (match c with
             | Engine.Heuristic -> "heur"
-            | Engine.Exhaustive -> "exh") )
+            | Engine.Exhaustive -> "exh"
+            | Engine.Exhaustive_reference -> "exh-ref") )
   in
   Arg.(
     value
     & opt counter_conv Engine.Heuristic
     & info [ "counter" ] ~docv:"COUNTER"
-        ~doc:"Outcome counter: $(b,heur) (linear) or $(b,exh) (N^TL).")
+        ~doc:
+          "Outcome counter: $(b,heur) (linear), $(b,exh) (full N^TL frame \
+           space via the factorized kernel) or $(b,exh-ref) (the naive \
+           N^TL odometer, for fidelity/correctness baselines).")
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Distribute campaign runs over $(docv) domains.  Per-run seeds \
+           are pre-split from the campaign seed, so output is \
+           bit-identical for every $(docv).")
 
 let all_outcomes_arg =
   Arg.(
@@ -260,45 +279,97 @@ let cap_arg =
            capped to stay within it (the cap is reported, not silent).")
 
 let run_cmd =
-  let run spec iterations seed counter model all_outcomes stress cap =
-    Result.bind (load_test spec) (fun test ->
-        let outcomes =
-          if all_outcomes then Some (Outcome.all test) else None
-        in
-        match
-          Engine.run ~config:(config_of_model model) ~counter ?outcomes
-            ~exhaustive_cap:cap ~stress_threads:stress ~seed ~iterations test
-        with
-        | Error r -> fail "%s" (Format.asprintf "%a" Convert.pp_reason r)
-        | Ok report ->
-          Printf.printf
-            "PerpLE run of %s: %d iterations, %s counter, model %s\n"
-            test.Ast.name
-            report.Engine.run.Perple_harness.Perpetual.iterations
-            (match counter with
-            | Engine.Heuristic -> "heuristic"
-            | Engine.Exhaustive -> "exhaustive")
-            (Config.model_name model);
-          if
-            report.Engine.run.Perple_harness.Perpetual.iterations
-            <> report.Engine.requested_iterations
-          then
-            Printf.printf
-              "note: requested %d iterations, ran %d (exhaustive counter \
-               cap keeps the frame count within budget)\n"
-              report.Engine.requested_iterations
-              report.Engine.run.Perple_harness.Perpetual.iterations;
-          List.iteri
-            (fun i o ->
-              Printf.printf "  %-24s %d\n" (Outcome.to_string o)
-                report.Engine.counts.(i))
-            report.Engine.outcomes;
-          Printf.printf
-            "frames examined: %d; virtual runtime: %d rounds; target \
-             detection rate: %.3f per Mround\n"
-            report.Engine.frames_examined report.Engine.virtual_runtime
-            (Engine.detection_rate report);
-          Ok ())
+  let runs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "runs" ] ~docv:"R"
+          ~doc:
+            "Run a campaign of $(docv) independent runs (seeds pre-split \
+             from $(b,--seed)) instead of a single run.")
+  in
+  let print_single counter model report =
+    Printf.printf "PerpLE run of %s: %d iterations, %s counter, model %s\n"
+      report.Engine.conversion.Convert.test.Ast.name
+      report.Engine.run.Perple_harness.Perpetual.iterations
+      (counter_name counter) (Config.model_name model);
+    if
+      report.Engine.run.Perple_harness.Perpetual.iterations
+      <> report.Engine.requested_iterations
+    then
+      Printf.printf
+        "note: requested %d iterations, ran %d (exhaustive counter \
+         cap keeps the frame count within budget)\n"
+        report.Engine.requested_iterations
+        report.Engine.run.Perple_harness.Perpetual.iterations;
+    List.iteri
+      (fun i o ->
+        Printf.printf "  %-24s %d\n" (Outcome.to_string o)
+          report.Engine.counts.(i))
+      report.Engine.outcomes;
+    Printf.printf
+      "frames examined: %d; virtual runtime: %d rounds; target \
+       detection rate: %.3f per Mround\n"
+      report.Engine.frames_examined report.Engine.virtual_runtime
+      (Engine.detection_rate report)
+  in
+  let run spec iterations seed counter model all_outcomes stress cap runs
+      jobs =
+    if runs <= 0 then fail "--runs must be positive"
+    else if jobs <= 0 then fail "--jobs must be positive"
+    else
+      Result.bind (load_test spec) (fun test ->
+          let outcomes =
+            if all_outcomes then Some (Outcome.all test) else None
+          in
+          if runs = 1 then
+            match
+              Engine.run ~config:(config_of_model model) ~counter ?outcomes
+                ~exhaustive_cap:cap ~stress_threads:stress ~seed ~iterations
+                test
+            with
+            | Error r -> fail "%s" (Format.asprintf "%a" Convert.pp_reason r)
+            | Ok report ->
+              print_single counter model report;
+              Ok ()
+          else
+            match
+              Engine.campaign ~config:(config_of_model model) ~counter
+                ?outcomes ~exhaustive_cap:cap ~stress_threads:stress ~jobs
+                ~runs ~seed ~iterations test
+            with
+            | Error r -> fail "%s" (Format.asprintf "%a" Convert.pp_reason r)
+            | Ok reports ->
+              Printf.printf
+                "PerpLE campaign of %s: %d runs x %d iterations, %s \
+                 counter, model %s\n"
+                test.Ast.name runs iterations (counter_name counter)
+                (Config.model_name model);
+              let total_targets = ref 0 and total_runtime = ref 0 in
+              Array.iteri
+                (fun i report ->
+                  total_targets := !total_targets + Engine.target_count report;
+                  total_runtime :=
+                    !total_runtime + report.Engine.virtual_runtime;
+                  Printf.printf
+                    "run %3d  iterations %d  frames %d  runtime %d  target \
+                     %d%s\n"
+                    (i + 1)
+                    report.Engine.run.Perple_harness.Perpetual.iterations
+                    report.Engine.frames_examined
+                    report.Engine.virtual_runtime
+                    (Engine.target_count report)
+                    (if report.Engine.degraded then "  [degraded]" else ""))
+                reports;
+              Printf.printf
+                "campaign total: %d target occurrences; %d virtual rounds; \
+                 detection rate %.3f per Mround\n"
+                !total_targets !total_runtime
+                (if !total_runtime = 0 then 0.0
+                 else
+                   float_of_int !total_targets
+                   /. float_of_int !total_runtime
+                   *. 1_000_000.0);
+              Ok ())
   in
   Cmd.v
     (Cmd.info "run"
@@ -306,7 +377,8 @@ let run_cmd =
     (wrap
        Term.(
          const run $ test_arg $ iterations_arg $ seed_arg $ counter_arg
-         $ model_arg $ all_outcomes_arg $ stress_arg $ cap_arg))
+         $ model_arg $ all_outcomes_arg $ stress_arg $ cap_arg $ runs_arg
+         $ jobs_arg))
 
 (* --- litmus7 baseline ---------------------------------------------------- *)
 
@@ -415,8 +487,9 @@ let supervise_cmd =
           ~doc:"Iteration-budget multiplier per retry, in (0, 1].")
   in
   let run spec iterations seed model stress faults runs watchdog min_retired
-      retries backoff =
+      retries backoff jobs =
     if runs <= 0 then fail "--runs must be positive"
+    else if jobs <= 0 then fail "--jobs must be positive"
     else if backoff <= 0.0 || backoff > 1.0 then
       fail "--backoff must be in (0, 1]"
     else
@@ -445,7 +518,6 @@ let supervise_cmd =
              backoff %.2f\n"
             policy.Supervisor.watchdog_rounds policy.Supervisor.min_retired
             policy.Supervisor.max_retries policy.Supervisor.backoff;
-          let campaign_rng = Perple_util.Rng.create seed in
           let by_class = Hashtbl.create 4 in
           let tally cls =
             Hashtbl.replace by_class cls
@@ -455,57 +527,56 @@ let supervise_cmd =
           let total_targets = ref 0 in
           let total_runtime = ref 0 in
           let failed = ref 0 in
-          let rec campaign i =
-            if i > runs then Ok ()
-            else begin
-              let run_seed =
-                Int64.to_int (Perple_util.Rng.bits64 campaign_rng)
-                land max_int
-              in
-              match
-                Engine.run ~config ~policy ~stress_threads:stress
-                  ~seed:run_seed ~iterations test
-              with
-              | Error r ->
-                fail "%s" (Format.asprintf "%a" Convert.pp_reason r)
-              | Ok report ->
-                let sup = Option.get report.Engine.supervision in
-                let attempts = sup.Supervisor.attempts in
-                tally sup.Supervisor.outcome;
-                total_retries := !total_retries + List.length attempts - 1;
-                total_targets :=
-                  !total_targets + Engine.target_count report;
-                total_runtime := !total_runtime + report.Engine.virtual_runtime;
-                if sup.Supervisor.run = None then incr failed;
-                Printf.printf
-                  "run %3d  %-9s  attempts %d  retired %d/%d  rounds %d  \
-                   target %d%s\n"
-                  i
-                  (Supervisor.outcome_name sup.Supervisor.outcome)
-                  (List.length attempts)
-                  report.Engine.salvaged_iterations iterations
-                  sup.Supervisor.total_rounds
-                  (Engine.target_count report)
-                  (if report.Engine.degraded then "  [degraded]" else "");
-                if List.length attempts > 1 then
-                  List.iter
-                    (fun (a : Supervisor.attempt) ->
-                      Printf.printf
-                        "         #%d %-9s  retired %d/%d  rounds %d%s%s\n"
-                        a.Supervisor.index
-                        (Supervisor.outcome_name a.Supervisor.outcome)
-                        a.Supervisor.retired a.Supervisor.requested
-                        a.Supervisor.rounds
-                        (if a.Supervisor.lost_stores > 0 then
-                           Printf.sprintf "  lost stores %d"
-                             a.Supervisor.lost_stores
-                         else "")
-                        (match a.Supervisor.exn with
-                        | Some m -> "  exn: " ^ m
-                        | None -> ""))
-                    attempts;
-                campaign (i + 1)
-            end
+          (* Runs execute on the pool (bit-identical for any --jobs); the
+             ledger is printed sequentially afterwards, in run order. *)
+          let campaign () =
+            match
+              Engine.campaign ~config ~policy ~stress_threads:stress ~jobs
+                ~runs ~seed ~iterations test
+            with
+            | Error r -> fail "%s" (Format.asprintf "%a" Convert.pp_reason r)
+            | Ok reports ->
+              Array.iteri
+                (fun idx report ->
+                  let i = idx + 1 in
+                  let sup = Option.get report.Engine.supervision in
+                  let attempts = sup.Supervisor.attempts in
+                  tally sup.Supervisor.outcome;
+                  total_retries := !total_retries + List.length attempts - 1;
+                  total_targets :=
+                    !total_targets + Engine.target_count report;
+                  total_runtime :=
+                    !total_runtime + report.Engine.virtual_runtime;
+                  if sup.Supervisor.run = None then incr failed;
+                  Printf.printf
+                    "run %3d  %-9s  attempts %d  retired %d/%d  rounds %d  \
+                     target %d%s\n"
+                    i
+                    (Supervisor.outcome_name sup.Supervisor.outcome)
+                    (List.length attempts)
+                    report.Engine.salvaged_iterations iterations
+                    sup.Supervisor.total_rounds
+                    (Engine.target_count report)
+                    (if report.Engine.degraded then "  [degraded]" else "");
+                  if List.length attempts > 1 then
+                    List.iter
+                      (fun (a : Supervisor.attempt) ->
+                        Printf.printf
+                          "         #%d %-9s  retired %d/%d  rounds %d%s%s\n"
+                          a.Supervisor.index
+                          (Supervisor.outcome_name a.Supervisor.outcome)
+                          a.Supervisor.retired a.Supervisor.requested
+                          a.Supervisor.rounds
+                          (if a.Supervisor.lost_stores > 0 then
+                             Printf.sprintf "  lost stores %d"
+                               a.Supervisor.lost_stores
+                           else "")
+                          (match a.Supervisor.exn with
+                          | Some m -> "  exn: " ^ m
+                          | None -> ""))
+                      attempts)
+                reports;
+              Ok ()
           in
           Result.map
             (fun () ->
@@ -529,7 +600,7 @@ let supervise_cmd =
                    float_of_int !total_targets
                    /. float_of_int !total_runtime
                    *. 1_000_000.0))
-            (campaign 1))
+            (campaign ()))
   in
   Cmd.v
     (Cmd.info "supervise"
@@ -541,7 +612,7 @@ let supervise_cmd =
        Term.(
          const run $ test_arg $ iterations_arg $ seed_arg $ model_arg
          $ stress_arg $ faults_arg $ runs_arg $ watchdog_arg
-         $ min_retired_arg $ retries_arg $ backoff_arg))
+         $ min_retired_arg $ retries_arg $ backoff_arg $ jobs_arg))
 
 (* --- emit ---------------------------------------------------------------- *)
 

@@ -1,32 +1,90 @@
 (** The outcome counters (paper, Sec IV, Algorithms 1 and 2).
 
-    [exhaustive] is Algorithm 1 ([COUNT]): it examines every frame — each
-    combination of one iteration per load-performing thread, [N^{T_L}] in
-    total — and, per frame, increments the counter of the {e first} outcome
-    of interest whose perpetual predicate holds (at most one count per
-    frame, as in the paper's else-if chain).
+    [exhaustive] is Algorithm 1 ([COUNT]): it counts, over every frame —
+    each combination of one iteration per load-performing thread,
+    [N^{T_L}] in total — the {e first} outcome of interest whose
+    perpetual predicate holds (at most one count per frame, as in the
+    paper's else-if chain).  The naive odometer that walks all [N^{T_L}]
+    frames survives as {!exhaustive_reference}; [exhaustive] itself
+    dispatches to a {e factorized} kernel whenever the outcome set is
+    provably mutually exclusive, decomposing each outcome's conditions
+    into independent components (per-dimension satisfying-set scans,
+    Fenwick-swept dimension pairs, pruned cartesian enumeration) whose
+    counts multiply — [O(T_L · N log N)]-ish instead of [O(N^{T_L})],
+    with byte-identical counts.
 
     [heuristic] is Algorithm 2 ([COUNTH]): it examines only the [N] frames
     suggested by each outcome's derivation plan, keeping counting linear.
 
-    Both report the number of frames examined, which the report layer
-    multiplies by {!frame_cost} to charge outcome counting against the
-    virtual clock (the paper's runtimes include counting, Sec VI-B2). *)
+    All counters report [frames_examined] — the size of the frame space
+    the result covers ([N^{T_L}] for exhaustive counters, [N] for
+    heuristic ones) — and [evaluations], the number of outcome-predicate
+    evaluations (or equivalent unit work) actually performed, which the
+    engine charges against the virtual clock (the paper's runtimes include
+    counting, Sec VI-B2). *)
 
 type result = {
   counts : int array;  (** One entry per outcome of interest, in order. *)
   frames_examined : int;
+      (** Size of the frame space covered: [N^{T_L}] for exhaustive
+          counting (regardless of kernel), [N] for heuristic counting. *)
+  evaluations : int;
+      (** Predicate evaluations (or equivalent per-iteration scan steps)
+          performed — the counter's actual work, charged to the virtual
+          clock. *)
 }
 
-val frame_cost : int
-(** Virtual rounds charged per examined frame. *)
+val frames_exhaustive : tl:int -> iterations:int -> int
+(** [N^{T_L}], the frame count Algorithm 1 covers.  Raises
+    [Invalid_argument] on overflow; callers cap [N] (the paper itself
+    calls the exhaustive counter impractical beyond small runs,
+    Sec VII-B). *)
 
 val exhaustive :
   Convert.t -> outcomes:Outcome_convert.t list ->
   run:Perple_harness.Perpetual.run -> result
-(** Raises [Invalid_argument] if [N^{T_L}] would overflow; callers cap [N]
-    (the paper itself calls the exhaustive counter impractical beyond small
-    runs, Sec VII-B). *)
+(** First-match exhaustive counting.  Dispatches to the factorized kernel
+    when {!mutually_exclusive} holds (then first-match and independent
+    counting coincide), to {!exhaustive_reference} otherwise.  Raises
+    [Invalid_argument] if [N^{T_L}] would overflow. *)
+
+val exhaustive_reference :
+  Convert.t -> outcomes:Outcome_convert.t list ->
+  run:Perple_harness.Perpetual.run -> result
+(** The naive [N^{T_L}] odometer, kept verbatim as the correctness
+    reference for the factorized kernel (and for fidelity benchmarks of
+    the paper's Algorithm 1 cost model). *)
+
+val exhaustive_factorized :
+  Convert.t -> outcomes:Outcome_convert.t list ->
+  run:Perple_harness.Perpetual.run -> result
+(** The factorized kernel, counting every outcome {e independently} over
+    the full frame space (no first-match exclusion).  Equal to
+    {!exhaustive} when the outcomes are mutually exclusive; exported for
+    benchmarks and direct independent counting. *)
+
+val exhaustive_independent :
+  Convert.t -> outcomes:Outcome_convert.t list ->
+  run:Perple_harness.Perpetual.run -> result
+(** Independent exhaustive counting (no first-match exclusion), as in the
+    paper's outcome-variety figure (Fig 13).  Factorized; byte-identical
+    to {!exhaustive_independent_reference}. *)
+
+val exhaustive_independent_reference :
+  Convert.t -> outcomes:Outcome_convert.t list ->
+  run:Perple_harness.Perpetual.run -> result
+(** The naive independent odometer, kept as the factorized kernel's
+    correctness reference. *)
+
+val mutually_exclusive :
+  Convert.t -> Outcome_convert.t list -> bool
+(** True when no frame can satisfy two of the outcomes, established
+    syntactically: the outcomes bind the same registers, and every pair
+    differs on some register whose two conditions are provably
+    incompatible (membership of disjoint store sequences, or a
+    frame-bound reads-from against the initial value).  Pin-dependent
+    conditions are never used as witnesses — sets relying on them fall
+    back to the reference odometer. *)
 
 val heuristic :
   Convert.t -> outcomes:(Outcome_convert.t * Outcome_convert.plan) list ->
@@ -37,20 +95,10 @@ val heuristic_auto :
   run:Perple_harness.Perpetual.run -> result
 (** {!heuristic} with freshly built plans. *)
 
-val exhaustive_independent :
-  Convert.t -> outcomes:Outcome_convert.t list ->
-  run:Perple_harness.Perpetual.run -> result
-(** Like {!exhaustive} but each outcome is counted on every frame,
-    independently of the others (no first-match exclusion).  Used when each
-    outcome is analysed in its own right, as in the paper's outcome-variety
-    figure (Fig 13). *)
-
 val heuristic_independent :
   Convert.t -> outcomes:Outcome_convert.t list ->
   run:Perple_harness.Perpetual.run -> result
 (** Independent linear counting: every outcome samples its own [N] derived
     frames (the paper's Fig 13 notes the heuristic samples [N] frames
-    {e per outcome}). *)
-
-val frames_exhaustive : tl:int -> iterations:int -> int
-(** [N^{T_L}], the frame count Algorithm 1 visits. *)
+    {e per outcome}).  [frames_examined] is [N] (the frame-space unit),
+    [evaluations] is [N * |outcomes|] (the work actually done). *)

@@ -4,7 +4,7 @@ module Supervisor = Perple_harness.Supervisor
 module Machine = Perple_sim.Machine
 module Rng = Perple_util.Rng
 
-type counter = Exhaustive | Heuristic
+type counter = Exhaustive | Exhaustive_reference | Heuristic
 
 type report = {
   conversion : Convert.t;
@@ -12,6 +12,7 @@ type report = {
   outcomes : Outcome.t list;
   counts : int array;
   frames_examined : int;
+  evaluations : int;
   counter : counter;
   virtual_runtime : int;
   requested_iterations : int;
@@ -75,7 +76,7 @@ let run ?(config = Perple_sim.Config.default) ?faults ?policy
         let iterations =
           match counter with
           | Heuristic -> iterations
-          | Exhaustive ->
+          | Exhaustive | Exhaustive_reference ->
             exhaustive_iterations_cap ~tl ~cap:exhaustive_cap
               ~requested:iterations
         in
@@ -113,11 +114,13 @@ let run ?(config = Perple_sim.Config.default) ?faults ?policy
         let result =
           if run.Perpetual.iterations = 0 then
             { Count.counts = Array.make (List.length outcomes) 0;
-              frames_examined = 0 }
+              frames_examined = 0; evaluations = 0 }
           else
             match counter with
             | Exhaustive ->
               Count.exhaustive conversion ~outcomes:converted ~run
+            | Exhaustive_reference ->
+              Count.exhaustive_reference conversion ~outcomes:converted ~run
             | Heuristic ->
               Count.heuristic_auto conversion ~outcomes:converted ~run
         in
@@ -133,14 +136,44 @@ let run ?(config = Perple_sim.Config.default) ?faults ?policy
             outcomes;
             counts = result.Count.counts;
             frames_examined = result.Count.frames_examined;
+            evaluations = result.Count.evaluations;
             counter;
-            virtual_runtime =
-              run_rounds + (Count.frame_cost * result.Count.frames_examined);
+            virtual_runtime = run_rounds + result.Count.evaluations;
             requested_iterations;
             degraded;
             salvaged_iterations = run.Perpetual.iterations;
             supervision;
           }))
+
+let campaign ?config ?faults ?policy ?counter ?outcomes ?exhaustive_cap
+    ?stress_threads ?(jobs = 1) ~runs ~seed ~iterations test =
+  if runs < 0 then invalid_arg "Engine.campaign: negative run count";
+  (* Seeds are pre-split from the campaign RNG *before* dispatch, in run
+     order, so the per-run seed sequence — and with it every report — is
+     a function of [seed] alone, never of [jobs] or domain scheduling.
+     The derivation (one [bits64] draw per run, masked non-negative)
+     matches what the sequential supervise loop has always done, keeping
+     fixed-seed campaign output stable across versions. *)
+  let campaign_rng = Rng.create seed in
+  let seeds = Array.make (max runs 1) 0 in
+  for i = 0 to runs - 1 do
+    seeds.(i) <- Int64.to_int (Rng.bits64 campaign_rng) land max_int
+  done;
+  let reports =
+    Pool.map ~jobs runs (fun i ->
+        run ?config ?faults ?policy ?counter ?outcomes ?exhaustive_cap
+          ?stress_threads ~seed:seeds.(i) ~iterations test)
+  in
+  (* The test is shared, so conversion failures are identical across
+     runs: surface the first. *)
+  let rec collect acc i =
+    if i >= runs then Ok (Array.of_list (List.rev acc))
+    else
+      match reports.(i) with
+      | Error _ as e -> e
+      | Ok r -> collect (r :: acc) (i + 1)
+  in
+  collect [] 0
 
 let target_count report =
   if Array.length report.counts = 0 then 0 else report.counts.(0)

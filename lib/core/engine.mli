@@ -8,7 +8,18 @@
 module Ast := Perple_litmus.Ast
 module Outcome := Perple_litmus.Outcome
 
-type counter = Exhaustive | Heuristic
+type counter =
+  | Exhaustive
+      (** Exhaustive counting over the full [N^{T_L}] frame space, via the
+          factorized kernel when the outcome set permits
+          ({!Count.exhaustive}); counts are byte-identical to the
+          reference either way. *)
+  | Exhaustive_reference
+      (** The naive [N^{T_L}] odometer ({!Count.exhaustive_reference}) —
+          the paper's Algorithm 1 cost model, kept for fidelity
+          comparisons (Fig 10) and as the factorized kernel's
+          correctness baseline. *)
+  | Heuristic
 
 type report = {
   conversion : Convert.t;
@@ -19,11 +30,18 @@ type report = {
   outcomes : Outcome.t list;  (** The outcomes of interest, in order. *)
   counts : int array;  (** Occurrences per outcome of interest. *)
   frames_examined : int;
+      (** Size of the frame space the counts cover ([N^{T_L}] exhaustive,
+          [N] heuristic) — a property of the algorithm, not of the kernel
+          that computed it. *)
+  evaluations : int;
+      (** Outcome-predicate evaluations the counter actually performed —
+          the counting work charged to [virtual_runtime]. *)
   counter : counter;
   virtual_runtime : int;
-      (** Execution plus counting, in virtual rounds — the paper's
-          "runtime including both test execution and outcome counting".
-          For supervised runs this includes every retried attempt. *)
+      (** Execution plus counting ([evaluations]), in virtual rounds —
+          the paper's "runtime including both test execution and outcome
+          counting".  For supervised runs this includes every retried
+          attempt. *)
   requested_iterations : int;
       (** The caller's iteration request, before the exhaustive-counter
           cap and before any fault salvage; compare with
@@ -64,6 +82,29 @@ val run :
     proceeds over the completed prefix and the report is marked
     [degraded].  Beware that a hang or livelock fault without a policy
     leaves no watchdog to bound the run. *)
+
+val campaign :
+  ?config:Perple_sim.Config.t ->
+  ?faults:Perple_sim.Fault.profile ->
+  ?policy:Perple_harness.Supervisor.policy ->
+  ?counter:counter ->
+  ?outcomes:Outcome.t list ->
+  ?exhaustive_cap:int ->
+  ?stress_threads:int ->
+  ?jobs:int ->
+  runs:int ->
+  seed:int ->
+  iterations:int ->
+  Ast.t ->
+  (report array, Convert.reason) result
+(** A campaign of [runs] independent pipeline runs of the same test,
+    distributed over up to [jobs] domains ({!Pool}).  Each run's seed is
+    drawn from a campaign RNG seeded with [seed] {e before} dispatch
+    (one draw per run, in run order), so the resulting report array is
+    bit-identical for every [jobs] value — including under fault
+    injection and supervised retries, whose randomness derives from the
+    per-run seed alone.  Other options are passed through to {!run}
+    unchanged. *)
 
 val target_count : report -> int
 (** Occurrences of the first outcome of interest (the target). *)

@@ -132,50 +132,259 @@ let member_iteration (store : Convert.store) value =
     else (value - canonical) / k
   end
 
+(* Single read-from constraint; may pin a store-only thread in [pins]. *)
+let eval_rf_cond c ~bufs ~frame ~pins =
+  let n = frame.(c.rf_load.frame) in
+  let value = buf_value bufs c.rf_load n in
+  let iter = member_iteration c.rf_store value in
+  if iter < 0 then false
+  else if c.store_frame >= 0 then
+    if c.exact then iter = frame.(c.store_frame)
+    else iter >= frame.(c.store_frame)
+  else begin
+    let s = c.rf_store.Convert.thread in
+    if pins.(s) < 0 then begin
+      pins.(s) <- iter;
+      true
+    end
+    else pins.(s) = iter
+  end
+
+(* Single from-read constraint; consumes pins set by the rf phase. *)
+let eval_fr_cond c ~bufs ~frame ~pins =
+  let n = frame.(c.fr_load.frame) in
+  let value = buf_value bufs c.fr_load n in
+  List.for_all
+    (fun b ->
+      let bound =
+        if b.fb_frame >= 0 then frame.(b.fb_frame)
+        else pins.(b.fb_store.Convert.thread)
+      in
+      if bound < 0 then
+        (* No frame variable and no pin: the only sound reading is
+           the exact initial value. *)
+        value = 0
+      else value < Convert.seq_value b.fb_store ~iteration:bound)
+    c.bounds
+
 let eval (conv : Convert.t) t ~bufs ~frame =
   t.unsatisfiable = false
   &&
   let nthreads = Array.length conv.Convert.t_reads in
   let pins = Array.make nthreads (-1) in
   (* Phase 1: read-from constraints; they also pin store-only threads. *)
-  let rf_ok =
-    Array.for_all
-      (fun c ->
-        let n = frame.(c.rf_load.frame) in
-        let value = buf_value bufs c.rf_load n in
-        let iter = member_iteration c.rf_store value in
-        if iter < 0 then false
-        else if c.store_frame >= 0 then
-          if c.exact then iter = frame.(c.store_frame)
-          else iter >= frame.(c.store_frame)
-        else begin
-          let s = c.rf_store.Convert.thread in
-          if pins.(s) < 0 then begin
-            pins.(s) <- iter;
-            true
-          end
-          else pins.(s) = iter
-        end)
-      t.rf
+  Array.for_all (fun c -> eval_rf_cond c ~bufs ~frame ~pins) t.rf
+  && Array.for_all (fun c -> eval_fr_cond c ~bufs ~frame ~pins) t.fr
+
+(* --- Factorization (counting-kernel decomposition) ----------------------- *)
+
+type component = {
+  comp_dims : int array;
+  comp_pins : int array;
+  comp_rf : int array;
+  comp_fr : int array;
+}
+
+type shape = Bitset | Pair | Product
+
+type factorization = {
+  components : (shape * component) array;
+  free_dims : int;
+}
+
+(* Nodes of the union-find: frame dimensions [0, tl) and, above them,
+   pinned store-only threads [tl + thread].  Every condition unions the
+   nodes it touches; pins couple globally (two conditions on the same
+   store-only thread share its pin cell in [eval]). *)
+let rf_nodes ~tl c =
+  c.rf_load.frame
+  ::
+  (if c.store_frame >= 0 then [ c.store_frame ]
+   else [ tl + c.rf_store.Convert.thread ])
+
+let fr_nodes ~tl c =
+  c.fr_load.frame
+  :: List.map
+       (fun b ->
+         if b.fb_frame >= 0 then b.fb_frame
+         else tl + b.fb_store.Convert.thread)
+       c.bounds
+
+let factorize (conv : Convert.t) t =
+  let tl = Array.length conv.Convert.load_threads in
+  let nthreads = Array.length conv.Convert.t_reads in
+  let parent = Array.init (tl + nthreads) Fun.id in
+  let rec find i =
+    if parent.(i) = i then i
+    else begin
+      let r = find parent.(i) in
+      parent.(i) <- r;
+      r
+    end
   in
-  rf_ok
-  && Array.for_all
-       (fun c ->
-         let n = frame.(c.fr_load.frame) in
-         let value = buf_value bufs c.fr_load n in
-         List.for_all
-           (fun b ->
-             let bound =
-               if b.fb_frame >= 0 then frame.(b.fb_frame)
-               else pins.(b.fb_store.Convert.thread)
-             in
-             if bound < 0 then
-               (* No frame variable and no pin: the only sound reading is
-                  the exact initial value. *)
-               value = 0
-             else value < Convert.seq_value b.fb_store ~iteration:bound)
-           c.bounds)
-       t.fr
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then parent.(ra) <- rb
+  in
+  let mentioned = Array.make (tl + nthreads) false in
+  let touch nodes =
+    List.iter (fun n -> mentioned.(n) <- true) nodes;
+    match nodes with
+    | [] -> ()
+    | h :: rest -> List.iter (union h) rest
+  in
+  Array.iter (fun c -> touch (rf_nodes ~tl c)) t.rf;
+  Array.iter (fun c -> touch (fr_nodes ~tl c)) t.fr;
+  (* Group mentioned nodes and conditions by root. *)
+  let comps = Hashtbl.create 8 in
+  let slot root =
+    match Hashtbl.find_opt comps root with
+    | Some s -> s
+    | None ->
+      let s = (ref [], ref [], ref [], ref []) in
+      Hashtbl.add comps root s;
+      s
+  in
+  let free_dims = ref 0 in
+  for d = tl - 1 downto 0 do
+    if mentioned.(d) then begin
+      let dims, _, _, _ = slot (find d) in
+      dims := d :: !dims
+    end
+    else incr free_dims
+  done;
+  for p = tl + nthreads - 1 downto tl do
+    if mentioned.(p) then begin
+      let _, pins, _, _ = slot (find p) in
+      pins := (p - tl) :: !pins
+    end
+  done;
+  for i = Array.length t.rf - 1 downto 0 do
+    let _, _, rfs, _ = slot (find t.rf.(i).rf_load.frame) in
+    rfs := i :: !rfs
+  done;
+  for i = Array.length t.fr - 1 downto 0 do
+    let _, _, _, frs = slot (find t.fr.(i).fr_load.frame) in
+    frs := i :: !frs
+  done;
+  let components =
+    Hashtbl.fold
+      (fun _ (dims, pins, rfs, frs) acc ->
+        let comp =
+          {
+            comp_dims = Array.of_list !dims;
+            comp_pins = Array.of_list !pins;
+            comp_rf = Array.of_list !rfs;
+            comp_fr = Array.of_list !frs;
+          }
+        in
+        let shape =
+          match Array.length comp.comp_dims with
+          | 1 -> Bitset
+          | 2 when Array.length comp.comp_pins = 0 -> Pair
+          | _ -> Product
+        in
+        (shape, comp) :: acc)
+      comps []
+  in
+  (* Deterministic order: by smallest dimension. *)
+  let components =
+    List.sort
+      (fun (_, a) (_, b) -> compare a.comp_dims.(0) b.comp_dims.(0))
+      components
+  in
+  { components = Array.of_list components; free_dims = !free_dims }
+
+let eval_component t comp ~bufs ~frame ~pins =
+  Array.iter (fun p -> pins.(p) <- -1) comp.comp_pins;
+  let ok = ref true in
+  Array.iter
+    (fun i -> if !ok then ok := eval_rf_cond t.rf.(i) ~bufs ~frame ~pins)
+    comp.comp_rf;
+  Array.iter
+    (fun i -> if !ok then ok := eval_fr_cond t.fr.(i) ~bufs ~frame ~pins)
+    comp.comp_fr;
+  !ok
+
+(* Smallest [j >= 0] with [value < k*j + canonical]. *)
+let fr_theta (s : Convert.store) value =
+  let d = value - s.Convert.canonical in
+  if d < 0 then 0 else (d / s.Convert.k) + 1
+
+(* For a pin-free two-dimensional component: fix [comp_dims ∋ dim := i];
+   the conditions whose load sits on [dim] constrain the partner dimension
+   to an interval (or rule the row out entirely).  [None] when the local
+   part already fails; otherwise [Some (lo, hi)] (possibly empty when
+   [lo > hi] after intersection — callers treat that as zero). *)
+let pair_interval t comp ~dim ~bufs ~iterations i =
+  let lo = ref 0 and hi = ref (iterations - 1) and ok = ref true in
+  Array.iter
+    (fun ci ->
+      let c = t.rf.(ci) in
+      if !ok && c.rf_load.frame = dim then begin
+        let value = buf_value bufs c.rf_load i in
+        let iter = member_iteration c.rf_store value in
+        if iter < 0 then ok := false
+        else if c.store_frame = dim then begin
+          if c.exact then (if iter <> i then ok := false)
+          else if iter < i then ok := false
+        end
+        else if c.exact then begin
+          lo := max !lo iter;
+          hi := min !hi iter
+        end
+        else hi := min !hi iter
+      end)
+    comp.comp_rf;
+  Array.iter
+    (fun ci ->
+      let c = t.fr.(ci) in
+      if !ok && c.fr_load.frame = dim then begin
+        let value = buf_value bufs c.fr_load i in
+        List.iter
+          (fun b ->
+            if b.fb_frame = dim then begin
+              if value >= Convert.seq_value b.fb_store ~iteration:i then
+                ok := false
+            end
+            else lo := max !lo (fr_theta b.fb_store value))
+          c.bounds
+      end)
+    comp.comp_fr;
+  if !ok then Some (!lo, !hi) else None
+
+(* Necessary (pruning-only) per-dimension filter for Product components:
+   full evaluation of conditions entirely local to [dim], plus decoding
+   validity of cross/pinning rf conditions whose load sits on [dim]. *)
+let local_candidate t comp ~dim ~bufs i =
+  let ok = ref true in
+  Array.iter
+    (fun ci ->
+      let c = t.rf.(ci) in
+      if !ok && c.rf_load.frame = dim then begin
+        let value = buf_value bufs c.rf_load i in
+        let iter = member_iteration c.rf_store value in
+        if iter < 0 then ok := false
+        else if c.store_frame = dim then
+          if c.exact then (if iter <> i then ok := false)
+          else if iter < i then ok := false
+      end)
+    comp.comp_rf;
+  Array.iter
+    (fun ci ->
+      let c = t.fr.(ci) in
+      if !ok && c.fr_load.frame = dim then begin
+        let value = buf_value bufs c.fr_load i in
+        List.iter
+          (fun b ->
+            if
+              b.fb_frame = dim
+              && value >= Convert.seq_value b.fb_store ~iteration:i
+            then ok := false)
+          c.bounds
+      end)
+    comp.comp_fr;
+  !ok
 
 (* --- Heuristic plans ---------------------------------------------------- *)
 

@@ -86,6 +86,67 @@ val eval :
     order — exhibits the outcome.  All frame entries must be within the run
     length; [bufs] is {!Perple_harness.Perpetual.run}'s [bufs]. *)
 
+(** {1 Factorization (counting-kernel decomposition)}
+
+    The exhaustive predicate is a conjunction of per-condition constraints.
+    Each constraint touches one or two frame dimensions (the load's and,
+    for cross-thread reads-from, the store thread's) and possibly a
+    {e pin} (a store-only thread whose iteration the decoded value fixes).
+    Connected components of the touches-graph evaluate independently, so
+    the exhaustive count over the full [N^{T_L}] frame space is the
+    {e product} of per-component counts times [N] per unconstrained
+    dimension — the factorization that makes the exhaustive counter
+    tractable (cf. the per-thread decomposition of
+    "How Hard is Weak-Memory Testing?"). *)
+
+type component = {
+  comp_dims : int array;  (** Frame dimensions of the component, ascending. *)
+  comp_pins : int array;  (** Store-only threads pinned by the component. *)
+  comp_rf : int array;  (** Indices into [rf], ascending. *)
+  comp_fr : int array;  (** Indices into [fr], ascending. *)
+}
+
+type shape =
+  | Bitset  (** One dimension: a linear satisfying-iteration scan. *)
+  | Pair
+      (** Two pin-free dimensions: per-row intervals on the partner
+          dimension, countable by a Fenwick sweep in [O(N log N)]. *)
+  | Product
+      (** Anything else: cartesian enumeration over per-dimension
+          candidate sets with early pruning. *)
+
+type factorization = {
+  components : (shape * component) array;
+      (** Deterministically ordered by smallest dimension. *)
+  free_dims : int;  (** Dimensions no condition mentions ([×N] each). *)
+}
+
+val factorize : Convert.t -> t -> factorization
+(** Union-find over frame dimensions and pinned threads.  Conditions on
+    the same pin land in the same component, mirroring the shared pin
+    cell in {!eval}. *)
+
+val eval_component :
+  t -> component -> bufs:int array array -> frame:int array ->
+  pins:int array -> bool
+(** Evaluate only the component's conditions (rf before fr, as in
+    {!eval}); the component's pins in the scratch array are reset on
+    entry.  Only [frame] entries for [comp_dims] are read. *)
+
+val pair_interval :
+  t -> component -> dim:int -> bufs:int array array -> iterations:int ->
+  int -> (int * int) option
+(** For a [Pair] component with [dim := i]: the interval of partner
+    iterations permitted by the conditions whose load sits on [dim], or
+    [None] when those conditions already fail locally.  The returned
+    interval may be empty ([lo > hi]). *)
+
+val local_candidate :
+  t -> component -> dim:int -> bufs:int array array -> int -> bool
+(** Necessary per-dimension filter for [Product] enumeration: false only
+    if some condition loading on [dim] provably fails at iteration [i]
+    regardless of the other dimensions. *)
+
 (** {1 Heuristic plans (Sec IV-B)} *)
 
 type derivation =

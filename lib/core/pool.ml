@@ -1,0 +1,57 @@
+(* A tiny deterministic work pool on stdlib domains.
+
+   Tasks are indexed [0, n); results land in slot [i] regardless of which
+   domain ran task [i], so the result array is a pure function of the task
+   function — the domain count only changes wall-clock time.  Determinism
+   of the *work itself* is the caller's contract: a task must not draw
+   from shared mutable state (the engine pre-splits one RNG per task
+   before dispatch, see {!Engine.campaign}). *)
+
+let available_domains () = Domain.recommended_domain_count ()
+
+(* The OCaml runtime supports a bounded number of live domains; stay well
+   inside it whatever the caller asks for. *)
+let max_jobs = 64
+
+let map ?(jobs = 1) n f =
+  if jobs < 1 then invalid_arg "Pool.map: jobs must be >= 1";
+  if n < 0 then invalid_arg "Pool.map: negative task count";
+  let jobs = min (min jobs n) max_jobs in
+  if n = 0 then [||]
+  else if jobs <= 1 then Array.init n f
+  else begin
+    let results = Array.make n None in
+    let error = Atomic.make None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        if Atomic.get error <> None then continue := false
+        else begin
+          let i = Atomic.fetch_and_add next 1 in
+          if i >= n then continue := false
+          else
+            match f i with
+            | v -> results.(i) <- Some v
+            | exception e ->
+              (* First failure wins; the rest of the pool drains. *)
+              ignore
+                (Atomic.compare_and_set error None
+                   (Some (e, Printexc.get_raw_backtrace ())))
+        end
+      done
+    in
+    let domains =
+      Array.init (jobs - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    Array.iter Domain.join domains;
+    (match Atomic.get error with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.map
+      (function
+        | Some v -> v
+        | None -> invalid_arg "Pool.map: missing result")
+      results
+  end

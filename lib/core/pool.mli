@@ -1,0 +1,27 @@
+(** Deterministic worker pool on stdlib domains (no extra dependencies).
+
+    [map ~jobs n f] computes [Array.init n f], distributing the task
+    indices over up to [jobs] domains (including the calling one).
+    Task [i]'s result always lands in slot [i], so the returned array is
+    independent of the domain count and of scheduling — campaigns stay
+    bit-identical whether they run on one core or many.
+
+    The determinism contract is shared with the caller: [f] must derive
+    all randomness from its index (e.g. from a pre-split RNG array built
+    {e before} dispatch) and must not mutate state shared across tasks.
+
+    If any task raises, the pool stops issuing new tasks, drains, and
+    re-raises the first failure (with its backtrace).
+
+    With [jobs = 1] (the default) no domain is spawned and the tasks run
+    sequentially in order — the reference behaviour the parallel path is
+    measured against. *)
+
+val map : ?jobs:int -> int -> (int -> 'a) -> 'a array
+(** Raises [Invalid_argument] if [jobs < 1] or [n < 0].  [jobs] is
+    clamped to the task count and to an internal bound well inside the
+    runtime's domain limit. *)
+
+val available_domains : unit -> int
+(** [Domain.recommended_domain_count ()] — a sensible upper bound for
+    [jobs] on this machine. *)

@@ -30,7 +30,7 @@ type entry = { loc : int; cell : int; value : int }
 type thread_state = {
   mutable pc : int;
   mutable iteration : int;
-  mutable buffer : entry list;  (* oldest first *)
+  mutable buffer : entry list;  (* newest first *)
   mutable stall_until : int;
   mutable waiting : bool;  (* at the barrier *)
   mutable finished : bool;
@@ -100,10 +100,22 @@ let run ?on_iteration_end ?on_sample ?on_event ?watchdog
     | Program.Shared -> 0
     | Program.Indexed -> st.iteration
   in
-  let forwarded st loc cell =
-    List.fold_left
-      (fun acc e -> if e.loc = loc && e.cell = cell then Some e.value else acc)
-      None st.buffer
+  (* Store forwarding wants the youngest matching entry; with the buffer
+     held newest-first that is the first match, so the scan short-circuits
+     instead of folding the whole buffer. *)
+  let rec forwarded_in loc cell = function
+    | [] -> None
+    | e :: rest ->
+      if e.loc = loc && e.cell = cell then Some e.value
+      else forwarded_in loc cell rest
+  in
+  let forwarded st loc cell = forwarded_in loc cell st.buffer in
+  (* Split off the oldest entry (the list's last), keeping the rest in
+     newest-first order. *)
+  let rec split_oldest acc = function
+    | [] -> assert false
+    | [ oldest ] -> (oldest, List.rev acc)
+    | e :: rest -> split_oldest (e :: acc) rest
   in
   let emit event =
     match on_event with
@@ -114,15 +126,19 @@ let run ?on_iteration_end ?on_sample ?on_event ?watchdog
     last_progress := !clock;
     match st.buffer with
     | [] -> ()
-    | oldest :: rest ->
+    | _ :: _ ->
       let entry, remaining =
         match config.Config.model with
         | Config.Tso_store_reorder ->
-          (* Buggy hardware: any buffered entry may drain first. *)
+          (* Buggy hardware: any buffered entry may drain first.  The
+             drawn index historically addressed the buffer oldest-first;
+             map it onto the newest-first list so seeded runs stay
+             bit-identical. *)
           let n = List.length st.buffer in
           let i = Rng.int rng n in
-          let chosen = List.nth st.buffer i in
-          (chosen, List.filteri (fun j _ -> j <> i) st.buffer)
+          let j = n - 1 - i in
+          let chosen = List.nth st.buffer j in
+          (chosen, List.filteri (fun k _ -> k <> j) st.buffer)
         | Config.Pso ->
           (* Oldest entry of a uniformly chosen buffered location: FIFO per
              location, reorderable across locations. *)
@@ -130,23 +146,21 @@ let run ?on_iteration_end ?on_sample ?on_event ?watchdog
             List.sort_uniq compare (List.map (fun e -> e.loc) st.buffer)
           in
           let loc = List.nth locs (Rng.int rng (List.length locs)) in
+          (* Oldest entry of [loc] = last match in newest-first order.
+             Entries are distinct allocations, so physical inequality
+             removes exactly the chosen one. *)
           let chosen =
-            List.find (fun e -> e.loc = loc) st.buffer
+            match
+              List.fold_left
+                (fun acc e -> if e.loc = loc then Some e else acc)
+                None st.buffer
+            with
+            | Some e -> e
+            | None -> assert false
           in
-          let removed = ref false in
-          let remaining =
-            List.filter
-              (fun e ->
-                if (not !removed) && e == chosen then begin
-                  removed := true;
-                  false
-                end
-                else true)
-              st.buffer
-          in
-          (chosen, remaining)
+          (chosen, List.filter (fun e -> e != chosen) st.buffer)
         | Config.Sc | Config.Tso | Config.Tso_fence_ignored ->
-          (oldest, rest)
+          split_oldest [] st.buffer
       in
       st.buffer <- remaining;
       let loss = (fault_of t).Fault.loss_chance in
@@ -191,7 +205,7 @@ let run ?on_iteration_end ?on_sample ?on_event ?watchdog
         () (* stall: buffer full, retry next round *)
       else begin
         st.buffer <-
-          st.buffer @ [ { loc; cell = cell_of addr st; value = stored } ];
+          { loc; cell = cell_of addr st; value = stored } :: st.buffer;
         st.pc <- st.pc + 1;
         incr instructions;
         emit

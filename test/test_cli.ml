@@ -139,6 +139,46 @@ let test_supervise_fault_free () =
   expect_ok ~grep:"0 retries; 0 runs lost"
     "supervise sb -n 500 --runs 2 --seed 3"
 
+let test_run_campaign () =
+  expect_ok ~grep:"campaign total:" "run sb -n 300 --runs 4 --jobs 2 --seed 5"
+
+let test_run_campaign_jobs_identical () =
+  (* The whole point of the seed-presplit campaign engine: the printed
+     report is bit-identical whatever the domain count. *)
+  if Lazy.force have_binary then begin
+    let output jobs =
+      let code, text =
+        run_cli (Printf.sprintf "run sb -n 300 --runs 4 --seed 5 --jobs %d" jobs)
+      in
+      check Alcotest.int (Printf.sprintf "jobs=%d ok" jobs) 0 code;
+      text
+    in
+    let baseline = output 1 in
+    check Alcotest.string "jobs=2 identical" baseline (output 2);
+    check Alcotest.string "jobs=4 identical" baseline (output 4)
+  end
+
+let test_supervise_jobs_identical () =
+  if Lazy.force have_binary then begin
+    let output jobs =
+      let code, text =
+        run_cli
+          (Printf.sprintf
+             "supervise sb --fault hang@0.1 -n 1500 --runs 4 --seed 9 \
+              --jobs %d"
+             jobs)
+      in
+      check Alcotest.int (Printf.sprintf "jobs=%d ok" jobs) 0 code;
+      text
+    in
+    let baseline = output 1 in
+    check Alcotest.string "parallel supervise identical" baseline (output 2)
+  end
+
+let test_bad_jobs () =
+  expect_fail ~grep:"--jobs must be positive" "run sb -n 100 --jobs 0";
+  expect_fail ~grep:"--runs must be positive" "run sb -n 100 --runs 0"
+
 let test_run_cap_note () =
   expect_ok ~grep:"requested 5000"
     "run sb -n 5000 --counter exhaustive --cap 10000"
@@ -183,6 +223,12 @@ let suite =
           test_supervise_deterministic;
         Alcotest.test_case "supervise fault-free" `Quick
           test_supervise_fault_free;
+        Alcotest.test_case "run campaign" `Quick test_run_campaign;
+        Alcotest.test_case "run campaign jobs-identical" `Quick
+          test_run_campaign_jobs_identical;
+        Alcotest.test_case "supervise jobs-identical" `Quick
+          test_supervise_jobs_identical;
+        Alcotest.test_case "bad --runs/--jobs" `Quick test_bad_jobs;
         Alcotest.test_case "run cap note" `Quick test_run_cap_note;
         Alcotest.test_case "unknown test" `Quick test_unknown_test;
         Alcotest.test_case "bad cycle" `Quick test_bad_cycle;

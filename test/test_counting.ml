@@ -385,6 +385,79 @@ let no_false_positive_property =
         in
         Array.for_all (fun c -> c = 0) result.Count.counts)
 
+(* --- Factorized kernel agreement ------------------------------------------ *)
+
+let test_heuristic_independent_units () =
+  (* Unit contract: [frames_examined] is run length in frames for every
+     counter; the per-outcome work is reported via [evaluations]. *)
+  let conv, run = real_run "sb" in
+  let outcomes = List.map (converted conv) (Outcome.all conv.Convert.test) in
+  let r = Count.heuristic_independent conv ~outcomes ~run in
+  check Alcotest.int "frames = N" run.Perpetual.iterations
+    r.Count.frames_examined;
+  check Alcotest.int "evaluations = N * outcomes"
+    (run.Perpetual.iterations * List.length outcomes)
+    r.Count.evaluations
+
+let test_mutual_exclusivity_dispatch () =
+  (* sb's four outcomes differ in frame-bound store sequences: provably
+     exclusive, so first-match counting may factorize. *)
+  let conv, outcomes = all_converted "sb" in
+  check Alcotest.bool "sb outcome set exclusive" true
+    (Count.mutually_exclusive conv (List.map snd outcomes));
+  (* mp's bindings decode through a pinned store-only thread, which is
+     never an exclusivity witness (pin-mediated rf and fr can hold for
+     two outcomes on one frame): multi-outcome first-match falls back. *)
+  let conv_mp, outcomes_mp = all_converted "mp" in
+  check Alcotest.bool "mp outcome set not provably exclusive" false
+    (Count.mutually_exclusive conv_mp (List.map snd outcomes_mp));
+  check Alcotest.bool "singleton always exclusive" true
+    (Count.mutually_exclusive conv_mp [ snd (List.hd outcomes_mp) ])
+
+(* Byte-identical counts from the factorized kernels and the reference
+   odometers, on arbitrary convertible programs.  Run length shrinks with
+   T_L so the reference stays affordable. *)
+let check_factorized_agreement ?(seed = 17) test =
+  match Convert.convert_body test with
+  | Error _ -> true (* not convertible; nothing to compare *)
+  | Ok conv ->
+    let tl = Array.length conv.Convert.load_threads in
+    let iterations = if tl >= 3 then 16 else if tl = 2 then 64 else 256 in
+    let run =
+      Perpetual.run ~rng:(Rng.create seed) ~image:conv.Convert.image
+        ~t_reads:conv.Convert.t_reads ~iterations ()
+    in
+    let outcomes =
+      List.filteri
+        (fun i _ -> i < 12)
+        (List.filter_map
+           (fun o -> Result.to_option (OC.convert conv o))
+           (Outcome.all test))
+    in
+    outcomes = []
+    || ((Count.exhaustive conv ~outcomes ~run).Count.counts
+        = (Count.exhaustive_reference conv ~outcomes ~run).Count.counts
+       && (Count.exhaustive_independent conv ~outcomes ~run).Count.counts
+          = (Count.exhaustive_independent_reference conv ~outcomes ~run)
+              .Count.counts)
+
+let factorized_agrees_random =
+  QCheck.Test.make ~name:"factorized = reference (random tests)" ~count:600
+    (Gen.arbitrary_test ~max_threads:3 ~max_instrs:3 ())
+    check_factorized_agreement
+
+let factorized_agrees_cycles =
+  QCheck.Test.make ~name:"factorized = reference (generated cycles)"
+    ~count:500
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let cycle =
+        Perple_litmus.Generate.random_cycle (Rng.create seed) ~max_edges:7
+      in
+      match Perple_litmus.Generate.of_cycle ~name:"prop" cycle with
+      | Error _ -> true
+      | Ok test -> check_factorized_agreement ~seed test)
+
 (* --- Engine -------------------------------------------------------------- *)
 
 let test_engine_cap () =
@@ -448,6 +521,12 @@ let suite =
         Alcotest.test_case "allowed targets found" `Slow
           test_allowed_targets_found;
         QCheck_alcotest.to_alcotest no_false_positive_property;
+        Alcotest.test_case "heuristic_independent units" `Quick
+          test_heuristic_independent_units;
+        Alcotest.test_case "mutual-exclusivity dispatch" `Quick
+          test_mutual_exclusivity_dispatch;
+        QCheck_alcotest.to_alcotest factorized_agrees_random;
+        QCheck_alcotest.to_alcotest factorized_agrees_cycles;
       ] );
     ( "core.engine",
       [

@@ -3,6 +3,7 @@ let () =
     (Test_util.suite @ Test_litmus.suite @ Test_memmodel.suite
    @ Test_sim.suite @ Test_harness.suite @ Test_supervisor.suite
    @ Test_convert.suite
-   @ Test_counting.suite @ Test_codegen.suite @ Test_report.suite
+   @ Test_counting.suite @ Test_pool.suite @ Test_codegen.suite
+   @ Test_report.suite
    @ Test_generate.suite @ Test_soundness.suite @ Test_cli.suite
    @ Test_misc.suite)

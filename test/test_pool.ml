@@ -1,0 +1,148 @@
+(* Tests for the domain pool and the campaign engine: order-preserving
+   results regardless of domain count, exception propagation, and the
+   bit-identical-campaign determinism contract — including under fault
+   injection with a supervision policy. *)
+
+module Catalog = Perple_litmus.Catalog
+module Engine = Perple_core.Engine
+module Pool = Perple_core.Pool
+module Fault = Perple_sim.Fault
+module Supervisor = Perple_harness.Supervisor
+
+let check = Alcotest.check
+
+(* --- Pool.map ------------------------------------------------------------- *)
+
+let test_map_identity () =
+  let expected = Array.init 37 (fun i -> i * i) in
+  List.iter
+    (fun jobs ->
+      check
+        (Alcotest.array Alcotest.int)
+        (Printf.sprintf "jobs=%d preserves index order" jobs)
+        expected
+        (Pool.map ~jobs 37 (fun i -> i * i)))
+    [ 1; 2; 4; 64 ]
+
+let test_map_empty () =
+  check Alcotest.int "n=0 yields empty" 0
+    (Array.length (Pool.map ~jobs:4 0 (fun i -> i)))
+
+let test_map_invalid () =
+  Alcotest.check_raises "jobs=0 rejected"
+    (Invalid_argument "Pool.map: jobs must be >= 1") (fun () ->
+      ignore (Pool.map ~jobs:0 3 (fun i -> i)));
+  Alcotest.check_raises "negative n rejected"
+    (Invalid_argument "Pool.map: negative task count") (fun () ->
+      ignore (Pool.map ~jobs:2 (-1) (fun i -> i)))
+
+exception Boom of int
+
+let test_map_exception () =
+  List.iter
+    (fun jobs ->
+      match Pool.map ~jobs 16 (fun i -> if i = 11 then raise (Boom i) else i) with
+      | _ -> Alcotest.fail "expected Boom to propagate"
+      | exception Boom 11 -> ())
+    [ 1; 4 ]
+
+let test_available_domains () =
+  check Alcotest.bool "at least one domain" true (Pool.available_domains () >= 1)
+
+(* --- Campaign determinism ------------------------------------------------- *)
+
+let report_fingerprint (r : Engine.report) =
+  ( Array.to_list r.Engine.counts,
+    r.Engine.frames_examined,
+    r.Engine.evaluations,
+    r.Engine.virtual_runtime,
+    r.Engine.degraded,
+    r.Engine.salvaged_iterations )
+
+let campaign_fingerprints ?faults ?policy ~jobs () =
+  let reports =
+    Result.get_ok
+      (Engine.campaign ?faults ?policy ~jobs ~runs:6 ~seed:42 ~iterations:400
+         Catalog.sb)
+  in
+  Array.to_list (Array.map report_fingerprint reports)
+
+let test_campaign_bit_identical () =
+  let baseline = campaign_fingerprints ~jobs:1 () in
+  check Alcotest.int "six runs" 6 (List.length baseline);
+  List.iter
+    (fun jobs ->
+      if campaign_fingerprints ~jobs () <> baseline then
+        Alcotest.failf "campaign differs between --jobs 1 and --jobs %d" jobs)
+    [ 2; 4 ]
+
+let test_campaign_bit_identical_under_faults () =
+  (* Fault randomness and supervised retries derive from the per-run seed
+     alone, so even degraded/salvaged campaigns are bit-identical. *)
+  let faults = [ { Fault.kind = Fault.Crash; Fault.probability = 0.15 } ] in
+  let policy = Supervisor.default_policy ~iterations:400 in
+  let baseline = campaign_fingerprints ~faults ~policy ~jobs:1 () in
+  List.iter
+    (fun jobs ->
+      if campaign_fingerprints ~faults ~policy ~jobs () <> baseline then
+        Alcotest.failf
+          "faulty campaign differs between --jobs 1 and --jobs %d" jobs)
+    [ 2; 4 ]
+
+let test_campaign_matches_sequential_runs () =
+  (* The campaign is exactly the sequential loop it replaced: one seed draw
+     per run, in run order, from an RNG seeded with the campaign seed. *)
+  let rng = Perple_util.Rng.create 42 in
+  let expected =
+    Array.init 6 (fun _ ->
+        let seed =
+          Int64.to_int (Perple_util.Rng.bits64 rng) land max_int
+        in
+        Result.get_ok (Engine.run ~seed ~iterations:400 Catalog.sb))
+  in
+  let reports =
+    Result.get_ok
+      (Engine.campaign ~jobs:4 ~runs:6 ~seed:42 ~iterations:400 Catalog.sb)
+  in
+  check Alcotest.int "same length" (Array.length expected)
+    (Array.length reports);
+  Array.iteri
+    (fun i r ->
+      if report_fingerprint r <> report_fingerprint expected.(i) then
+        Alcotest.failf "campaign run %d differs from the sequential loop" i)
+    reports
+
+let test_campaign_invalid () =
+  check Alcotest.bool "negative runs rejected" true
+    (match
+       Engine.campaign ~runs:(-1) ~seed:1 ~iterations:10 Catalog.sb
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  let reports =
+    Result.get_ok (Engine.campaign ~runs:0 ~seed:1 ~iterations:10 Catalog.sb)
+  in
+  check Alcotest.int "zero runs yields empty array" 0 (Array.length reports)
+
+let suite =
+  [
+    ( "core.pool",
+      [
+        Alcotest.test_case "map preserves order" `Quick test_map_identity;
+        Alcotest.test_case "map empty" `Quick test_map_empty;
+        Alcotest.test_case "map invalid args" `Quick test_map_invalid;
+        Alcotest.test_case "map propagates exceptions" `Quick
+          test_map_exception;
+        Alcotest.test_case "available domains" `Quick test_available_domains;
+      ] );
+    ( "core.campaign",
+      [
+        Alcotest.test_case "bit-identical across jobs" `Quick
+          test_campaign_bit_identical;
+        Alcotest.test_case "bit-identical under faults" `Quick
+          test_campaign_bit_identical_under_faults;
+        Alcotest.test_case "matches sequential runs" `Quick
+          test_campaign_matches_sequential_runs;
+        Alcotest.test_case "invalid arguments" `Quick test_campaign_invalid;
+      ] );
+  ]

@@ -164,6 +164,40 @@ let test_forwarding () =
   check Alcotest.bool "always own value" true
     (List.for_all (fun v -> v = 1) !seen)
 
+(* Forwarding must return the *youngest* buffered store to the location,
+   even under the reordering bug model whose drains are not FIFO: the
+   buffer scan order is an implementation detail, TSO forwarding
+   semantics are not. *)
+let test_forwarding_youngest () =
+  let t =
+    Ast.make ~name:"fwd-young"
+      ~threads:
+        [ [ Ast.Store ("x", 1); Ast.Store ("x", 2); Ast.Load (0, "x") ] ]
+      ~condition:{ Ast.quantifier = Ast.Exists; atoms = [] }
+      ()
+  in
+  let image = Program.compile_litmus t in
+  List.iter
+    (fun model ->
+      let seen = ref [] in
+      ignore
+        (Machine.run
+           ~config:
+             {
+               Config.default with
+               Config.model;
+               drain_chance = 0.0;
+               buffer_capacity = 16;
+             }
+           ~rng:(Rng.create 4) ~image ~iterations:6
+           ~barrier:Machine.No_barrier
+           ~on_iteration_end:(fun ~thread:_ ~iteration:_ ~regs ->
+             seen := regs.(0) :: !seen)
+           ());
+      check Alcotest.bool "forwards youngest entry" true
+        (!seen <> [] && List.for_all (fun v -> v = 2) !seen))
+    [ Config.Tso; Config.Pso; Config.Tso_store_reorder ]
+
 (* A fence with a never-draining buffer must not deadlock the run when the
    drain chance is positive; with drain_chance = 0 the fence would block
    forever, so we only test the positive case. *)
@@ -436,6 +470,8 @@ let suite =
         Alcotest.test_case "TSO drains per store" `Quick test_tso_drains;
         Alcotest.test_case "jitter stalls" `Quick test_jitter_stalls;
         Alcotest.test_case "store forwarding" `Quick test_forwarding;
+        Alcotest.test_case "forwarding returns youngest" `Quick
+          test_forwarding_youngest;
         Alcotest.test_case "fence progress" `Quick test_fence_progress;
         Alcotest.test_case "buffer capacity" `Quick
           test_buffer_capacity_progress;
