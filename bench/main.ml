@@ -36,6 +36,8 @@ module Litmus7 = Perple_harness.Litmus7
 module Sync_mode = Perple_harness.Sync_mode
 module Rng = Perple_util.Rng
 module Report = Perple_report
+module Json = Perple_util.Json
+module Metrics = Perple_util.Metrics
 
 (* --- Prepared state shared by the micro-benchmarks ----------------------- *)
 
@@ -295,21 +297,26 @@ let check_counters () =
   Printf.printf "%d comparisons, %d mismatches\n" !checked !mismatches;
   !mismatches = 0
 
+(* --- Per-phase metrics ---------------------------------------------------- *)
+
+(* The bench harness reuses the pipeline's own metrics emitter: a phase
+   runs under a fresh ambient sink and its deterministic counter summary
+   lands in the emitted JSON, giving BENCH_*.json a per-phase breakdown
+   (machine rounds vs counter evaluations vs supervisor activity).  The
+   bechamel micro phase is deliberately *not* instrumented — its timings
+   are the <5% disabled-overhead baseline. *)
+let phase_metrics : (string * Json.t) list ref = ref []
+
+let with_phase_metrics name f =
+  let sink = Metrics.create_sink () in
+  Metrics.install sink;
+  let r = Fun.protect ~finally:Metrics.uninstall f in
+  phase_metrics := !phase_metrics @ [ (name, Metrics.to_json sink) ];
+  r
+
 (* --- JSON emission -------------------------------------------------------- *)
 
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+let json_escape = Json.escape
 
 let json_float f =
   if Float.is_nan f || Float.is_integer f && Float.abs f > 1e15 then "null"
@@ -353,6 +360,9 @@ let emit_json ~path ~mode ~micro ~drivers ~counters_agree =
     drivers;
   Buffer.add_string b "  ],\n";
   Buffer.add_string b
+    (Printf.sprintf "  \"metrics\": %s,\n"
+       (Json.to_string (Json.Obj !phase_metrics)));
+  Buffer.add_string b
     (Printf.sprintf "  \"counters_agree\": %s\n"
        (match counters_agree with
        | Some true -> "true"
@@ -392,15 +402,22 @@ let () =
     if full then Report.Common.default_params else Report.Common.quick_params
   in
   let drivers =
-    if (not micro_only) && not counters_only then run_drivers params else []
+    if (not micro_only) && not counters_only then
+      with_phase_metrics "drivers" (fun () -> run_drivers params)
+    else []
   in
   let micro =
     if (not drivers_only) && not counters_only then run_micro () else []
   in
   let counters_agree =
-    if counters_only || json_path <> None then Some (check_counters ())
+    if counters_only || json_path <> None then
+      Some (with_phase_metrics "check_counters" check_counters)
     else None
   in
+  (* One instrumented reference campaign per emitted file: the per-phase
+     breakdown every later perf PR reports against. *)
+  if json_path <> None then
+    with_phase_metrics "campaign" (fun () -> ignore (campaign ~jobs:1 ()));
   (match json_path with
   | Some path ->
     let mode =

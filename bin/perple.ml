@@ -89,6 +89,61 @@ let stress_arg =
 
 let fail fmt = Printf.ksprintf (fun m -> Error m) fmt
 
+(* --- observability -------------------------------------------------------- *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record spans across the pipeline (engine, machine, counters, \
+           supervisor, pool) and write them to $(docv) as Chrome \
+           trace-event JSON (loadable in chrome://tracing or Perfetto).  \
+           Observation only: the printed ledger is byte-identical with or \
+           without tracing.")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write a JSON summary of deterministic pipeline counters \
+           (machine rounds, counter evaluations, supervisor retries, ...) \
+           to $(docv).  The summary is bit-identical for any $(b,--jobs) \
+           value and with or without $(b,--trace).")
+
+(* Install ambient sinks for [f], then write the requested files.  Notes
+   go to stderr so the stdout ledger stays byte-identical with and
+   without observability. *)
+let with_observability ~trace ~metrics f =
+  let module Tr = Perple_util.Trace_event in
+  let module Mx = Perple_util.Metrics in
+  let tsink = Option.map (fun _ -> Tr.create_sink ()) trace in
+  let msink = Option.map (fun _ -> Mx.create_sink ()) metrics in
+  Option.iter Tr.install tsink;
+  Option.iter Mx.install msink;
+  let result =
+    Fun.protect
+      ~finally:(fun () ->
+        Tr.uninstall ();
+        Mx.uninstall ())
+      f
+  in
+  (match (trace, tsink) with
+  | Some path, Some sink ->
+    Tr.write sink ~path;
+    Printf.eprintf "perple: wrote %d trace events to %s\n%!"
+      (Tr.length sink) path
+  | _ -> ());
+  (match (metrics, msink) with
+  | Some path, Some sink ->
+    Mx.write sink ~path;
+    Printf.eprintf "perple: wrote metrics summary to %s\n%!" path
+  | _ -> ());
+  result
+
 let wrap f =
   let report = function
     | Ok () -> ()
@@ -313,10 +368,11 @@ let run_cmd =
       (Engine.detection_rate report)
   in
   let run spec iterations seed counter model all_outcomes stress cap runs
-      jobs =
+      jobs trace metrics =
     if runs <= 0 then fail "--runs must be positive"
     else if jobs <= 0 then fail "--jobs must be positive"
     else
+      with_observability ~trace ~metrics @@ fun () ->
       Result.bind (load_test spec) (fun test ->
           let outcomes =
             if all_outcomes then Some (Outcome.all test) else None
@@ -378,7 +434,7 @@ let run_cmd =
        Term.(
          const run $ test_arg $ iterations_arg $ seed_arg $ counter_arg
          $ model_arg $ all_outcomes_arg $ stress_arg $ cap_arg $ runs_arg
-         $ jobs_arg))
+         $ jobs_arg $ trace_arg $ metrics_arg))
 
 (* --- litmus7 baseline ---------------------------------------------------- *)
 
@@ -484,15 +540,17 @@ let supervise_cmd =
     Arg.(
       value & opt float 0.5
       & info [ "backoff" ] ~docv:"F"
-          ~doc:"Iteration-budget multiplier per retry, in (0, 1].")
+          ~doc:
+            "Iteration-budget multiplier per retry (> 0): < 1 retries \
+             with a shrunken budget, > 1 grows it.")
   in
   let run spec iterations seed model stress faults runs watchdog min_retired
-      retries backoff jobs =
+      retries backoff jobs trace metrics =
     if runs <= 0 then fail "--runs must be positive"
     else if jobs <= 0 then fail "--jobs must be positive"
-    else if backoff <= 0.0 || backoff > 1.0 then
-      fail "--backoff must be in (0, 1]"
+    else if backoff <= 0.0 then fail "--backoff must be positive"
     else
+      with_observability ~trace ~metrics @@ fun () ->
       Result.bind (load_test spec) (fun test ->
           let config =
             Config.with_faults faults (config_of_model model)
@@ -612,7 +670,8 @@ let supervise_cmd =
        Term.(
          const run $ test_arg $ iterations_arg $ seed_arg $ model_arg
          $ stress_arg $ faults_arg $ runs_arg $ watchdog_arg
-         $ min_retired_arg $ retries_arg $ backoff_arg $ jobs_arg))
+         $ min_retired_arg $ retries_arg $ backoff_arg $ jobs_arg
+         $ trace_arg $ metrics_arg))
 
 (* --- emit ---------------------------------------------------------------- *)
 

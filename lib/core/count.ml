@@ -1,8 +1,32 @@
 module Perpetual = Perple_harness.Perpetual
 module Outcome = Perple_litmus.Outcome
 module OC = Outcome_convert
+module Metrics = Perple_util.Metrics
+module Trace_event = Perple_util.Trace_event
 
 type result = { counts : int array; frames_examined : int; evaluations : int }
+
+(* Wrap a counting kernel in the ambient observability: one span plus the
+   frames/evaluations counters per call, nothing when no sink is
+   installed.  The kernels themselves stay uninstrumented — their inner
+   loops are the hot path. *)
+let observed kernel f =
+  let t0 = Trace_event.now () in
+  let r = f () in
+  (match Metrics.active () with
+  | Some m ->
+    Metrics.add m ("count." ^ kernel ^ ".calls") 1;
+    Metrics.add m "count.frames_examined" r.frames_examined;
+    Metrics.add m "count.evaluations" r.evaluations
+  | None -> ());
+  Trace_event.complete ~name:("count." ^ kernel) ~since:t0
+    ~args:
+      [
+        ("frames", Trace_event.Int r.frames_examined);
+        ("evaluations", Trace_event.Int r.evaluations);
+      ]
+    ();
+  r
 
 let frames_exhaustive ~tl ~iterations =
   let rec pow acc i =
@@ -123,12 +147,6 @@ let heuristic_independent (conv : Convert.t) ~outcomes ~run =
     evaluations = n * Array.length outcomes;
   }
 
-let heuristic_auto conv ~outcomes ~run =
-  let with_plans =
-    List.map (fun o -> (o, Outcome_convert.heuristic_plan conv o)) outcomes
-  in
-  heuristic conv ~outcomes:with_plans ~run
-
 (* --- Factorized exhaustive counting -------------------------------------- *)
 
 (* Fenwick (binary indexed) tree over [0, n): point add, range sum. *)
@@ -156,9 +174,15 @@ module Bit = struct
   let range (t : t) lo hi = if hi < lo then 0 else prefix t (hi + 1) - prefix t lo
 end
 
+let shape_name = function
+  | OC.Bitset -> "bitset"
+  | OC.Pair -> "pair"
+  | OC.Product -> "product"
+
 (* Count the frames of one component that satisfy its conditions.  The
    three shapes trade generality for speed; all are exact. *)
 let count_component t (shape, comp) ~bufs ~n ~frame ~pins ~evaluations =
+  Metrics.incr ("count.component." ^ shape_name shape);
   match (shape : OC.shape) with
   | OC.Bitset ->
     let d = comp.OC.comp_dims.(0) in
@@ -274,6 +298,35 @@ let exhaustive_factorized (conv : Convert.t) ~outcomes ~run =
       outcomes
   end;
   { counts; frames_examined = total; evaluations = !evaluations }
+
+(* --- Instrumented exports ------------------------------------------------- *)
+
+(* Shadow each kernel with its observed form; the first-match dispatch
+   below then reports whichever kernel it actually chose. *)
+let exhaustive_reference conv ~outcomes ~run =
+  observed "exhaustive_reference" (fun () ->
+      exhaustive_reference conv ~outcomes ~run)
+
+let exhaustive_independent_reference conv ~outcomes ~run =
+  observed "exhaustive_independent_reference" (fun () ->
+      exhaustive_independent_reference conv ~outcomes ~run)
+
+let exhaustive_factorized conv ~outcomes ~run =
+  observed "exhaustive_factorized" (fun () ->
+      exhaustive_factorized conv ~outcomes ~run)
+
+let heuristic conv ~outcomes ~run =
+  observed "heuristic" (fun () -> heuristic conv ~outcomes ~run)
+
+let heuristic_independent conv ~outcomes ~run =
+  observed "heuristic_independent" (fun () ->
+      heuristic_independent conv ~outcomes ~run)
+
+let heuristic_auto conv ~outcomes ~run =
+  let with_plans =
+    List.map (fun o -> (o, Outcome_convert.heuristic_plan conv o)) outcomes
+  in
+  heuristic conv ~outcomes:with_plans ~run
 
 (* --- First-match dispatch ------------------------------------------------- *)
 

@@ -36,9 +36,15 @@ let exhaustive_iterations_cap ~tl ~cap ~requested =
     shrink requested
   end
 
+let counter_label = function
+  | Exhaustive -> "exhaustive"
+  | Exhaustive_reference -> "exhaustive_reference"
+  | Heuristic -> "heuristic"
+
 let run ?(config = Perple_sim.Config.default) ?faults ?policy
     ?(counter = Heuristic) ?outcomes ?(exhaustive_cap = 250_000_000)
     ?(stress_threads = 0) ~seed ~iterations test =
+  let trace_start = Trace.now () in
   match Convert.convert_body test with
   | Error _ as e -> e
   | Ok conversion -> (
@@ -129,6 +135,25 @@ let run ?(config = Perple_sim.Config.default) ?faults ?policy
           | Some sup -> sup.Supervisor.total_rounds
           | None -> run.Perpetual.virtual_runtime
         in
+        (match Metrics.active () with
+        | Some m ->
+          Metrics.add m "engine.runs" 1;
+          if degraded then Metrics.add m "engine.degraded_runs" 1;
+          Metrics.add m "engine.salvaged_iterations" run.Perpetual.iterations;
+          Metrics.add m "engine.virtual_runtime"
+            (run_rounds + result.Count.evaluations)
+        | None -> ());
+        Trace.complete ~name:"engine.run" ~since:trace_start
+          ~args:
+            [
+              ( "test",
+                Trace.String conversion.Convert.test.Perple_litmus.Ast.name );
+              ("seed", Trace.Int seed);
+              ("iterations", Trace.Int iterations);
+              ("counter", Trace.String (counter_label counter));
+              ("degraded", Trace.Bool degraded);
+            ]
+          ();
         Ok
           {
             conversion;
@@ -159,11 +184,21 @@ let campaign ?config ?faults ?policy ?counter ?outcomes ?exhaustive_cap
   for i = 0 to runs - 1 do
     seeds.(i) <- Int64.to_int (Rng.bits64 campaign_rng) land max_int
   done;
+  let trace_start = Trace.now () in
   let reports =
     Pool.map ~jobs runs (fun i ->
         run ?config ?faults ?policy ?counter ?outcomes ?exhaustive_cap
           ?stress_threads ~seed:seeds.(i) ~iterations test)
   in
+  Metrics.incr "engine.campaigns";
+  Trace.complete ~name:"engine.campaign" ~since:trace_start
+    ~args:
+      [
+        ("runs", Trace.Int runs);
+        ("jobs", Trace.Int jobs);
+        ("seed", Trace.Int seed);
+      ]
+    ();
   (* The test is shared, so conversion failures are identical across
      runs: surface the first. *)
   let rec collect acc i =

@@ -1,0 +1,5 @@
+(* The engine-facing name of the metrics layer; the implementation lives
+   in {!Perple_util.Metrics} so that the sim and harness layers (which
+   perple_core depends on) can emit through the same ambient sink.  See
+   docs/internals.md, "Observability". *)
+include Perple_util.Metrics

@@ -13,10 +13,27 @@ let available_domains () = Domain.recommended_domain_count ()
    inside it whatever the caller asks for. *)
 let max_jobs = 64
 
+(* Observability wrapper around one task: a "pool.task" span whose [tid]
+   is the executing domain (per-domain utilization is read straight off
+   the trace timeline) plus a scheduling-independent task counter.  When
+   neither sink is installed the task function is passed through
+   untouched. *)
+let observed_task f =
+  if not (Trace.enabled () || Metrics.enabled ()) then f
+  else fun i ->
+    let t0 = Trace.now () in
+    let r = f i in
+    Metrics.incr "pool.tasks";
+    Trace.complete ~name:"pool.task" ~since:t0
+      ~args:[ ("index", Trace.Int i) ]
+      ();
+    r
+
 let map ?(jobs = 1) n f =
   if jobs < 1 then invalid_arg "Pool.map: jobs must be >= 1";
   if n < 0 then invalid_arg "Pool.map: negative task count";
   let jobs = min (min jobs n) max_jobs in
+  let f = observed_task f in
   if n = 0 then [||]
   else if jobs <= 1 then Array.init n f
   else begin

@@ -1,0 +1,5 @@
+(* The engine-facing name of the observability trace layer; the
+   implementation lives in {!Perple_util.Trace_event} so that the sim and
+   harness layers (which perple_core depends on) can emit through the same
+   ambient sink.  See docs/internals.md, "Observability". *)
+include Perple_util.Trace_event

@@ -70,8 +70,13 @@ let run ?(config = Config.default) ?(stress_threads = 0) ?watchdog ~rng ~test
     histogram;
     iterations;
     retired;
+    (* Per-iteration sync overhead is charged per *retired* iteration:
+       a run cut short by faults or the watchdog never paid the loop
+       bookkeeping for the iterations it didn't reach, and charging them
+       anyway inflated the baseline's runtime in the Fig 9/10
+       comparisons. *)
     virtual_runtime =
-      stats.Machine.rounds + (Sync_mode.iteration_overhead * iterations);
+      stats.Machine.rounds + (Sync_mode.iteration_overhead * retired);
     machine = stats;
   }
 

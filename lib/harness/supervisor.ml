@@ -57,8 +57,45 @@ let classify policy ~requested ~retired (termination : Machine.termination) =
     | Machine.Watchdog_abort | Machine.Hung -> Timeout
     | Machine.Completed -> Crashed
 
+(* Next attempt's iteration budget.  [ceil], not truncation: with a
+   growing multiplier a budget of 1 under truncation computes
+   [int_of_float 1.5 = 1] forever, and a shrinking multiplier rounds
+   below the intended geometric sequence — either way the budget never
+   moves as the policy says it should.  Clamped to [1, max_int]. *)
 let backed_off policy budget =
-  max 1 (int_of_float (float_of_int budget *. policy.backoff))
+  let next = Float.ceil (float_of_int budget *. policy.backoff) in
+  if Float.is_nan next then 1
+  else if next >= float_of_int max_int then max_int
+  else max 1 (int_of_float next)
+
+(* Observability: attempts and retries feed the ambient metrics/trace
+   sinks (no-ops when none is installed).  Observation only — nothing here
+   touches the RNG or the classification. *)
+let note_attempt ~index ~outcome ~retired ~requested =
+  (match Perple_util.Metrics.active () with
+  | Some m ->
+    Perple_util.Metrics.add m "supervisor.attempts" 1;
+    Perple_util.Metrics.add m ("supervisor.attempts." ^ outcome_name outcome) 1
+  | None -> ());
+  Perple_util.Trace_event.instant ~name:"supervisor.attempt"
+    ~args:
+      [
+        ("index", Perple_util.Trace_event.Int index);
+        ("outcome", Perple_util.Trace_event.String (outcome_name outcome));
+        ("retired", Perple_util.Trace_event.Int retired);
+        ("requested", Perple_util.Trace_event.Int requested);
+      ]
+    ()
+
+let note_retry ~budget ~next =
+  Perple_util.Metrics.incr "supervisor.retries";
+  Perple_util.Trace_event.instant ~name:"supervisor.backoff"
+    ~args:
+      [
+        ("budget", Perple_util.Trace_event.Int budget);
+        ("next", Perple_util.Trace_event.Int next);
+      ]
+    ()
 
 let run_perpetual ?(config = Config.default) ?(stress_threads = 0) ~policy
     ~rng ~image ~t_reads ~iterations () =
@@ -87,6 +124,7 @@ let run_perpetual ?(config = Config.default) ?(stress_threads = 0) ~policy
     in
     let watchdog ~round ~iterations:_ = round > policy.watchdog_rounds in
     let record outcome ~retired ~rounds ~lost_stores ~termination ~exn =
+      note_attempt ~index ~outcome ~retired ~requested:budget;
       attempts :=
         {
           index;
@@ -109,7 +147,11 @@ let run_perpetual ?(config = Config.default) ?(stress_threads = 0) ~policy
             (Some (Perpetual.truncate run ~iterations:retired))
             retired
         | None -> finish outcome None 0
-      else go (index + 1) (backed_off policy budget)
+      else begin
+        let next = backed_off policy budget in
+        note_retry ~budget ~next;
+        go (index + 1) next
+      end
     in
     match
       try
@@ -177,7 +219,11 @@ let run_litmus7 ?(config = Config.default) ?(stress_threads = 0) ~policy ~rng
         match !best with
         | Some (_, result) -> finish Truncated (Some result)
         | None -> finish outcome None
-      else go (index + 1) (backed_off policy budget)
+      else begin
+        let next = backed_off policy budget in
+        note_retry ~budget ~next;
+        go (index + 1) next
+      end
     in
     match
       try
@@ -187,6 +233,7 @@ let run_litmus7 ?(config = Config.default) ?(stress_threads = 0) ~policy ~rng
       with e -> Stdlib.Error (Printexc.to_string e)
     with
     | Stdlib.Error msg ->
+      note_attempt ~index ~outcome:Crashed ~retired:0 ~requested:budget;
       attempts :=
         {
           index;
@@ -208,6 +255,7 @@ let run_litmus7 ?(config = Config.default) ?(stress_threads = 0) ~policy ~rng
       let outcome =
         classify policy ~requested:budget ~retired stats.Machine.termination
       in
+      note_attempt ~index ~outcome ~retired ~requested:budget;
       attempts :=
         {
           index;

@@ -47,14 +47,22 @@ type policy = {
           retried. *)
   max_retries : int;  (** Retries after the first attempt. *)
   backoff : float;
-      (** Iteration-budget multiplier per retry, in (0, 1]; 0.5 halves
-          the budget each time. *)
+      (** Iteration-budget multiplier per retry, > 0.  0.5 halves the
+          budget each time (retry cheaper after a loss); 1.5 grows it
+          (retry harder).  See {!backed_off} for the rounding. *)
 }
 
 val default_policy : iterations:int -> policy
 (** A generous budget ([64·N + 10_000] rounds — an order of magnitude
     above typical fault-free runs), [min_retired = max 1 (N/100)],
     3 retries, backoff 0.5. *)
+
+val backed_off : policy -> int -> int
+(** [backed_off policy budget] is the next attempt's iteration budget:
+    [ceil (budget * backoff)] clamped to [\[1, max_int\]].  Ceiling, not
+    truncation — truncation pinned a budget of 1 at 1 under any growing
+    multiplier ([int_of_float 1.5 = 1]) and rounded shrinking budgets
+    below their geometric sequence. *)
 
 type attempt = {
   index : int;  (** 0 for the first attempt. *)

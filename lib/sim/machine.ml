@@ -1,4 +1,6 @@
 module Rng = Perple_util.Rng
+module Metrics = Perple_util.Metrics
+module Trace_event = Perple_util.Trace_event
 
 type barrier = No_barrier | Every_iteration of { cost : int; max_release_skew : int }
 
@@ -12,6 +14,11 @@ type termination =
   | Completed
   | Watchdog_abort
   | Hung
+
+let termination_name = function
+  | Completed -> "completed"
+  | Watchdog_abort -> "watchdog_abort"
+  | Hung -> "hung"
 
 type stats = {
   rounds : int;
@@ -53,6 +60,10 @@ let image_uses_indexed (image : Program.image) =
 let run ?on_iteration_end ?on_sample ?on_event ?watchdog
     ?(sample_interval = 64) ~config ~rng ~image ~iterations ~barrier () =
   if iterations <= 0 then invalid_arg "Machine.run: iterations must be > 0";
+  (* Ambient observability, resolved once per run so the per-round cost of
+     disabled instrumentation is a match on an immutable local. *)
+  let mx = Metrics.active () in
+  let trace_start = Trace_event.now () in
   let nthreads = Array.length image.Program.programs in
   let nlocs = Array.length image.Program.location_names in
   let cells = if image_uses_indexed image then iterations else 1 in
@@ -85,6 +96,19 @@ let run ?on_iteration_end ?on_sample ?on_event ?watchdog
         threads
   in
   let has_faults = Array.length faults > 0 in
+  (match mx with
+  | Some m ->
+    Array.iter
+      (fun (a : Fault.armed) ->
+        if a.Fault.hang_at <> None then Metrics.add m "machine.fault_arms.hang" 1;
+        if a.Fault.crash_at <> None then
+          Metrics.add m "machine.fault_arms.crash" 1;
+        if a.Fault.livelock_at <> None then
+          Metrics.add m "machine.fault_arms.livelock" 1;
+        if a.Fault.loss_chance > 0.0 then
+          Metrics.add m "machine.fault_arms.store_loss" 1)
+      faults
+  | None -> ());
   let fault_of t = if has_faults then faults.(t) else Fault.disarmed in
   let clock = ref 0 in
   let last_progress = ref 0 in
@@ -206,6 +230,11 @@ let run ?on_iteration_end ?on_sample ?on_event ?watchdog
       else begin
         st.buffer <-
           { loc; cell = cell_of addr st; value = stored } :: st.buffer;
+        (match mx with
+        | Some m ->
+          Metrics.observe m "machine.buffer_occupancy"
+            (List.length st.buffer)
+        | None -> ());
         st.pc <- st.pc + 1;
         incr instructions;
         emit
@@ -393,13 +422,34 @@ let run ?on_iteration_end ?on_sample ?on_event ?watchdog
           drain_one t st
         done)
       threads;
+  let termination = Option.value ~default:Completed !aborted in
+  (match mx with
+  | Some m ->
+    Metrics.add m "machine.runs" 1;
+    Metrics.add m "machine.rounds" !clock;
+    Metrics.add m "machine.instructions" !instructions;
+    Metrics.add m "machine.drains" !drains;
+    Metrics.add m "machine.barriers" !barriers;
+    Metrics.add m "machine.stalls" !stalls;
+    Metrics.add m "machine.lost_stores" !lost_stores;
+    Metrics.add m ("machine.termination." ^ termination_name termination) 1
+  | None -> ());
+  Trace_event.complete ~name:"machine.run" ~since:trace_start
+    ~args:
+      [
+        ("rounds", Trace_event.Int !clock);
+        ("instructions", Trace_event.Int !instructions);
+        ("iterations", Trace_event.Int iterations);
+        ("termination", Trace_event.String (termination_name termination));
+      ]
+    ();
   {
     rounds = !clock;
     instructions = !instructions;
     drains = !drains;
     barriers = !barriers;
     stalls = !stalls;
-    termination = Option.value ~default:Completed !aborted;
+    termination;
     iterations_retired = Array.map (fun st -> st.iteration) threads;
     lost_stores = !lost_stores;
   }

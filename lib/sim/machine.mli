@@ -40,6 +40,10 @@ type termination =
           a barrier a hung thread can never release) with empty buffers:
           no event could ever happen again. *)
 
+val termination_name : termination -> string
+(** ["completed"], ["watchdog_abort"] or ["hung"] — the spelling used in
+    metrics counter names and trace span arguments. *)
+
 type stats = {
   rounds : int;  (** Final virtual clock value. *)
   instructions : int;  (** Instructions executed across all threads. *)

@@ -1,0 +1,38 @@
+(** Minimal JSON support shared by every emitter in the project (bench
+    results, Chrome trace files, metrics summaries) and by the tests that
+    round-trip those files.
+
+    Serialization is {e deterministic}: equal trees produce equal bytes
+    (fields keep their given order; floats use a fixed format).  The
+    parser is strict RFC-8259 JSON — it exists so emitted files can be
+    validated without external tooling. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val escape : string -> string
+(** Escape a string for embedding between JSON double quotes: quotes,
+    backslashes, and every control character U+0000–U+001F (the common
+    ones as [\n]-style shorthands, the rest as [\u00xx]). *)
+
+val to_string : ?indent:bool -> t -> string
+(** Serialize.  [indent] pretty-prints with two-space indentation.
+    Non-finite floats (and integral floats too large to round-trip)
+    serialize as [null]. *)
+
+val write_file : path:string -> t -> unit
+(** [to_string ~indent:true] plus a trailing newline, written to [path]. *)
+
+val parse : string -> (t, string) result
+(** Strict parse of a complete JSON document. *)
+
+val parse_file : string -> (t, string) result
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on other constructors. *)

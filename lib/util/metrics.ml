@@ -1,0 +1,100 @@
+(* Deterministic counters and histograms for the pipeline.
+
+   Like {!Trace_event}, a single ambient sink is installed per command
+   (`--metrics FILE`); every instrumented layer adds to it.  Unlike the
+   trace, the metrics summary is part of the *deterministic* surface:
+   every recorded value is an integer count derived from the (seeded)
+   computation itself — never from the wall clock — and addition is
+   commutative, so the dump is bit-identical however pool domains
+   interleave and for any --jobs N.  Names are sorted at dump time to make
+   that byte-identity independent of first-touch order too. *)
+
+type sink = {
+  counters : (string, int ref) Hashtbl.t;
+  histograms : (string, Stats.Histogram.t) Hashtbl.t;
+  mutex : Mutex.t;
+}
+
+let ambient : sink option ref = ref None
+
+let create_sink () =
+  {
+    counters = Hashtbl.create 32;
+    histograms = Hashtbl.create 8;
+    mutex = Mutex.create ();
+  }
+
+let install sink = ambient := Some sink
+let uninstall () = ambient := None
+let active () = !ambient
+let enabled () = !ambient <> None
+
+let add sink name by =
+  Mutex.lock sink.mutex;
+  (match Hashtbl.find_opt sink.counters name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.add sink.counters name (ref by));
+  Mutex.unlock sink.mutex
+
+let observe sink name value =
+  Mutex.lock sink.mutex;
+  let h =
+    match Hashtbl.find_opt sink.histograms name with
+    | Some h -> h
+    | None ->
+      let h = Stats.Histogram.create () in
+      Hashtbl.add sink.histograms name h;
+      h
+  in
+  Stats.Histogram.add h value;
+  Mutex.unlock sink.mutex
+
+let incr ?(by = 1) name =
+  match !ambient with None -> () | Some sink -> add sink name by
+
+let record ?(value = 0) name =
+  match !ambient with None -> () | Some sink -> observe sink name value
+
+let counter sink name =
+  match Hashtbl.find_opt sink.counters name with Some r -> !r | None -> 0
+
+let sorted_bindings tbl value =
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (Hashtbl.fold (fun k v acc -> (k, value v) :: acc) tbl [])
+
+let json_of_histogram h =
+  let lo, hi =
+    match Stats.Histogram.range h with Some r -> r | None -> (0, 0)
+  in
+  let sum =
+    List.fold_left
+      (fun acc (v, c) -> acc + (v * c))
+      0 (Stats.Histogram.bindings h)
+  in
+  Json.Obj
+    [
+      ("count", Json.Int (Stats.Histogram.total h));
+      ("sum", Json.Int sum);
+      ("min", Json.Int lo);
+      ("max", Json.Int hi);
+      ( "buckets",
+        Json.Obj
+          (List.map
+             (fun (v, c) -> (string_of_int v, Json.Int c))
+             (Stats.Histogram.bindings h)) );
+    ]
+
+let to_json sink =
+  Mutex.lock sink.mutex;
+  let counters = sorted_bindings sink.counters (fun r -> Json.Int !r) in
+  let histograms = sorted_bindings sink.histograms json_of_histogram in
+  Mutex.unlock sink.mutex;
+  Json.Obj
+    [
+      ("schema", Json.String "perple-metrics/1");
+      ("counters", Json.Obj counters);
+      ("histograms", Json.Obj histograms);
+    ]
+
+let write sink ~path = Json.write_file ~path (to_json sink)

@@ -1,0 +1,44 @@
+(** Deterministic counters and integer histograms for the pipeline
+    ([perple run --metrics FILE]).
+
+    One ambient sink is installed per command; instrumented layers add to
+    it through {!active}/{!add} (hoisting the [active] lookup out of hot
+    loops) or the {!incr}/{!record} conveniences.  All module-level entry
+    points are no-ops when no sink is installed.
+
+    {b Determinism contract}: every recorded value is an integer count
+    derived from the seeded computation (rounds, evaluations, retries...),
+    never from the wall clock, and all updates are commutative additions —
+    so {!to_json} output is bit-identical however pool domains interleave
+    and for any [--jobs N].  Names are sorted at dump time.  Anything
+    timing-related belongs in {!Trace_event}, not here. *)
+
+type sink
+
+val create_sink : unit -> sink
+val install : sink -> unit
+val uninstall : unit -> unit
+val active : unit -> sink option
+val enabled : unit -> bool
+
+val add : sink -> string -> int -> unit
+(** [add sink name by] adds [by] to counter [name] (created at 0). *)
+
+val observe : sink -> string -> int -> unit
+(** [observe sink name v] counts one observation of [v] in histogram
+    [name]. *)
+
+val incr : ?by:int -> string -> unit
+(** Ambient {!add}; no-op when disabled.  [by] defaults to 1. *)
+
+val record : ?value:int -> string -> unit
+(** Ambient {!observe}; no-op when disabled. *)
+
+val counter : sink -> string -> int
+(** Current value of a counter; 0 if never touched. *)
+
+val to_json : sink -> Json.t
+(** [{"schema": "perple-metrics/1", "counters": {...}, "histograms":
+    {name: {count, sum, min, max, buckets}}}], names sorted. *)
+
+val write : sink -> path:string -> unit

@@ -24,9 +24,11 @@ let stddev a =
     sqrt (acc /. float_of_int n)
   end
 
+(* Sorted with Float.compare: a total order even in the presence of NaN
+   (which sorts below every number), unlike polymorphic compare on floats. *)
 let sorted_copy a =
   let b = Array.copy a in
-  Array.sort compare b;
+  Array.sort Float.compare b;
   b
 
 let percentile a p =
@@ -47,8 +49,22 @@ let percentile a p =
 
 let median a = percentile a 50.0
 
-let minimum a = Array.fold_left Float.min infinity a
-let maximum a = Array.fold_left Float.max neg_infinity a
+(* Extrema ignore NaN entries and are total: [None] (for the [_opt]
+   variants) or 0.0 only when no finite-or-infinite entry exists at all —
+   the same degenerate-input default mean/median/percentile use, instead
+   of the unbounded-fold artifacts [infinity]/[neg_infinity]. *)
+let extremum_opt f a =
+  Array.fold_left
+    (fun acc x ->
+      if Float.is_nan x then acc
+      else
+        match acc with None -> Some x | Some y -> Some (f y x))
+    None a
+
+let minimum_opt a = extremum_opt Float.min a
+let maximum_opt a = extremum_opt Float.max a
+let minimum a = Option.value ~default:0.0 (minimum_opt a)
+let maximum a = Option.value ~default:0.0 (maximum_opt a)
 
 module Int_map = Map.Make (Int)
 

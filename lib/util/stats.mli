@@ -17,10 +17,21 @@ val median : float array -> float
 
 val percentile : float array -> float -> float
 (** [percentile a p] for [p] in [\[0, 100\]], nearest-rank with linear
-    interpolation; does not modify its argument. *)
+    interpolation; does not modify its argument.  Sorting uses
+    [Float.compare], a total order: NaN entries sort below every number
+    (so they can only surface at low percentiles), and the result is
+    deterministic on any input.  0 on the empty array. *)
+
+val minimum_opt : float array -> float option
+val maximum_opt : float array -> float option
+(** Smallest/largest non-NaN entry; [None] when there is none (empty or
+    all-NaN input). *)
 
 val minimum : float array -> float
 val maximum : float array -> float
+(** [minimum_opt]/[maximum_opt] with the degenerate default 0.0 — the
+    same total-on-empty convention as [mean]/[median]/[percentile],
+    replacing the historical [infinity]/[neg_infinity] fold artifacts. *)
 
 (** Integer histograms keyed by arbitrary [int] values (e.g. thread skew,
     which can be negative). *)

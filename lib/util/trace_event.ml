@@ -1,0 +1,139 @@
+(* Low-overhead span/instant tracing with Chrome trace-event JSON output.
+
+   A single ambient sink is installed for the duration of a traced command
+   (`perple run --trace FILE`); every instrumented layer (machine, counters,
+   engine, supervisor, pool) emits through it.  With no sink installed each
+   emission point is one read of [ambient] plus a branch — the disabled
+   cost the <5% overhead budget is measured against.
+
+   The sink is shared across pool domains: appends take a mutex, and each
+   event records the emitting domain id as its [tid], which is what makes
+   per-domain utilization visible in the viewer.  Timestamps come from the
+   wall clock and are inherently non-deterministic; nothing read back into
+   results may come from a trace (see docs/internals.md, "determinism
+   contract"). *)
+
+type arg =
+  | Int of int
+  | Float of float
+  | String of string
+  | Bool of bool
+
+type event = {
+  name : string;
+  phase : [ `Complete | `Instant ];
+  ts : float;  (* microseconds since sink creation *)
+  dur : float;  (* microseconds; 0 for instants *)
+  tid : int;
+  args : (string * arg) list;
+}
+
+type sink = {
+  mutable events : event list;  (* newest first *)
+  mutable count : int;
+  mutex : Mutex.t;
+  t0 : float;  (* Unix epoch seconds at sink creation *)
+}
+
+let ambient : sink option ref = ref None
+
+let create_sink () =
+  { events = []; count = 0; mutex = Mutex.create (); t0 = Unix.gettimeofday () }
+
+let install sink = ambient := Some sink
+let uninstall () = ambient := None
+let active () = !ambient
+let enabled () = !ambient <> None
+
+(* Microseconds since the ambient sink's epoch; 0 when tracing is off (a
+   span recorded against a disabled sink is dropped anyway). *)
+let now () =
+  match !ambient with
+  | None -> 0.0
+  | Some sink -> (Unix.gettimeofday () -. sink.t0) *. 1e6
+
+let record sink ev =
+  Mutex.lock sink.mutex;
+  sink.events <- ev :: sink.events;
+  sink.count <- sink.count + 1;
+  Mutex.unlock sink.mutex
+
+let complete ?(args = []) ~name ~since () =
+  match !ambient with
+  | None -> ()
+  | Some sink ->
+    let ts = (Unix.gettimeofday () -. sink.t0) *. 1e6 in
+    record sink
+      {
+        name;
+        phase = `Complete;
+        ts = since;
+        dur = Float.max 0.0 (ts -. since);
+        tid = (Domain.self () :> int);
+        args;
+      }
+
+let instant ?(args = []) ~name () =
+  match !ambient with
+  | None -> ()
+  | Some sink ->
+    record sink
+      {
+        name;
+        phase = `Instant;
+        ts = (Unix.gettimeofday () -. sink.t0) *. 1e6;
+        dur = 0.0;
+        tid = (Domain.self () :> int);
+        args;
+      }
+
+let span ?args name f =
+  match !ambient with
+  | None -> f ()
+  | Some _ ->
+    let since = now () in
+    Fun.protect ~finally:(fun () -> complete ?args ~name ~since ()) f
+
+let length sink = sink.count
+
+let json_of_arg = function
+  | Int i -> Json.Int i
+  | Float f -> Json.Float f
+  | String s -> Json.String s
+  | Bool b -> Json.Bool b
+
+let json_of_event ev =
+  let base =
+    [
+      ("name", Json.String ev.name);
+      ("cat", Json.String "perple");
+      ( "ph",
+        Json.String (match ev.phase with `Complete -> "X" | `Instant -> "i") );
+      ("ts", Json.Float ev.ts);
+    ]
+  in
+  let dur =
+    match ev.phase with
+    | `Complete -> [ ("dur", Json.Float ev.dur) ]
+    | `Instant -> [ ("s", Json.String "t") ]
+  in
+  let tail = [ ("pid", Json.Int 1); ("tid", Json.Int ev.tid) ] in
+  let args =
+    match ev.args with
+    | [] -> []
+    | args ->
+      [ ("args", Json.Obj (List.map (fun (k, v) -> (k, json_of_arg v)) args)) ]
+  in
+  Json.Obj (base @ dur @ tail @ args)
+
+let to_json sink =
+  Mutex.lock sink.mutex;
+  let events = sink.events in
+  Mutex.unlock sink.mutex;
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.rev_map json_of_event events));
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+let write sink ~path = Json.write_file ~path (to_json sink)

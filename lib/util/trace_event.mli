@@ -1,0 +1,54 @@
+(** Low-overhead span/instant tracing with Chrome trace-event JSON output
+    (loadable in [chrome://tracing] / Perfetto).
+
+    One {e ambient} sink is installed for the duration of a traced command;
+    instrumented layers emit through the module-level functions, which are
+    no-ops (one ref read and a branch) when no sink is installed.  The sink
+    is safe to share across pool domains: appends are mutex-protected and
+    every event carries the emitting domain id as its [tid].
+
+    {b Determinism contract}: trace timestamps and durations come from the
+    wall clock and are non-deterministic; traces are observation-only and
+    nothing in them feeds back into results.  See docs/internals.md. *)
+
+type arg =
+  | Int of int
+  | Float of float
+  | String of string
+  | Bool of bool
+
+type sink
+
+val create_sink : unit -> sink
+
+val install : sink -> unit
+(** Make [sink] the ambient sink.  Not reentrant: one at a time. *)
+
+val uninstall : unit -> unit
+val active : unit -> sink option
+val enabled : unit -> bool
+
+val now : unit -> float
+(** Microseconds since the ambient sink's creation; [0.] when disabled.
+    Capture once at the start of an operation and pass to {!complete}. *)
+
+val complete : ?args:(string * arg) list -> name:string -> since:float -> unit -> unit
+(** Record a complete ("X") span from [since] (a {!now} capture) to the
+    current time.  No-op when disabled. *)
+
+val instant : ?args:(string * arg) list -> name:string -> unit -> unit
+(** Record an instant ("i") event.  No-op when disabled. *)
+
+val span : ?args:(string * arg) list -> string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f] inside a complete span (recorded even if [f]
+    raises).  When disabled, exactly [f ()]. *)
+
+val length : sink -> int
+(** Events recorded so far. *)
+
+val to_json : sink -> Json.t
+(** The Chrome trace-event document:
+    [{"traceEvents": [...], "displayTimeUnit": "ms"}], events in recorded
+    order. *)
+
+val write : sink -> path:string -> unit

@@ -175,6 +175,123 @@ let test_supervise_jobs_identical () =
     check Alcotest.string "parallel supervise identical" baseline (output 2)
   end
 
+(* Run the CLI capturing stdout only (stderr discarded) — for byte-identity
+   checks on the ledger, which the observability notes on stderr must not
+   perturb. *)
+let run_cli_stdout args =
+  ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote scratch)));
+  Sys.mkdir scratch 0o755;
+  let out = Filename.concat scratch "stdout.txt" in
+  let cmd =
+    Printf.sprintf "%s %s > %s 2> /dev/null"
+      (Filename.quote (binary_path ()))
+      args (Filename.quote out)
+  in
+  let code = Sys.command cmd in
+  let ic = open_in out in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  (code, text)
+
+let obs_dir = Filename.concat (Filename.get_temp_dir_name ()) "perple-cli-obs"
+
+let with_obs_dir f =
+  ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote obs_dir)));
+  Sys.mkdir obs_dir 0o755;
+  f ()
+
+let parse_json_file path =
+  match Perple_util.Json.parse_file path with
+  | Ok doc -> doc
+  | Error e -> Alcotest.failf "%s: invalid JSON: %s" path e
+
+let test_run_trace_metrics () =
+  if Lazy.force have_binary then
+    with_obs_dir (fun () ->
+        let trace = Filename.concat obs_dir "run.trace.json" in
+        let metrics = Filename.concat obs_dir "run.metrics.json" in
+        let code, text =
+          run_cli
+            (Printf.sprintf "run sb -n 300 --seed 2 --trace %s --metrics %s"
+               (Filename.quote trace) (Filename.quote metrics))
+        in
+        if code <> 0 then Alcotest.failf "run with observability exited %d:\n%s" code text;
+        (* Trace file is a loadable Chrome trace-event document... *)
+        (match Perple_util.Json.member "traceEvents" (parse_json_file trace) with
+        | Some (Perple_util.Json.List (_ :: _)) -> ()
+        | _ -> Alcotest.fail "traceEvents missing or empty");
+        (* ...and the metrics dump carries the expected schema tag. *)
+        match Perple_util.Json.member "schema" (parse_json_file metrics) with
+        | Some (Perple_util.Json.String "perple-metrics/1") -> ()
+        | _ -> Alcotest.fail "metrics schema missing")
+
+let test_supervise_trace_metrics () =
+  if Lazy.force have_binary then
+    with_obs_dir (fun () ->
+        let trace = Filename.concat obs_dir "sup.trace.json" in
+        let metrics = Filename.concat obs_dir "sup.metrics.json" in
+        let code, text =
+          run_cli
+            (Printf.sprintf
+               "supervise sb --fault hang@0.1 -n 1000 --runs 2 --seed 9 \
+                --trace %s --metrics %s"
+               (Filename.quote trace) (Filename.quote metrics))
+        in
+        if code <> 0 then
+          Alcotest.failf "supervise with observability exited %d:\n%s" code text;
+        ignore (parse_json_file trace);
+        let doc = parse_json_file metrics in
+        match
+          Option.bind
+            (Perple_util.Json.member "counters" doc)
+            (Perple_util.Json.member "supervisor.attempts")
+        with
+        | Some (Perple_util.Json.Int n) when n > 0 -> ()
+        | _ -> Alcotest.fail "supervisor.attempts counter missing")
+
+let test_ledger_identical_with_observability () =
+  (* ISSUE acceptance: the run ledger on stdout is byte-identical with
+     tracing on and off — observability output goes to files and stderr. *)
+  if Lazy.force have_binary then
+    with_obs_dir (fun () ->
+        let base_args = "run sb -n 300 --runs 3 --seed 5 --jobs 2" in
+        let code_a, bare = run_cli_stdout base_args in
+        let code_b, observed =
+          run_cli_stdout
+            (Printf.sprintf "%s --trace %s --metrics %s" base_args
+               (Filename.quote (Filename.concat obs_dir "t.json"))
+               (Filename.quote (Filename.concat obs_dir "m.json")))
+        in
+        check Alcotest.int "bare ok" 0 code_a;
+        check Alcotest.int "observed ok" 0 code_b;
+        check Alcotest.string "ledger unchanged by observability" bare observed)
+
+let test_metrics_identical_across_jobs () =
+  (* ISSUE acceptance: the metrics file is bit-identical for --jobs 1 and
+     --jobs 4 on the same seed. *)
+  if Lazy.force have_binary then
+    with_obs_dir (fun () ->
+        let metrics_for jobs =
+          let path =
+            Filename.concat obs_dir (Printf.sprintf "m%d.json" jobs)
+          in
+          let code, text =
+            run_cli_stdout
+              (Printf.sprintf "run sb -n 300 --runs 4 --seed 5 --jobs %d --metrics %s"
+                 jobs (Filename.quote path))
+          in
+          check Alcotest.int (Printf.sprintf "jobs=%d ok" jobs) 0 code;
+          ignore text;
+          let ic = open_in_bin path in
+          let n = in_channel_length ic in
+          let bytes = really_input_string ic n in
+          close_in ic;
+          bytes
+        in
+        check Alcotest.string "metrics bytes jobs 1 = jobs 4" (metrics_for 1)
+          (metrics_for 4))
+
 let test_bad_jobs () =
   expect_fail ~grep:"--jobs must be positive" "run sb -n 100 --jobs 0";
   expect_fail ~grep:"--runs must be positive" "run sb -n 100 --runs 0"
@@ -228,6 +345,14 @@ let suite =
           test_run_campaign_jobs_identical;
         Alcotest.test_case "supervise jobs-identical" `Quick
           test_supervise_jobs_identical;
+        Alcotest.test_case "run --trace/--metrics" `Quick
+          test_run_trace_metrics;
+        Alcotest.test_case "supervise --trace/--metrics" `Quick
+          test_supervise_trace_metrics;
+        Alcotest.test_case "ledger identical with observability" `Quick
+          test_ledger_identical_with_observability;
+        Alcotest.test_case "metrics identical across jobs" `Quick
+          test_metrics_identical_across_jobs;
         Alcotest.test_case "bad --runs/--jobs" `Quick test_bad_jobs;
         Alcotest.test_case "run cap note" `Quick test_run_cap_note;
         Alcotest.test_case "unknown test" `Quick test_unknown_test;

@@ -96,6 +96,29 @@ let test_litmus7_determinism () =
   check Alcotest.bool "same histogram" true
     (a.Litmus7.histogram = b.Litmus7.histogram)
 
+let test_truncated_runtime_charges_retired_only () =
+  (* Regression: virtual_runtime charged [iteration_overhead * iterations]
+     even when faults cut the run short, inflating the litmus7 baseline in
+     exactly the degraded runs PerpLE is compared against.  The overhead
+     must track *retired* iterations. *)
+  let config =
+    Config.with_faults
+      [ { Perple_sim.Fault.kind = Perple_sim.Fault.Hang; probability = 1.0 } ]
+      Config.default
+  in
+  let iterations = 2_000 in
+  let result = run_l7 ~config ~seed:9 ~iterations Catalog.sb in
+  check Alcotest.bool "run truncated" true
+    (result.Litmus7.retired < iterations);
+  check Alcotest.int "overhead charged per retired iteration"
+    (result.Litmus7.machine.Machine.rounds
+    + (Sync_mode.iteration_overhead * result.Litmus7.retired))
+    result.Litmus7.virtual_runtime;
+  check Alcotest.bool "strictly below the full-request charge" true
+    (result.Litmus7.virtual_runtime
+    < result.Litmus7.machine.Machine.rounds
+      + (Sync_mode.iteration_overhead * iterations))
+
 let test_store_only_thread () =
   (* mp's thread 0 performs no loads; the histogram still has one outcome
      per iteration, over thread 1's two registers. *)
@@ -315,6 +338,8 @@ let suite =
         Alcotest.test_case "runtime ordering" `Quick test_runtime_ordering;
         Alcotest.test_case "determinism" `Quick test_litmus7_determinism;
         Alcotest.test_case "store-only thread" `Quick test_store_only_thread;
+        Alcotest.test_case "truncated runtime charges retired only" `Quick
+          test_truncated_runtime_charges_retired_only;
       ] );
     ( "harness.perpetual",
       [

@@ -114,6 +114,33 @@ let test_backoff_shrinks_budgets () =
     "budgets halve" [ 1_000; 500; 250 ]
     (List.map (fun a -> a.Supervisor.requested) sup.Supervisor.attempts)
 
+let test_backoff_growth_not_truncated () =
+  (* Regression: [backed_off] used [int_of_float] directly, so a growth
+     factor applied to a small budget truncated back to the same budget
+     (1 * 1.5 -> 1) and the sequence pinned forever.  Ceiling rounding
+     makes every growth step strictly increase the budget. *)
+  let policy =
+    { (Supervisor.default_policy ~iterations:1) with Supervisor.backoff = 1.5 }
+  in
+  let rec sequence policy budget n =
+    if n = 0 then []
+    else budget :: sequence policy (Supervisor.backed_off policy budget) (n - 1)
+  in
+  check
+    (Alcotest.list Alcotest.int)
+    "budget 1 grows under backoff 1.5" [ 1; 2; 3; 5; 8 ] (sequence policy 1 5);
+  (* Shrinking factors keep their exact halving sequence... *)
+  let halving = { policy with Supervisor.backoff = 0.5 } in
+  check
+    (Alcotest.list Alcotest.int)
+    "exact halves unchanged" [ 1000; 500; 250 ] (sequence halving 1000 3);
+  (* ...but never collapse below one iteration. *)
+  check Alcotest.int "floor of one" 1 (Supervisor.backed_off halving 1);
+  (* Overflow-safe: a huge factor clamps instead of wrapping negative. *)
+  let explosive = { policy with Supervisor.backoff = 1e18 } in
+  check Alcotest.bool "clamped, not wrapped" true
+    (Supervisor.backed_off explosive max_int > 0)
+
 let test_ledger_deterministic () =
   let campaign () =
     supervise
@@ -269,6 +296,8 @@ let suite =
           test_unsalvageable_crash;
         Alcotest.test_case "backoff shrinks budgets" `Quick
           test_backoff_shrinks_budgets;
+        Alcotest.test_case "backoff growth not truncated" `Quick
+          test_backoff_growth_not_truncated;
         Alcotest.test_case "deterministic ledger" `Quick
           test_ledger_deterministic;
         Alcotest.test_case "acceptance campaign" `Quick

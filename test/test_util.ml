@@ -145,6 +145,35 @@ let test_min_max () =
   check feq "min" 1.0 (Stats.minimum [| 3.0; 1.0; 2.0 |]);
   check feq "max" 3.0 (Stats.maximum [| 3.0; 1.0; 2.0 |])
 
+let test_min_max_degenerate () =
+  (* Regression: the empty fold seeds leaked out as infinities, which the
+     bench emitter then serialized as invalid JSON.  Empty input now takes
+     the same total-function convention as mean/median... *)
+  check feq "empty min is finite" 0.0 (Stats.minimum [||]);
+  check feq "empty max is finite" 0.0 (Stats.maximum [||]);
+  check (Alcotest.option feq) "empty min_opt" None (Stats.minimum_opt [||]);
+  check (Alcotest.option feq) "empty max_opt" None (Stats.maximum_opt [||]);
+  (* ...singletons are their own extrema... *)
+  check feq "singleton min" 7.5 (Stats.minimum [| 7.5 |]);
+  check feq "singleton max" 7.5 (Stats.maximum [| 7.5 |]);
+  (* ...and NaN entries are ignored rather than poisoning the result. *)
+  check (Alcotest.option feq) "nan skipped (min)" (Some 2.0)
+    (Stats.minimum_opt [| Float.nan; 2.0; 3.0 |]);
+  check (Alcotest.option feq) "nan skipped (max)" (Some 3.0)
+    (Stats.maximum_opt [| 2.0; Float.nan; 3.0 |]);
+  check (Alcotest.option feq) "all-nan is None" None
+    (Stats.minimum_opt [| Float.nan; Float.nan |]);
+  check feq "all-nan default" 0.0 (Stats.maximum [| Float.nan |])
+
+let test_percentile_total_order () =
+  (* percentile sorts with Float.compare: NaN entries sink to the bottom
+     deterministically instead of leaving the sort order unspecified. *)
+  let a = [| Float.nan; 3.0; 1.0 |] in
+  check feq "p100 ignores nan's position" 3.0 (Stats.percentile a 100.0);
+  check Alcotest.bool "p0 is the sunk nan" true
+    (Float.is_nan (Stats.percentile a 0.0));
+  check feq "median of singleton" 5.0 (Stats.median [| 5.0 |])
+
 let test_histogram_basic () =
   let h = Stats.Histogram.create () in
   Stats.Histogram.add h 3;
@@ -188,6 +217,68 @@ let test_histogram_negative_count () =
   Alcotest.check_raises "negative"
     (Invalid_argument "Histogram.add_many: negative count") (fun () ->
       Stats.Histogram.add_many h 0 (-1))
+
+(* --- Json ---------------------------------------------------------------- *)
+
+module Json = Perple_util.Json
+
+let test_json_escape () =
+  check Alcotest.string "plain passes through" "abc" (Json.escape "abc");
+  check Alcotest.string "quote" "say \\\"hi\\\"" (Json.escape "say \"hi\"");
+  check Alcotest.string "backslash" "a\\\\b" (Json.escape "a\\b");
+  check Alcotest.string "newline+tab" "a\\nb\\tc" (Json.escape "a\nb\tc");
+  check Alcotest.string "other control" "\\u0001" (Json.escape "\x01")
+
+let test_json_roundtrip () =
+  let doc =
+    Json.Obj
+      [
+        ("name", Json.String "sb \"quoted\" \\ \n\x02");
+        ("n", Json.Int (-42));
+        ("rate", Json.Float 1.5);
+        ("flags", Json.List [ Json.Bool true; Json.Bool false; Json.Null ]);
+        ("empty_obj", Json.Obj []);
+        ("empty_list", Json.List []);
+      ]
+  in
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Error e -> Alcotest.failf "parse failed: %s" e
+      | Ok parsed ->
+        check Alcotest.string "serialize/parse/serialize is stable"
+          (Json.to_string doc) (Json.to_string parsed))
+    [ Json.to_string doc; Json.to_string ~indent:true doc ]
+
+let test_json_nonfinite_floats () =
+  (* Non-finite floats must never reach the file as bare [nan]/[inf]
+     tokens — that is exactly the bug the Stats sweep closes upstream. *)
+  check Alcotest.string "nan -> null" "null" (Json.to_string (Json.Float Float.nan));
+  check Alcotest.string "inf -> null" "null"
+    (Json.to_string (Json.Float Float.infinity));
+  check Alcotest.bool "integral floats stay integral" true
+    (Json.to_string (Json.Float 3.0) = "3")
+
+let test_json_parse_escapes () =
+  match Json.parse {|{"s": "aA\n\\", "xs": [1, -2.5, true, null]}|} with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok doc ->
+    (match Json.member "s" doc with
+    | Some (Json.String s) -> check Alcotest.string "unescaped" "aA\n\\" s
+    | _ -> Alcotest.fail "s missing");
+    (match Json.member "xs" doc with
+    | Some (Json.List [ Json.Int 1; Json.Float f; Json.Bool true; Json.Null ])
+      ->
+      check (Alcotest.float 1e-9) "float element" (-2.5) f
+    | _ -> Alcotest.fail "xs shape")
+
+let test_json_parse_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok _ -> Alcotest.failf "accepted garbage: %s" s
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2" ]
 
 (* --- Table --------------------------------------------------------------- *)
 
@@ -295,11 +386,24 @@ let suite =
         Alcotest.test_case "stddev" `Quick test_stddev;
         Alcotest.test_case "median/percentile" `Quick test_median_percentile;
         Alcotest.test_case "min/max" `Quick test_min_max;
+        Alcotest.test_case "min/max degenerate" `Quick test_min_max_degenerate;
+        Alcotest.test_case "percentile total order" `Quick
+          test_percentile_total_order;
         Alcotest.test_case "histogram basic" `Quick test_histogram_basic;
         Alcotest.test_case "histogram pdf" `Quick test_histogram_pdf;
         Alcotest.test_case "histogram empty" `Quick test_histogram_empty;
         Alcotest.test_case "histogram negative" `Quick
           test_histogram_negative_count;
+      ] );
+    ( "util.json",
+      [
+        Alcotest.test_case "escape" `Quick test_json_escape;
+        Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+        Alcotest.test_case "non-finite floats" `Quick
+          test_json_nonfinite_floats;
+        Alcotest.test_case "parse escapes" `Quick test_json_parse_escapes;
+        Alcotest.test_case "parse rejects garbage" `Quick
+          test_json_parse_rejects_garbage;
       ] );
     ( "util.table",
       [
