@@ -369,9 +369,9 @@ let emit_json ~path ~mode ~micro ~drivers ~counters_agree =
        | Some false -> "false"
        | None -> "null"));
   Buffer.add_string b "}\n";
-  let oc = open_out path in
-  output_string oc (Buffer.contents b);
-  close_out oc;
+  (* Atomic replace: an interrupted bench run leaves the previous
+     complete results file, never a torn JSON document. *)
+  Perple_util.Atomic_file.write ~path (Buffer.contents b);
   Printf.printf "bench results written to %s\n" path
 
 let run_drivers params =

@@ -153,6 +153,251 @@ let wrap f =
   in
   Term.(const report $ f)
 
+(* --- durability: campaign journal and resume ------------------------------ *)
+
+module Journal = Perple_util.Journal
+module Ledger = Perple_core.Ledger
+
+let journal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"FILE"
+        ~doc:
+          "Append every completed run to $(docv) as a CRC-checksummed, \
+           fsync'd record the moment it retires, so an interrupted campaign \
+           can be continued with $(b,--resume).  Refuses to overwrite an \
+           existing journal unless resuming.")
+
+let resume_arg =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Continue the campaign recorded in $(b,--journal): journaled runs \
+           are replayed from the journal and only the missing ones execute.  \
+           Per-run seeds are pre-split from the campaign seed, so the \
+           resumed ledger is byte-identical to an uninterrupted one.  The \
+           journal must match this command's configuration digest.")
+
+type campaign_journal = {
+  cj_completed : (int, Ledger.t) Hashtbl.t;
+  cj_journal : Journal.t option;
+  cj_path : string option;
+}
+
+let journal_errors f =
+  try f () with
+  | Unix.Unix_error (e, op, arg) ->
+    fail "journal: %s %s: %s" op arg (Unix.error_message e)
+  | Sys_error m -> fail "journal: %s" m
+
+(* Validate and ingest a journal being resumed: header digest and run
+   count must match this command, every record must parse, and every
+   journaled seed must equal the campaign's pre-split seed for that
+   index.  Damaged trailing bytes were already dropped by
+   {!Journal.load}; compaction below rewrites the file without them (and
+   without interrupted markers) before reopening for append. *)
+let ingest_journal ~path ~command ~digest ~runs ~seeds recovery =
+  let open Journal in
+  if recovery.dropped_bytes > 0 then
+    Printf.eprintf
+      "perple: journal %s: dropped %d damaged trailing bytes (kept %d \
+       intact)\n%!"
+      path recovery.dropped_bytes recovery.valid_bytes;
+  match recovery.records with
+  | [] -> fail "cannot resume: journal %s holds no intact records" path
+  | header :: rest -> (
+    match Ledger.parse_header header with
+    | Error m -> fail "cannot resume: %s" m
+    | Ok h ->
+      if h.Ledger.h_command <> command then
+        fail
+          "cannot resume: journal %s was written by 'perple %s', not \
+           'perple %s'"
+          path h.Ledger.h_command command
+      else if h.Ledger.h_digest <> digest then
+        fail
+          "cannot resume: journal %s was written under a different \
+           configuration; rerun with the original arguments (only --jobs, \
+           --trace and --metrics may change)"
+          path
+      else if h.Ledger.h_runs <> runs then
+        fail "cannot resume: journal %s covers %d runs, this command asks \
+              for %d"
+          path h.Ledger.h_runs runs
+      else begin
+        let completed = Hashtbl.create 16 in
+        let rec ingest = function
+          | [] -> Ok ()
+          | r :: rest -> (
+            match Ledger.kind r with
+            | Some "interrupted" -> ingest rest
+            | Some "run" -> (
+              match Ledger.of_json r with
+              | Error m -> fail "cannot resume: %s" m
+              | Ok s ->
+                if s.Ledger.index < 0 || s.Ledger.index >= runs then
+                  fail "cannot resume: journal %s has run index %d out of \
+                        range"
+                    path s.Ledger.index
+                else if s.Ledger.seed <> seeds.(s.Ledger.index) then
+                  fail
+                    "cannot resume: journal %s run %d was seeded with %d, \
+                     this campaign pre-splits %d"
+                    path s.Ledger.index s.Ledger.seed seeds.(s.Ledger.index)
+                else begin
+                  Hashtbl.replace completed s.Ledger.index s;
+                  ingest rest
+                end)
+            | Some k ->
+              fail "cannot resume: journal %s has an unexpected %S record"
+                path k
+            | None ->
+              fail "cannot resume: journal %s has a record without a kind"
+                path)
+        in
+        match ingest rest with
+        | Error _ as e -> e
+        | Ok () ->
+          let indices =
+            List.sort compare
+              (Hashtbl.fold (fun i _ acc -> i :: acc) completed [])
+          in
+          Journal.compact ~path
+            (header
+            :: List.map
+                 (fun i -> Ledger.to_json (Hashtbl.find completed i))
+                 indices);
+          let j = Journal.open_append path in
+          Printf.eprintf "perple: resuming: %d of %d runs journaled in %s\n%!"
+            (Hashtbl.length completed) runs path;
+          Ok
+            {
+              cj_completed = completed;
+              cj_journal = Some j;
+              cj_path = Some path;
+            }
+      end)
+
+let open_campaign_journal ~journal ~resume ~command ~digest ~runs ~seeds =
+  match (journal, resume) with
+  | None, true -> fail "--resume requires --journal FILE"
+  | None, false ->
+    Ok
+      {
+        cj_completed = Hashtbl.create 1;
+        cj_journal = None;
+        cj_path = None;
+      }
+  | Some path, false ->
+    if Sys.file_exists path then
+      fail
+        "journal %s already exists; pass --resume to continue it or remove \
+         it first"
+        path
+    else
+      journal_errors @@ fun () ->
+      let j = Journal.create path in
+      Journal.append j
+        (Ledger.header_to_json
+           { Ledger.h_command = command; h_digest = digest; h_runs = runs });
+      Ok
+        {
+          cj_completed = Hashtbl.create 16;
+          cj_journal = Some j;
+          cj_path = Some path;
+        }
+  | Some path, true -> (
+    journal_errors @@ fun () ->
+    match Journal.load path with
+    | Error m -> fail "cannot resume: %s" m
+    | Ok recovery ->
+      ingest_journal ~path ~command ~digest ~runs ~seeds recovery)
+
+(* Resume replays the metrics of journaled runs instead of re-executing
+   them; additions are commutative, so merging them up front keeps the
+   final --metrics dump byte-identical to an uninterrupted campaign. *)
+let merge_journaled_metrics cj =
+  match Perple_util.Metrics.active () with
+  | None -> Ok ()
+  | Some sink ->
+    Hashtbl.fold
+      (fun i (s : Ledger.t) acc ->
+        match (acc, s.Ledger.metrics) with
+        | Error _, _ | Ok (), None -> acc
+        | Ok (), Some m -> (
+          match Perple_util.Metrics.merge_json sink m with
+          | Ok () -> Ok ()
+          | Error e -> fail "journal: run %d: %s" i e))
+      cj.cj_completed (Ok ())
+
+(* While a journaled campaign runs, SIGINT/SIGTERM flush an interrupted
+   marker (via the handler-safe {!Journal.try_append}) and point at
+   --resume; completed runs are already on disk, fsync'd. *)
+let with_journal_signals cj ~runs ~journaled f =
+  match (cj.cj_journal, cj.cj_path) with
+  | Some j, Some path ->
+    let handler signum =
+      ignore (Journal.try_append j Ledger.interrupted_marker);
+      Printf.eprintf
+        "\n\
+         perple: interrupted: %d of %d runs journaled in %s\n\
+         perple: rerun the same command with --resume to finish the \
+         campaign\n\
+         %!"
+        !journaled runs path;
+      Stdlib.exit (if signum = Sys.sigint then 130 else 143)
+    in
+    let old_int = Sys.signal Sys.sigint (Sys.Signal_handle handler) in
+    let old_term = Sys.signal Sys.sigterm (Sys.Signal_handle handler) in
+    Fun.protect
+      ~finally:(fun () ->
+        Sys.set_signal Sys.sigint old_int;
+        Sys.set_signal Sys.sigterm old_term;
+        Journal.close j)
+      f
+  | _ -> f ()
+
+(* The shared campaign driver: open/resume the journal, skip journaled
+   runs, journal each retiring run, and return one summary per run —
+   journaled or freshly computed — for the printers. *)
+let campaign_summaries ~journal ~resume ~command ~digest ~runs ~seed ~execute
+    =
+  let seeds = Engine.campaign_seeds ~runs ~seed in
+  Result.bind
+    (open_campaign_journal ~journal ~resume ~command ~digest ~runs ~seeds)
+  @@ fun cj ->
+  Result.bind (merge_journaled_metrics cj) @@ fun () ->
+  let journaled = ref (Hashtbl.length cj.cj_completed) in
+  let on_entry =
+    match cj.cj_journal with
+    | None -> None
+    | Some j ->
+      Some
+        (fun entry ->
+          Journal.append j (Ledger.to_json (Ledger.of_entry entry));
+          incr journaled)
+  in
+  let skip i = Hashtbl.mem cj.cj_completed i in
+  match
+    journal_errors (fun () ->
+        Result.map_error
+          (fun r -> Format.asprintf "%a" Convert.pp_reason r)
+          (with_journal_signals cj ~runs ~journaled (fun () ->
+               execute ~skip ~on_entry)))
+  with
+  | Error _ as e -> e
+  | Ok entries ->
+    Ok
+      (Array.init runs (fun i ->
+           match entries.(i) with
+           | Some e -> Ledger.of_entry e
+           | None -> (
+             match Hashtbl.find_opt cj.cj_completed i with
+             | Some s -> s
+             | None -> assert false)))
+
 (* --- list ---------------------------------------------------------------- *)
 
 let list_cmd =
@@ -367,10 +612,45 @@ let run_cmd =
       report.Engine.frames_examined report.Engine.virtual_runtime
       (Engine.detection_rate report)
   in
+  let print_campaign ~test ~runs ~iterations ~counter ~model
+      (summaries : Ledger.t array) =
+    Printf.printf
+      "PerpLE campaign of %s: %d runs x %d iterations, %s counter, model \
+       %s\n"
+      test.Ast.name runs iterations (counter_name counter)
+      (Config.model_name model);
+    let total_targets = ref 0 and total_runtime = ref 0 in
+    Array.iteri
+      (fun i (s : Ledger.t) ->
+        match s.Ledger.crashed with
+        | Some c ->
+          Printf.printf "run %3d  crashed: %s\n" (i + 1) c.Ledger.c_message
+        | None ->
+          total_targets := !total_targets + Ledger.target_count s;
+          total_runtime := !total_runtime + s.Ledger.virtual_runtime;
+          Printf.printf
+            "run %3d  iterations %d  frames %d  runtime %d  target %d%s\n"
+            (i + 1) s.Ledger.iterations s.Ledger.frames_examined
+            s.Ledger.virtual_runtime (Ledger.target_count s)
+            (if s.Ledger.degraded then "  [degraded]" else ""))
+      summaries;
+    Printf.printf
+      "campaign total: %d target occurrences; %d virtual rounds; detection \
+       rate %.3f per Mround\n"
+      !total_targets !total_runtime
+      (if !total_runtime = 0 then 0.0
+       else
+         float_of_int !total_targets
+         /. float_of_int !total_runtime
+         *. 1_000_000.0)
+  in
   let run spec iterations seed counter model all_outcomes stress cap runs
-      jobs trace metrics =
+      jobs journal resume trace metrics =
     if runs <= 0 then fail "--runs must be positive"
     else if jobs <= 0 then fail "--jobs must be positive"
+    else if resume && journal = None then fail "--resume requires --journal"
+    else if journal <> None && runs < 2 then
+      fail "--journal records campaigns; it requires --runs >= 2"
     else
       with_observability ~trace ~metrics @@ fun () ->
       Result.bind (load_test spec) (fun test ->
@@ -388,44 +668,31 @@ let run_cmd =
               print_single counter model report;
               Ok ()
           else
-            match
-              Engine.campaign ~config:(config_of_model model) ~counter
-                ?outcomes ~exhaustive_cap:cap ~stress_threads:stress ~jobs
-                ~runs ~seed ~iterations test
-            with
-            | Error r -> fail "%s" (Format.asprintf "%a" Convert.pp_reason r)
-            | Ok reports ->
-              Printf.printf
-                "PerpLE campaign of %s: %d runs x %d iterations, %s \
-                 counter, model %s\n"
-                test.Ast.name runs iterations (counter_name counter)
-                (Config.model_name model);
-              let total_targets = ref 0 and total_runtime = ref 0 in
-              Array.iteri
-                (fun i report ->
-                  total_targets := !total_targets + Engine.target_count report;
-                  total_runtime :=
-                    !total_runtime + report.Engine.virtual_runtime;
-                  Printf.printf
-                    "run %3d  iterations %d  frames %d  runtime %d  target \
-                     %d%s\n"
-                    (i + 1)
-                    report.Engine.run.Perple_harness.Perpetual.iterations
-                    report.Engine.frames_examined
-                    report.Engine.virtual_runtime
-                    (Engine.target_count report)
-                    (if report.Engine.degraded then "  [degraded]" else ""))
-                reports;
-              Printf.printf
-                "campaign total: %d target occurrences; %d virtual rounds; \
-                 detection rate %.3f per Mround\n"
-                !total_targets !total_runtime
-                (if !total_runtime = 0 then 0.0
-                 else
-                   float_of_int !total_targets
-                   /. float_of_int !total_runtime
-                   *. 1_000_000.0);
-              Ok ())
+            let digest =
+              Ledger.digest_of_params
+                [
+                  ("command", "run");
+                  ( "test",
+                    Digest.to_hex (Digest.string (Printer.to_string test)) );
+                  ("iterations", string_of_int iterations);
+                  ("seed", string_of_int seed);
+                  ("counter", counter_name counter);
+                  ("model", Config.model_name model);
+                  ("all_outcomes", string_of_bool all_outcomes);
+                  ("stress", string_of_int stress);
+                  ("cap", string_of_int cap);
+                  ("runs", string_of_int runs);
+                ]
+            in
+            let execute ~skip ~on_entry =
+              Engine.campaign_entries ~config:(config_of_model model)
+                ~counter ?outcomes ~exhaustive_cap:cap ~stress_threads:stress
+                ~jobs ~skip ?on_entry ~runs ~seed ~iterations test
+            in
+            Result.map
+              (print_campaign ~test ~runs ~iterations ~counter ~model)
+              (campaign_summaries ~journal ~resume ~command:"run" ~digest
+                 ~runs ~seed ~execute))
   in
   Cmd.v
     (Cmd.info "run"
@@ -434,7 +701,7 @@ let run_cmd =
        Term.(
          const run $ test_arg $ iterations_arg $ seed_arg $ counter_arg
          $ model_arg $ all_outcomes_arg $ stress_arg $ cap_arg $ runs_arg
-         $ jobs_arg $ trace_arg $ metrics_arg))
+         $ jobs_arg $ journal_arg $ resume_arg $ trace_arg $ metrics_arg))
 
 (* --- litmus7 baseline ---------------------------------------------------- *)
 
@@ -544,11 +811,88 @@ let supervise_cmd =
             "Iteration-budget multiplier per retry (> 0): < 1 retries \
              with a shrunken budget, > 1 grows it.")
   in
+  (* The ledger is printed sequentially from per-run summaries, in run
+     order — the same summaries the journal stores, so a resumed
+     campaign's stdout is byte-identical to an uninterrupted one. *)
+  let print_ledger ~iterations (summaries : Ledger.t array) =
+    let by_class = Hashtbl.create 4 in
+    let tally cls =
+      Hashtbl.replace by_class cls
+        (1 + Option.value ~default:0 (Hashtbl.find_opt by_class cls))
+    in
+    let total_retries = ref 0 in
+    let total_targets = ref 0 in
+    let total_runtime = ref 0 in
+    let failed = ref 0 in
+    Array.iteri
+      (fun idx (s : Ledger.t) ->
+        let i = idx + 1 in
+        let crashed_line m =
+          tally Supervisor.Crashed;
+          incr failed;
+          Printf.printf "run %3d  crashed: %s\n" i m
+        in
+        match (s.Ledger.crashed, s.Ledger.supervision) with
+        | Some c, _ -> crashed_line c.Ledger.c_message
+        | None, None -> crashed_line "journal record lacks supervision data"
+        | None, Some sup ->
+          let attempts = sup.Ledger.s_attempts in
+          tally
+            (Option.value ~default:Supervisor.Crashed
+               (Supervisor.outcome_of_name sup.Ledger.s_outcome));
+          total_retries := !total_retries + List.length attempts - 1;
+          total_targets := !total_targets + Ledger.target_count s;
+          total_runtime := !total_runtime + s.Ledger.virtual_runtime;
+          if sup.Ledger.s_lost then incr failed;
+          Printf.printf
+            "run %3d  %-9s  attempts %d  retired %d/%d  rounds %d  target \
+             %d%s\n"
+            i sup.Ledger.s_outcome (List.length attempts)
+            s.Ledger.salvaged_iterations iterations sup.Ledger.s_total_rounds
+            (Ledger.target_count s)
+            (if s.Ledger.degraded then "  [degraded]" else "");
+          if List.length attempts > 1 then
+            List.iter
+              (fun (a : Ledger.attempt) ->
+                Printf.printf
+                  "         #%d %-9s  retired %d/%d  rounds %d%s%s\n"
+                  a.Ledger.a_index a.Ledger.a_outcome a.Ledger.a_retired
+                  a.Ledger.a_requested a.Ledger.a_rounds
+                  (if a.Ledger.a_lost_stores > 0 then
+                     Printf.sprintf "  lost stores %d" a.Ledger.a_lost_stores
+                   else "")
+                  (match a.Ledger.a_exn with
+                  | Some m -> "  exn: " ^ m
+                  | None -> ""))
+              attempts)
+      summaries;
+    let count cls =
+      Option.value ~default:0 (Hashtbl.find_opt by_class cls)
+    in
+    Printf.printf
+      "campaign summary: %d ok, %d truncated, %d timeout, %d crashed; %d \
+       retries; %d runs lost\n"
+      (count Supervisor.Ok)
+      (count Supervisor.Truncated)
+      (count Supervisor.Timeout)
+      (count Supervisor.Crashed)
+      !total_retries !failed;
+    Printf.printf
+      "total target occurrences: %d; total virtual runtime: %d rounds; \
+       detection rate: %.3f per Mround\n"
+      !total_targets !total_runtime
+      (if !total_runtime = 0 then 0.0
+       else
+         float_of_int !total_targets
+         /. float_of_int !total_runtime
+         *. 1_000_000.0)
+  in
   let run spec iterations seed model stress faults runs watchdog min_retired
-      retries backoff jobs trace metrics =
+      retries backoff jobs journal resume trace metrics =
     if runs <= 0 then fail "--runs must be positive"
     else if jobs <= 0 then fail "--jobs must be positive"
     else if backoff <= 0.0 then fail "--backoff must be positive"
+    else if resume && journal = None then fail "--resume requires --journal"
     else
       with_observability ~trace ~metrics @@ fun () ->
       Result.bind (load_test spec) (fun test ->
@@ -576,89 +920,33 @@ let supervise_cmd =
              backoff %.2f\n"
             policy.Supervisor.watchdog_rounds policy.Supervisor.min_retired
             policy.Supervisor.max_retries policy.Supervisor.backoff;
-          let by_class = Hashtbl.create 4 in
-          let tally cls =
-            Hashtbl.replace by_class cls
-              (1 + Option.value ~default:0 (Hashtbl.find_opt by_class cls))
+          let digest =
+            Ledger.digest_of_params
+              [
+                ("command", "supervise");
+                ( "test",
+                  Digest.to_hex (Digest.string (Printer.to_string test)) );
+                ("iterations", string_of_int iterations);
+                ("seed", string_of_int seed);
+                ("model", Config.model_name model);
+                ("stress", string_of_int stress);
+                ("faults", Fault.profile_to_string faults);
+                ( "watchdog_rounds",
+                  string_of_int policy.Supervisor.watchdog_rounds );
+                ("min_retired", string_of_int policy.Supervisor.min_retired);
+                ("max_retries", string_of_int policy.Supervisor.max_retries);
+                ("backoff", Printf.sprintf "%.17g" policy.Supervisor.backoff);
+                ("runs", string_of_int runs);
+              ]
           in
-          let total_retries = ref 0 in
-          let total_targets = ref 0 in
-          let total_runtime = ref 0 in
-          let failed = ref 0 in
-          (* Runs execute on the pool (bit-identical for any --jobs); the
-             ledger is printed sequentially afterwards, in run order. *)
-          let campaign () =
-            match
-              Engine.campaign ~config ~policy ~stress_threads:stress ~jobs
-                ~runs ~seed ~iterations test
-            with
-            | Error r -> fail "%s" (Format.asprintf "%a" Convert.pp_reason r)
-            | Ok reports ->
-              Array.iteri
-                (fun idx report ->
-                  let i = idx + 1 in
-                  let sup = Option.get report.Engine.supervision in
-                  let attempts = sup.Supervisor.attempts in
-                  tally sup.Supervisor.outcome;
-                  total_retries := !total_retries + List.length attempts - 1;
-                  total_targets :=
-                    !total_targets + Engine.target_count report;
-                  total_runtime :=
-                    !total_runtime + report.Engine.virtual_runtime;
-                  if sup.Supervisor.run = None then incr failed;
-                  Printf.printf
-                    "run %3d  %-9s  attempts %d  retired %d/%d  rounds %d  \
-                     target %d%s\n"
-                    i
-                    (Supervisor.outcome_name sup.Supervisor.outcome)
-                    (List.length attempts)
-                    report.Engine.salvaged_iterations iterations
-                    sup.Supervisor.total_rounds
-                    (Engine.target_count report)
-                    (if report.Engine.degraded then "  [degraded]" else "");
-                  if List.length attempts > 1 then
-                    List.iter
-                      (fun (a : Supervisor.attempt) ->
-                        Printf.printf
-                          "         #%d %-9s  retired %d/%d  rounds %d%s%s\n"
-                          a.Supervisor.index
-                          (Supervisor.outcome_name a.Supervisor.outcome)
-                          a.Supervisor.retired a.Supervisor.requested
-                          a.Supervisor.rounds
-                          (if a.Supervisor.lost_stores > 0 then
-                             Printf.sprintf "  lost stores %d"
-                               a.Supervisor.lost_stores
-                           else "")
-                          (match a.Supervisor.exn with
-                          | Some m -> "  exn: " ^ m
-                          | None -> ""))
-                      attempts)
-                reports;
-              Ok ()
+          let execute ~skip ~on_entry =
+            Engine.campaign_entries ~config ~policy ~stress_threads:stress
+              ~jobs ~skip ?on_entry ~runs ~seed ~iterations test
           in
           Result.map
-            (fun () ->
-              let count cls =
-                Option.value ~default:0 (Hashtbl.find_opt by_class cls)
-              in
-              Printf.printf
-                "campaign summary: %d ok, %d truncated, %d timeout, %d \
-                 crashed; %d retries; %d runs lost\n"
-                (count Supervisor.Ok)
-                (count Supervisor.Truncated)
-                (count Supervisor.Timeout)
-                (count Supervisor.Crashed)
-                !total_retries !failed;
-              Printf.printf
-                "total target occurrences: %d; total virtual runtime: %d \
-                 rounds; detection rate: %.3f per Mround\n"
-                !total_targets !total_runtime
-                (if !total_runtime = 0 then 0.0
-                 else
-                   float_of_int !total_targets
-                   /. float_of_int !total_runtime
-                   *. 1_000_000.0))
-            (campaign ()))
+            (print_ledger ~iterations)
+            (campaign_summaries ~journal ~resume ~command:"supervise" ~digest
+               ~runs ~seed ~execute))
   in
   Cmd.v
     (Cmd.info "supervise"
@@ -671,7 +959,7 @@ let supervise_cmd =
          const run $ test_arg $ iterations_arg $ seed_arg $ model_arg
          $ stress_arg $ faults_arg $ runs_arg $ watchdog_arg
          $ min_retired_arg $ retries_arg $ backoff_arg $ jobs_arg
-         $ trace_arg $ metrics_arg))
+         $ journal_arg $ resume_arg $ trace_arg $ metrics_arg))
 
 (* --- emit ---------------------------------------------------------------- *)
 

@@ -170,25 +170,114 @@ let run ?(config = Perple_sim.Config.default) ?faults ?policy
             supervision;
           }))
 
-let campaign ?config ?faults ?policy ?counter ?outcomes ?exhaustive_cap
-    ?stress_threads ?(jobs = 1) ~runs ~seed ~iterations test =
-  if runs < 0 then invalid_arg "Engine.campaign: negative run count";
+type crash = { message : string; backtrace : string }
+
+type entry = {
+  run_index : int;
+  run_seed : int;
+  outcome : (report, crash) result;
+  run_metrics : Perple_util.Json.t option;
+}
+
+let campaign_seeds ~runs ~seed =
   (* Seeds are pre-split from the campaign RNG *before* dispatch, in run
      order, so the per-run seed sequence — and with it every report — is
-     a function of [seed] alone, never of [jobs] or domain scheduling.
-     The derivation (one [bits64] draw per run, masked non-negative)
-     matches what the sequential supervise loop has always done, keeping
-     fixed-seed campaign output stable across versions. *)
+     a function of [seed] alone, never of [jobs], domain scheduling, or
+     which runs a resume still has to execute.  The derivation (one
+     [bits64] draw per run, masked non-negative) matches what the
+     sequential supervise loop has always done, keeping fixed-seed
+     campaign output stable across versions. *)
   let campaign_rng = Rng.create seed in
-  let seeds = Array.make (max runs 1) 0 in
-  for i = 0 to runs - 1 do
-    seeds.(i) <- Int64.to_int (Rng.bits64 campaign_rng) land max_int
-  done;
+  Array.init runs (fun _ ->
+      Int64.to_int (Rng.bits64 campaign_rng) land max_int)
+
+let campaign_entries ?config ?faults ?policy ?counter ?outcomes
+    ?exhaustive_cap ?stress_threads ?(jobs = 1) ?(skip = fun _ -> false)
+    ?on_entry ~runs ~seed ~iterations test =
+  if runs < 0 then invalid_arg "Engine.campaign: negative run count";
+  if jobs < 1 then invalid_arg "Engine.campaign: jobs must be >= 1";
+  let seeds = campaign_seeds ~runs ~seed in
+  let pending =
+    Array.of_list
+      (List.filter (fun i -> not (skip i)) (List.init runs Fun.id))
+  in
+  (* The engine right-sizes the worker count itself, from the *full* run
+     count — not from how many runs a resume still has to execute — so
+     the jobs-clamp note and metric are identical for a clean campaign
+     and any resume of it.  The pool then never needs to clamp (which
+     would tie the [pool.jobs_clamped] metric to the interruption
+     point). *)
+  let stable_jobs = min (min jobs (max runs 1)) Pool.max_jobs in
+  if stable_jobs < jobs then begin
+    Metrics.incr "engine.jobs_clamped";
+    Printf.eprintf "perple: campaign: clamped jobs %d -> %d (%s)\n%!" jobs
+      stable_jobs
+      (if jobs > Pool.max_jobs && stable_jobs = Pool.max_jobs then
+         Printf.sprintf "domain limit %d" Pool.max_jobs
+       else Printf.sprintf "only %d runs" runs)
+  end;
+  let pool_jobs = max 1 (min stable_jobs (max 1 (Array.length pending))) in
   let trace_start = Trace.now () in
-  let reports =
-    Pool.map ~jobs runs (fun i ->
+  let entries : entry option array = Array.make (max runs 1) None in
+  let entry_mutex = Mutex.create () in
+  (* Per-run capture: when metrics are wanted — or when every retiring
+     run is being journaled — each task records into a private scoped
+     sink that is merged into the ambient sink afterwards (additions are
+     commutative, so the final dump is unchanged) and attached to the
+     entry.  A resume replays captured metrics of journaled runs instead
+     of re-executing them, keeping the dump byte-identical to an
+     uninterrupted campaign. *)
+  let capture = Metrics.enabled () || on_entry <> None in
+  let around ti thunk =
+    let i = pending.(ti) in
+    let finish captured result =
+      let outcome =
+        match result with
+        | Ok (Ok report) -> Some (Ok report)
+        | Ok (Error _reason) -> None (* conversion error; surfaced below *)
+        | Error task_error ->
+          Some
+            (Error
+               {
+                 message = Pool.error_message task_error;
+                 backtrace = Pool.error_backtrace task_error;
+               })
+      in
+      match outcome with
+      | None -> ()
+      | Some outcome ->
+        let entry =
+          { run_index = i; run_seed = seeds.(i); outcome; run_metrics = captured }
+        in
+        entries.(i) <- Some entry;
+        (match on_entry with
+        | None -> ()
+        | Some f ->
+          (* Retiring runs journal from whichever domain finishes first;
+             serialize the callback so the caller needs no locking. *)
+          Mutex.lock entry_mutex;
+          Fun.protect ~finally:(fun () -> Mutex.unlock entry_mutex) (fun () ->
+              f entry))
+    in
+    if not capture then begin
+      let result = thunk () in
+      finish None result;
+      result
+    end
+    else begin
+      let sink = Metrics.create_sink () in
+      let result = Metrics.scoped sink thunk in
+      (match Metrics.active () with
+      | Some ambient -> Metrics.merge ambient sink
+      | None -> ());
+      finish (Some (Metrics.to_json sink)) result;
+      result
+    end
+  in
+  let raw =
+    Pool.map_result ~jobs:pool_jobs ~around (Array.length pending) (fun ti ->
         run ?config ?faults ?policy ?counter ?outcomes ?exhaustive_cap
-          ?stress_threads ~seed:seeds.(i) ~iterations test)
+          ?stress_threads ~seed:seeds.(pending.(ti)) ~iterations test)
   in
   Metrics.incr "engine.campaigns";
   Trace.complete ~name:"engine.campaign" ~since:trace_start
@@ -197,18 +286,38 @@ let campaign ?config ?faults ?policy ?counter ?outcomes ?exhaustive_cap
         ("runs", Trace.Int runs);
         ("jobs", Trace.Int jobs);
         ("seed", Trace.Int seed);
+        ("executed", Trace.Int (Array.length pending));
       ]
     ();
   (* The test is shared, so conversion failures are identical across
      runs: surface the first. *)
-  let rec collect acc i =
-    if i >= runs then Ok (Array.of_list (List.rev acc))
-    else
-      match reports.(i) with
-      | Error _ as e -> e
-      | Ok r -> collect (r :: acc) (i + 1)
+  let conversion_error =
+    Array.find_map
+      (function Ok (Error reason) -> Some reason | _ -> None)
+      raw
   in
-  collect [] 0
+  match conversion_error with
+  | Some reason -> Error reason
+  | None -> Ok (if runs = 0 then [||] else entries)
+
+let campaign ?config ?faults ?policy ?counter ?outcomes ?exhaustive_cap
+    ?stress_threads ?jobs ~runs ~seed ~iterations test =
+  match
+    campaign_entries ?config ?faults ?policy ?counter ?outcomes
+      ?exhaustive_cap ?stress_threads ?jobs ~runs ~seed ~iterations test
+  with
+  | Error _ as e -> e
+  | Ok entries ->
+    Ok
+      (Array.map
+         (function
+           | Some { outcome = Ok report; _ } -> report
+           | Some { outcome = Error crash; run_index; _ } ->
+             failwith
+               (Printf.sprintf "Engine.campaign: run %d crashed: %s"
+                  run_index crash.message)
+           | None -> assert false (* no [skip]: every slot is filled *))
+         entries)
 
 let target_count report =
   if Array.length report.counts = 0 then 0 else report.counts.(0)

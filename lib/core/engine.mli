@@ -83,6 +83,53 @@ val run :
     [degraded].  Beware that a hang or livelock fault without a policy
     leaves no watchdog to bound the run. *)
 
+type crash = {
+  message : string;  (** [Printexc.to_string] of the task's exception. *)
+  backtrace : string;  (** Raw backtrace, printed; may be empty. *)
+}
+
+type entry = {
+  run_index : int;  (** Position in the campaign, [0 .. runs-1]. *)
+  run_seed : int;  (** The pre-split seed this run was given. *)
+  outcome : (report, crash) result;
+      (** [Error] means the run raised; siblings were unaffected. *)
+  run_metrics : Perple_util.Json.t option;
+      (** This run's isolated metrics capture ({!Perple_util.Metrics.to_json}),
+          present whenever metrics are enabled or [on_entry] is set. *)
+}
+
+val campaign_seeds : runs:int -> seed:int -> int array
+(** The per-run seed sequence a campaign with this [seed] uses: one
+    [bits64] draw per run from a campaign RNG, in run order, masked
+    non-negative.  Exposed so a resume can verify journaled seeds. *)
+
+val campaign_entries :
+  ?config:Perple_sim.Config.t ->
+  ?faults:Perple_sim.Fault.profile ->
+  ?policy:Perple_harness.Supervisor.policy ->
+  ?counter:counter ->
+  ?outcomes:Outcome.t list ->
+  ?exhaustive_cap:int ->
+  ?stress_threads:int ->
+  ?jobs:int ->
+  ?skip:(int -> bool) ->
+  ?on_entry:(entry -> unit) ->
+  runs:int ->
+  seed:int ->
+  iterations:int ->
+  Ast.t ->
+  (entry option array, Convert.reason) result
+(** Like {!campaign}, but fault-isolated and resumable.  A run that
+    raises becomes an [Error crash] entry in its own slot while every
+    sibling runs to completion (via {!Pool.map_result}).  [skip i]
+    (default: never) excludes run [i] from execution — its slot stays
+    [None] — without perturbing any other run's seed; a resume skips the
+    journaled runs this way.  [on_entry] is invoked once per completed
+    run, serialized, as runs retire — the journaling hook.  The
+    worker-count clamp is computed from the full [runs], not from the
+    pending subset, so clamp notes and metrics are identical between a
+    clean campaign and any resume of it. *)
+
 val campaign :
   ?config:Perple_sim.Config.t ->
   ?faults:Perple_sim.Fault.profile ->

@@ -1,0 +1,73 @@
+(** Serializable per-run campaign summaries — the records of the
+    durability journal ([perple run/supervise --journal FILE]).
+
+    A {!t} captures everything the campaign ledger printers need from an
+    {!Engine.report} (plus the supervision ledger and the run's isolated
+    metrics), so a resumed campaign can reprint journaled runs
+    byte-identically without re-executing them.  JSON round-trip is
+    exact: [of_json (to_json s) = Ok s]. *)
+
+module Json := Perple_util.Json
+
+type attempt = {
+  a_index : int;
+  a_outcome : string;  (** {!Perple_harness.Supervisor.outcome_name}. *)
+  a_requested : int;
+  a_retired : int;
+  a_rounds : int;
+  a_lost_stores : int;
+  a_exn : string option;
+}
+
+type supervision = {
+  s_outcome : string;
+  s_total_rounds : int;
+  s_lost : bool;  (** True iff the supervised run salvaged nothing. *)
+  s_attempts : attempt list;
+}
+
+type crash = { c_message : string; c_backtrace : string }
+
+type t = {
+  index : int;  (** Position in the campaign, 0-based. *)
+  seed : int;  (** The pre-split per-run seed. *)
+  crashed : crash option;
+      (** [Some _] iff the run raised; the numeric fields are then 0. *)
+  iterations : int;  (** Effective (possibly salvaged) iterations. *)
+  requested_iterations : int;
+  frames_examined : int;
+  evaluations : int;
+  virtual_runtime : int;
+  counts : int array;  (** Occurrences per outcome of interest. *)
+  degraded : bool;
+  salvaged_iterations : int;
+  supervision : supervision option;
+  metrics : Json.t option;
+      (** The run's isolated metrics capture, replayed on resume. *)
+}
+
+val of_entry : Engine.entry -> t
+val target_count : t -> int
+
+val to_json : t -> Json.t
+val of_json : Json.t -> (t, string) result
+
+(** {1 Journal records}
+
+    A journal is a header record followed by one ["run"] record per
+    completed run (any order), optionally ending with an ["interrupted"]
+    marker left by a signal handler. *)
+
+val digest_of_params : (string * string) list -> string
+(** Canonical digest (MD5, hex) of the campaign parameters, so a resume
+    refuses a journal written under different settings. *)
+
+type header = { h_command : string; h_digest : string; h_runs : int }
+
+val header_to_json : header -> Json.t
+val parse_header : Json.t -> (header, string) result
+
+val kind : Json.t -> string option
+(** The record's ["kind"] field: ["header"], ["run"] or ["interrupted"]. *)
+
+val interrupted_marker : Json.t

@@ -13,14 +13,40 @@ let available_domains () = Domain.recommended_domain_count ()
    inside it whatever the caller asks for. *)
 let max_jobs = 64
 
+type task_error = { exn : exn; backtrace : Printexc.raw_backtrace }
+
+let error_message e = Printexc.to_string e.exn
+let error_backtrace e = Printexc.raw_backtrace_to_string e.backtrace
+
+(* Both clamps used to be silent; a campaign asking for 128 workers ran
+   on 64 with no trace of the difference.  Each clamp now leaves a
+   stderr note and a [pool.jobs_clamped] tick. *)
+let clamp_jobs ~jobs ~n =
+  let effective = min (min jobs n) max_jobs in
+  if effective < jobs then begin
+    Metrics.incr "pool.jobs_clamped";
+    Printf.eprintf "perple: pool: clamped jobs %d -> %d (%s)\n%!" jobs
+      effective
+      (if jobs > max_jobs && effective = max_jobs then
+         Printf.sprintf "domain limit %d" max_jobs
+       else Printf.sprintf "only %d tasks" n)
+  end;
+  effective
+
 (* Observability wrapper around one task: a "pool.task" span whose [tid]
    is the executing domain (per-domain utilization is read straight off
    the trace timeline) plus a scheduling-independent task counter.  When
    neither sink is installed the task function is passed through
-   untouched. *)
-let observed_task f =
-  if not (Trace.enabled () || Metrics.enabled ()) then f
-  else fun i ->
+   untouched.
+
+   The enabled check runs per task, in the worker, {e inside} any
+   [around] wrapper: an engine per-run capture scope
+   ({!Perple_util.Metrics.scoped}) must see the [pool.tasks] tick even
+   when no ambient sink is installed, or a journaled run's metrics would
+   depend on whether --metrics was passed. *)
+let observed_task f i =
+  if not (Trace.enabled () || Metrics.enabled ()) then f i
+  else begin
     let t0 = Trace.now () in
     let r = f i in
     Metrics.incr "pool.tasks";
@@ -28,47 +54,64 @@ let observed_task f =
       ~args:[ ("index", Trace.Int i) ]
       ();
     r
+  end
+
+let map_result ?(jobs = 1) ?around n f =
+  if jobs < 1 then invalid_arg "Pool.map_result: jobs must be >= 1";
+  if n < 0 then invalid_arg "Pool.map_result: negative task count";
+  if n = 0 then [||]
+  else begin
+    let jobs = clamp_jobs ~jobs ~n in
+    let f = observed_task f in
+    (* Capture failures per task instead of poisoning the pool: a raising
+       task yields [Error] in its own slot (exception plus backtrace) and
+       every sibling still runs to completion. *)
+    let protected i =
+      match f i with
+      | v -> Ok v
+      | exception exn ->
+        let backtrace = Printexc.get_raw_backtrace () in
+        Metrics.incr "pool.task_errors";
+        Error { exn; backtrace }
+    in
+    let task =
+      match around with
+      | None -> protected
+      | Some wrap -> fun i -> wrap i (fun () -> protected i)
+    in
+    if jobs <= 1 then Array.init n task
+    else begin
+      let results = Array.make n None in
+      let next = Atomic.make 0 in
+      let worker () =
+        let continue = ref true in
+        while !continue do
+          let i = Atomic.fetch_and_add next 1 in
+          if i >= n then continue := false
+          else results.(i) <- Some (task i)
+        done
+      in
+      let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      Array.iter Domain.join domains;
+      Array.map
+        (function
+          | Some r -> r
+          | None -> invalid_arg "Pool.map_result: missing result")
+        results
+    end
+  end
 
 let map ?(jobs = 1) n f =
   if jobs < 1 then invalid_arg "Pool.map: jobs must be >= 1";
   if n < 0 then invalid_arg "Pool.map: negative task count";
-  let jobs = min (min jobs n) max_jobs in
-  let f = observed_task f in
-  if n = 0 then [||]
-  else if jobs <= 1 then Array.init n f
-  else begin
-    let results = Array.make n None in
-    let error = Atomic.make None in
-    let next = Atomic.make 0 in
-    let worker () =
-      let continue = ref true in
-      while !continue do
-        if Atomic.get error <> None then continue := false
-        else begin
-          let i = Atomic.fetch_and_add next 1 in
-          if i >= n then continue := false
-          else
-            match f i with
-            | v -> results.(i) <- Some v
-            | exception e ->
-              (* First failure wins; the rest of the pool drains. *)
-              ignore
-                (Atomic.compare_and_set error None
-                   (Some (e, Printexc.get_raw_backtrace ())))
-        end
-      done
-    in
-    let domains =
-      Array.init (jobs - 1) (fun _ -> Domain.spawn worker)
-    in
-    worker ();
-    Array.iter Domain.join domains;
-    (match Atomic.get error with
-    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-    | None -> ());
-    Array.map
-      (function
-        | Some v -> v
-        | None -> invalid_arg "Pool.map: missing result")
-      results
-  end
+  let results = map_result ~jobs n f in
+  (* Re-raise the lowest-index failure — a deterministic choice, where
+     the old first-failure-wins race both picked a scheduling-dependent
+     winner and silently dropped every later failure. *)
+  Array.iter
+    (function
+      | Ok _ -> ()
+      | Error e -> Printexc.raise_with_backtrace e.exn e.backtrace)
+    results;
+  Array.map (function Ok v -> v | Error _ -> assert false) results

@@ -10,17 +10,48 @@
     all randomness from its index (e.g. from a pre-split RNG array built
     {e before} dispatch) and must not mutate state shared across tasks.
 
-    If any task raises, the pool stops issuing new tasks, drains, and
-    re-raises the first failure (with its backtrace).
+    Failures are isolated per task: {!map_result} returns each task's
+    exception (with its backtrace) in that task's own slot while every
+    sibling runs to completion, and {!map} re-raises the lowest-index
+    failure — a deterministic choice, unlike the historical
+    first-failure-wins race, which also silently discarded every later
+    failure.  All failures are counted in the [pool.task_errors] metric.
 
     With [jobs = 1] (the default) no domain is spawned and the tasks run
     sequentially in order — the reference behaviour the parallel path is
     measured against. *)
 
+type task_error = {
+  exn : exn;
+  backtrace : Printexc.raw_backtrace;
+}
+
+val error_message : task_error -> string
+val error_backtrace : task_error -> string
+
+val map_result :
+  ?jobs:int ->
+  ?around:(int -> (unit -> ('a, task_error) result) -> ('a, task_error) result) ->
+  int ->
+  (int -> 'a) ->
+  ('a, task_error) result array
+(** Run all [n] tasks to completion, capturing per-task failures instead
+    of aborting siblings.  [around i thunk] (default: [thunk ()]) wraps
+    the {e entire} task — including the pool's own per-task metrics — in
+    the worker domain that executes it; the engine uses it to scope a
+    per-run metrics capture ({!Perple_util.Metrics.scoped}) around each
+    campaign run.  Raises [Invalid_argument] if [jobs < 1] or [n < 0]. *)
+
 val map : ?jobs:int -> int -> (int -> 'a) -> 'a array
-(** Raises [Invalid_argument] if [jobs < 1] or [n < 0].  [jobs] is
-    clamped to the task count and to an internal bound well inside the
-    runtime's domain limit. *)
+(** [map_result] with failures re-raised: if any task raised, the
+    lowest-index failure is re-raised with its backtrace after all tasks
+    have run.  Raises [Invalid_argument] if [jobs < 1] or [n < 0]. *)
+
+val max_jobs : int
+(** Hard upper bound on worker domains (the OCaml runtime supports a
+    bounded number of live domains).  Requests beyond it — or beyond the
+    task count — are clamped, with a stderr note and a
+    [pool.jobs_clamped] metric tick rather than silently. *)
 
 val available_domains : unit -> int
 (** [Domain.recommended_domain_count ()] — a sensible upper bound for

@@ -11,6 +11,13 @@ let outcome_name = function
   | Crashed -> "crashed"
   | Truncated -> "truncated"
 
+let outcome_of_name = function
+  | "ok" -> Some Ok
+  | "timeout" -> Some Timeout
+  | "crashed" -> Some Crashed
+  | "truncated" -> Some Truncated
+  | _ -> None
+
 type policy = {
   watchdog_rounds : int;
   min_retired : int;

@@ -36,6 +36,10 @@ type outcome =
 
 val outcome_name : outcome -> string
 
+val outcome_of_name : string -> outcome option
+(** Inverse of {!outcome_name}; [None] for unknown names.  Used when a
+    resumed campaign replays journaled classifications. *)
+
 type policy = {
   watchdog_rounds : int;
       (** Per-attempt virtual-round budget; the watchdog aborts beyond

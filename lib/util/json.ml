@@ -95,11 +95,9 @@ let to_string ?(indent = false) v =
   add_json b ~indent ~level:0 v;
   Buffer.contents b
 
-let write_file ~path v =
-  let oc = open_out path in
-  output_string oc (to_string ~indent:true v);
-  output_char oc '\n';
-  close_out oc
+(* Atomic replacement (write → fsync → rename): a crash mid-dump leaves
+   the previous complete file, never a torn JSON document. *)
+let write_file ~path v = Atomic_file.write ~path (to_string ~indent:true v ^ "\n")
 
 (* --- Parsing -------------------------------------------------------------- *)
 

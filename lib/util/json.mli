@@ -27,7 +27,9 @@ val to_string : ?indent:bool -> t -> string
     serialize as [null]. *)
 
 val write_file : path:string -> t -> unit
-(** [to_string ~indent:true] plus a trailing newline, written to [path]. *)
+(** [to_string ~indent:true] plus a trailing newline, written to [path]
+    atomically ({!Atomic_file.write}): a crash mid-write leaves the
+    previous complete file, never a torn document. *)
 
 val parse : string -> (t, string) result
 (** Strict parse of a complete JSON document. *)

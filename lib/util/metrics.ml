@@ -17,6 +17,15 @@ type sink = {
 
 let ambient : sink option ref = ref None
 
+(* Per-domain override stack.  [scoped] pushes a private sink for one
+   task's dynamic extent so a campaign can capture that run's counters
+   in isolation (for journaling) while sibling runs on other domains
+   keep recording into their own scopes.  The global ambient sink stays
+   the fallback, so installing a sink before spawning domains still
+   covers every domain, as before. *)
+let scope_stack : sink list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
 let create_sink () =
   {
     counters = Hashtbl.create 32;
@@ -26,8 +35,21 @@ let create_sink () =
 
 let install sink = ambient := Some sink
 let uninstall () = ambient := None
-let active () = !ambient
-let enabled () = !ambient <> None
+
+let active () =
+  match !(Domain.DLS.get scope_stack) with
+  | sink :: _ -> Some sink
+  | [] -> !ambient
+
+let enabled () = active () <> None
+
+let scoped sink f =
+  let stack = Domain.DLS.get scope_stack in
+  stack := sink :: !stack;
+  Fun.protect
+    ~finally:(fun () ->
+      match !stack with _ :: rest -> stack := rest | [] -> ())
+    f
 
 let add sink name by =
   Mutex.lock sink.mutex;
@@ -36,7 +58,7 @@ let add sink name by =
   | None -> Hashtbl.add sink.counters name (ref by));
   Mutex.unlock sink.mutex
 
-let observe sink name value =
+let observe_many sink name value count =
   Mutex.lock sink.mutex;
   let h =
     match Hashtbl.find_opt sink.histograms name with
@@ -46,14 +68,16 @@ let observe sink name value =
       Hashtbl.add sink.histograms name h;
       h
   in
-  Stats.Histogram.add h value;
+  Stats.Histogram.add_many h value count;
   Mutex.unlock sink.mutex
 
+let observe sink name value = observe_many sink name value 1
+
 let incr ?(by = 1) name =
-  match !ambient with None -> () | Some sink -> add sink name by
+  match active () with None -> () | Some sink -> add sink name by
 
 let record ?(value = 0) name =
-  match !ambient with None -> () | Some sink -> observe sink name value
+  match active () with None -> () | Some sink -> observe sink name value
 
 let counter sink name =
   match Hashtbl.find_opt sink.counters name with Some r -> !r | None -> 0
@@ -98,3 +122,76 @@ let to_json sink =
     ]
 
 let write sink ~path = Json.write_file ~path (to_json sink)
+
+(* --- Merging --------------------------------------------------------------- *)
+
+(* Addition is commutative, so merging per-run capture sinks into the
+   ambient sink in completion order yields the same totals as recording
+   into the ambient sink directly — the bit-identical-for-any-jobs dump
+   contract survives per-run capture. *)
+let merge dst src =
+  Mutex.lock src.mutex;
+  let counters =
+    Hashtbl.fold (fun name r acc -> (name, !r) :: acc) src.counters []
+  in
+  let histograms =
+    Hashtbl.fold
+      (fun name h acc -> (name, Stats.Histogram.bindings h) :: acc)
+      src.histograms []
+  in
+  Mutex.unlock src.mutex;
+  List.iter (fun (name, v) -> add dst name v) counters;
+  List.iter
+    (fun (name, bindings) ->
+      List.iter (fun (v, c) -> observe_many dst name v c) bindings)
+    histograms
+
+(* Replay a {!to_json} dump (e.g. a journaled per-run capture) into a
+   live sink.  Strict: anything structurally unexpected is an error, so
+   a corrupt journal record cannot silently skew a resumed campaign's
+   metrics. *)
+let merge_json sink json =
+  let ( let* ) = Result.bind in
+  let obj_member name v =
+    match Json.member name v with
+    | Some (Json.Obj fields) -> Stdlib.Ok fields
+    | Some _ | None ->
+      Stdlib.Error (Printf.sprintf "metrics record: %S is not an object" name)
+  in
+  let rec each f = function
+    | [] -> Stdlib.Ok ()
+    | x :: rest ->
+      let* () = f x in
+      each f rest
+  in
+  let* counters = obj_member "counters" json in
+  let* histograms = obj_member "histograms" json in
+  let* () =
+    each
+      (function
+        | name, Json.Int v ->
+          add sink name v;
+          Stdlib.Ok ()
+        | name, _ ->
+          Stdlib.Error
+            (Printf.sprintf "metrics record: counter %S is not an int" name))
+      counters
+  in
+  each
+    (fun (name, h) ->
+      let* buckets = obj_member "buckets" h in
+      each
+        (function
+          | value, Json.Int c -> (
+            match int_of_string_opt value with
+            | Some v when c >= 0 ->
+              observe_many sink name v c;
+              Stdlib.Ok ()
+            | _ ->
+              Stdlib.Error
+                (Printf.sprintf "metrics record: bad bucket in %S" name))
+          | _, _ ->
+            Stdlib.Error
+              (Printf.sprintf "metrics record: bad bucket count in %S" name))
+        buckets)
+    histograms

@@ -18,8 +18,31 @@ type sink
 val create_sink : unit -> sink
 val install : sink -> unit
 val uninstall : unit -> unit
+
 val active : unit -> sink option
+(** The innermost {!scoped} sink of the calling domain, if any, else the
+    globally installed sink. *)
+
 val enabled : unit -> bool
+
+val scoped : sink -> (unit -> 'a) -> 'a
+(** [scoped sink f] makes [sink] the active sink {e for the calling
+    domain} for the dynamic extent of [f]: everything [f] records lands
+    in [sink] instead of the global one, while other domains are
+    unaffected.  Campaigns use this to capture one run's counters in
+    isolation (for the durability journal) and then {!merge} them into
+    the ambient sink, keeping the final dump byte-identical. *)
+
+val merge : sink -> sink -> unit
+(** [merge dst src] adds every counter and histogram of [src] into
+    [dst].  Addition is commutative, so merge order never changes the
+    resulting dump. *)
+
+val merge_json : sink -> Json.t -> (unit, string) result
+(** Replay a {!to_json} dump into [sink] — how a resumed campaign
+    re-credits the metrics of journaled runs it will not re-execute.
+    Strict about shape: malformed input yields [Error] without partial
+    guarantees. *)
 
 val add : sink -> string -> int -> unit
 (** [add sink name by] adds [by] to counter [name] (created at 0). *)

@@ -49,6 +49,67 @@ let test_map_exception () =
 let test_available_domains () =
   check Alcotest.bool "at least one domain" true (Pool.available_domains () >= 1)
 
+(* --- Pool.map_result: per-task fault isolation ----------------------------- *)
+
+let test_map_result_isolates_failures () =
+  List.iter
+    (fun jobs ->
+      let results =
+        Pool.map_result ~jobs 16 (fun i ->
+            if i mod 5 = 3 then raise (Boom i) else i * 10)
+      in
+      Array.iteri
+        (fun i r ->
+          match r with
+          | Ok v ->
+            if i mod 5 = 3 then
+              Alcotest.failf "jobs=%d: task %d should have failed" jobs i;
+            check Alcotest.int (Printf.sprintf "task %d value" i) (i * 10) v
+          | Error e ->
+            if i mod 5 <> 3 then
+              Alcotest.failf "jobs=%d: task %d failed unexpectedly" jobs i;
+            check Alcotest.bool "message names the exception" true
+              (Pool.error_message e <> "");
+            (match e.Pool.exn with
+            | Boom b -> check Alcotest.int "payload preserved" i b
+            | _ -> Alcotest.fail "wrong exception captured"))
+        results)
+    [ 1; 4 ]
+
+let test_map_reraises_lowest_index () =
+  (* Two failing tasks: map must deterministically re-raise the one with
+     the lowest index, whatever the scheduling. *)
+  List.iter
+    (fun jobs ->
+      match
+        Pool.map ~jobs 16 (fun i ->
+            if i = 3 || i = 11 then raise (Boom i) else i)
+      with
+      | _ -> Alcotest.fail "expected Boom to propagate"
+      | exception Boom 3 -> ()
+      | exception Boom n ->
+        Alcotest.failf "jobs=%d: re-raised task %d, not the lowest" jobs n)
+    [ 1; 4 ]
+
+let test_map_result_around () =
+  (* [around] wraps the whole task in the executing domain. *)
+  let wrapped = Atomic.make 0 in
+  let results =
+    Pool.map_result ~jobs:2
+      ~around:(fun _i thunk ->
+        Atomic.incr wrapped;
+        thunk ())
+      8
+      (fun i -> i)
+  in
+  check Alcotest.int "around ran once per task" 8 (Atomic.get wrapped);
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Ok v -> check Alcotest.int "value through around" i v
+      | Error _ -> Alcotest.fail "unexpected failure")
+    results
+
 (* --- Campaign determinism ------------------------------------------------- *)
 
 let report_fingerprint (r : Engine.report) =
@@ -112,6 +173,74 @@ let test_campaign_matches_sequential_runs () =
         Alcotest.failf "campaign run %d differs from the sequential loop" i)
     reports
 
+(* --- Crash classification (campaign_entries) ------------------------------- *)
+
+let test_campaign_entries_classifies_crashes () =
+  (* A negative iteration count makes every run raise inside the harness
+     (Array.make with a negative size).  The campaign must complete with
+     every slot classified as a crash entry — not abort. *)
+  List.iter
+    (fun jobs ->
+      match
+        Engine.campaign_entries ~jobs ~runs:4 ~seed:5 ~iterations:(-5)
+          Catalog.sb
+      with
+      | Error _ -> Alcotest.fail "conversion should succeed"
+      | Ok entries ->
+        check Alcotest.int "all slots present" 4 (Array.length entries);
+        Array.iteri
+          (fun i entry ->
+            match entry with
+            | None -> Alcotest.failf "run %d missing" i
+            | Some e -> (
+              check Alcotest.int "entry index" i e.Engine.run_index;
+              match e.Engine.outcome with
+              | Ok _ -> Alcotest.failf "run %d should have crashed" i
+              | Error crash ->
+                check Alcotest.bool "crash message non-empty" true
+                  (crash.Engine.message <> "")))
+          entries)
+    [ 1; 2 ]
+
+let test_campaign_entries_skip () =
+  let seeds = Engine.campaign_seeds ~runs:6 ~seed:42 in
+  match
+    Engine.campaign_entries ~jobs:2 ~runs:6 ~seed:42 ~iterations:200
+      ~skip:(fun i -> i mod 2 = 0)
+      Catalog.sb
+  with
+  | Error _ -> Alcotest.fail "conversion should succeed"
+  | Ok entries ->
+    Array.iteri
+      (fun i entry ->
+        match entry with
+        | None ->
+          if i mod 2 <> 0 then Alcotest.failf "run %d should have executed" i
+        | Some e ->
+          if i mod 2 = 0 then Alcotest.failf "run %d should be skipped" i;
+          check Alcotest.int "skip does not perturb seeds" seeds.(i)
+            e.Engine.run_seed)
+      entries
+
+let test_campaign_seeds_match_sequential_derivation () =
+  let rng = Perple_util.Rng.create 7 in
+  let expected =
+    Array.init 5 (fun _ ->
+        Int64.to_int (Perple_util.Rng.bits64 rng) land max_int)
+  in
+  check
+    (Alcotest.array Alcotest.int)
+    "campaign_seeds is the sequential loop's derivation" expected
+    (Engine.campaign_seeds ~runs:5 ~seed:7)
+
+let test_campaign_wrapper_raises_on_crash () =
+  match Engine.campaign ~runs:2 ~seed:5 ~iterations:(-5) Catalog.sb with
+  | exception Failure m ->
+    check Alcotest.bool "failure names the crashed run" true
+      (String.length m > 0)
+  | Ok _ -> Alcotest.fail "crashed campaign should raise via the wrapper"
+  | Error _ -> Alcotest.fail "conversion should succeed"
+
 let test_campaign_invalid () =
   check Alcotest.bool "negative runs rejected" true
     (match
@@ -134,6 +263,12 @@ let suite =
         Alcotest.test_case "map propagates exceptions" `Quick
           test_map_exception;
         Alcotest.test_case "available domains" `Quick test_available_domains;
+        Alcotest.test_case "map_result isolates failures" `Quick
+          test_map_result_isolates_failures;
+        Alcotest.test_case "map re-raises lowest index" `Quick
+          test_map_reraises_lowest_index;
+        Alcotest.test_case "map_result around hook" `Quick
+          test_map_result_around;
       ] );
     ( "core.campaign",
       [
@@ -144,5 +279,13 @@ let suite =
         Alcotest.test_case "matches sequential runs" `Quick
           test_campaign_matches_sequential_runs;
         Alcotest.test_case "invalid arguments" `Quick test_campaign_invalid;
+        Alcotest.test_case "crashes become classified entries" `Quick
+          test_campaign_entries_classifies_crashes;
+        Alcotest.test_case "skip preserves seeds" `Quick
+          test_campaign_entries_skip;
+        Alcotest.test_case "campaign_seeds derivation" `Quick
+          test_campaign_seeds_match_sequential_derivation;
+        Alcotest.test_case "compat wrapper raises on crash" `Quick
+          test_campaign_wrapper_raises_on_crash;
       ] );
   ]
