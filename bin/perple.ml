@@ -89,6 +89,17 @@ let stress_arg =
 
 let fail fmt = Printf.ksprintf (fun m -> Error m) fmt
 
+(* Every resumable subcommand (run, supervise, crash-suite) shares this
+   up-front check, so --resume without --journal fails immediately with
+   the same actionable message instead of partway into setup. *)
+let resume_requires_journal =
+  "--resume requires --journal FILE: resume continues the campaign \
+   recorded in that journal, so pass the same --journal path the \
+   interrupted command used"
+
+let check_resume ~journal ~resume =
+  if resume && journal = None then Error resume_requires_journal else Ok ()
+
 (* --- observability -------------------------------------------------------- *)
 
 let trace_arg =
@@ -180,8 +191,8 @@ let resume_arg =
            resumed ledger is byte-identical to an uninterrupted one.  The \
            journal must match this command's configuration digest.")
 
-type campaign_journal = {
-  cj_completed : (int, Ledger.t) Hashtbl.t;
+type 'a campaign_journal = {
+  cj_completed : (int, 'a) Hashtbl.t;
   cj_journal : Journal.t option;
   cj_path : string option;
 }
@@ -192,13 +203,18 @@ let journal_errors f =
     fail "journal: %s %s: %s" op arg (Unix.error_message e)
   | Sys_error m -> fail "journal: %s" m
 
-(* Validate and ingest a journal being resumed: header digest and run
-   count must match this command, every record must parse, and every
-   journaled seed must equal the campaign's pre-split seed for that
-   index.  Damaged trailing bytes were already dropped by
-   {!Journal.load}; compaction below rewrites the file without them (and
-   without interrupted markers) before reopening for append. *)
-let ingest_journal ~path ~command ~digest ~runs ~seeds recovery =
+(* Validate and ingest a journal being resumed: header digest and unit
+   count must match this command, and every record must parse
+   ([of_record]) and pass the command's own [validate] (run campaigns
+   check the journaled seed against the pre-split one; crash suites are
+   deterministic and need no extra check).  Shared by the per-run
+   journals of run/supervise (kind "run") and the per-crash-point
+   journal of crash-suite (kind "point").  Damaged trailing bytes were
+   already dropped by {!Journal.load}; compaction below rewrites the
+   file without them (and without interrupted markers) before reopening
+   for append. *)
+let ingest_journal ~path ~command ~digest ~runs ~what ~record_kind
+    ~of_record ~to_record ~index_of ~validate recovery =
   let open Journal in
   if recovery.dropped_bytes > 0 then
     Printf.eprintf
@@ -223,9 +239,9 @@ let ingest_journal ~path ~command ~digest ~runs ~seeds recovery =
            --trace and --metrics may change)"
           path
       else if h.Ledger.h_runs <> runs then
-        fail "cannot resume: journal %s covers %d runs, this command asks \
+        fail "cannot resume: journal %s covers %d %s, this command asks \
               for %d"
-          path h.Ledger.h_runs runs
+          path h.Ledger.h_runs what runs
       else begin
         let completed = Hashtbl.create 16 in
         let rec ingest = function
@@ -233,22 +249,21 @@ let ingest_journal ~path ~command ~digest ~runs ~seeds recovery =
           | r :: rest -> (
             match Ledger.kind r with
             | Some "interrupted" -> ingest rest
-            | Some "run" -> (
-              match Ledger.of_json r with
+            | Some k when k = record_kind -> (
+              match of_record r with
               | Error m -> fail "cannot resume: %s" m
               | Ok s ->
-                if s.Ledger.index < 0 || s.Ledger.index >= runs then
-                  fail "cannot resume: journal %s has run index %d out of \
+                let i = index_of s in
+                if i < 0 || i >= runs then
+                  fail "cannot resume: journal %s has %s index %d out of \
                         range"
-                    path s.Ledger.index
-                else if s.Ledger.seed <> seeds.(s.Ledger.index) then
-                  fail
-                    "cannot resume: journal %s run %d was seeded with %d, \
-                     this campaign pre-splits %d"
-                    path s.Ledger.index s.Ledger.seed seeds.(s.Ledger.index)
+                    path record_kind i
                 else begin
-                  Hashtbl.replace completed s.Ledger.index s;
-                  ingest rest
+                  match validate i s with
+                  | Error _ as e -> e
+                  | Ok () ->
+                    Hashtbl.replace completed i s;
+                    ingest rest
                 end)
             | Some k ->
               fail "cannot resume: journal %s has an unexpected %S record"
@@ -267,11 +282,11 @@ let ingest_journal ~path ~command ~digest ~runs ~seeds recovery =
           Journal.compact ~path
             (header
             :: List.map
-                 (fun i -> Ledger.to_json (Hashtbl.find completed i))
+                 (fun i -> to_record (Hashtbl.find completed i))
                  indices);
           let j = Journal.open_append path in
-          Printf.eprintf "perple: resuming: %d of %d runs journaled in %s\n%!"
-            (Hashtbl.length completed) runs path;
+          Printf.eprintf "perple: resuming: %d of %d %s journaled in %s\n%!"
+            (Hashtbl.length completed) runs what path;
           Ok
             {
               cj_completed = completed;
@@ -280,9 +295,10 @@ let ingest_journal ~path ~command ~digest ~runs ~seeds recovery =
             }
       end)
 
-let open_campaign_journal ~journal ~resume ~command ~digest ~runs ~seeds =
+let open_campaign_journal ~journal ~resume ~command ~digest ~runs ~what
+    ~record_kind ~of_record ~to_record ~index_of ~validate =
   match (journal, resume) with
-  | None, true -> fail "--resume requires --journal FILE"
+  | None, true -> Error resume_requires_journal
   | None, false ->
     Ok
       {
@@ -313,7 +329,8 @@ let open_campaign_journal ~journal ~resume ~command ~digest ~runs ~seeds =
     match Journal.load path with
     | Error m -> fail "cannot resume: %s" m
     | Ok recovery ->
-      ingest_journal ~path ~command ~digest ~runs ~seeds recovery)
+      ingest_journal ~path ~command ~digest ~runs ~what ~record_kind
+        ~of_record ~to_record ~index_of ~validate recovery)
 
 (* Resume replays the metrics of journaled runs instead of re-executing
    them; additions are commutative, so merging them up front keeps the
@@ -335,18 +352,18 @@ let merge_journaled_metrics cj =
 (* While a journaled campaign runs, SIGINT/SIGTERM flush an interrupted
    marker (via the handler-safe {!Journal.try_append}) and point at
    --resume; completed runs are already on disk, fsync'd. *)
-let with_journal_signals cj ~runs ~journaled f =
+let with_journal_signals cj ~runs ~what ~journaled f =
   match (cj.cj_journal, cj.cj_path) with
   | Some j, Some path ->
     let handler signum =
       ignore (Journal.try_append j Ledger.interrupted_marker);
       Printf.eprintf
         "\n\
-         perple: interrupted: %d of %d runs journaled in %s\n\
+         perple: interrupted: %d of %d %s journaled in %s\n\
          perple: rerun the same command with --resume to finish the \
          campaign\n\
          %!"
-        !journaled runs path;
+        !journaled runs what path;
       Stdlib.exit (if signum = Sys.sigint then 130 else 143)
     in
     let old_int = Sys.signal Sys.sigint (Sys.Signal_handle handler) in
@@ -365,8 +382,20 @@ let with_journal_signals cj ~runs ~journaled f =
 let campaign_summaries ~journal ~resume ~command ~digest ~runs ~seed ~execute
     =
   let seeds = Engine.campaign_seeds ~runs ~seed in
+  let validate i (s : Ledger.t) =
+    if s.Ledger.seed <> seeds.(i) then
+      fail
+        "cannot resume: journal run %d was seeded with %d, this campaign \
+         pre-splits %d"
+        i s.Ledger.seed seeds.(i)
+    else Ok ()
+  in
   Result.bind
-    (open_campaign_journal ~journal ~resume ~command ~digest ~runs ~seeds)
+    (open_campaign_journal ~journal ~resume ~command ~digest ~runs
+       ~what:"runs" ~record_kind:"run" ~of_record:Ledger.of_json
+       ~to_record:Ledger.to_json
+       ~index_of:(fun (s : Ledger.t) -> s.Ledger.index)
+       ~validate)
   @@ fun cj ->
   Result.bind (merge_journaled_metrics cj) @@ fun () ->
   let journaled = ref (Hashtbl.length cj.cj_completed) in
@@ -384,7 +413,7 @@ let campaign_summaries ~journal ~resume ~command ~digest ~runs ~seed ~execute
     journal_errors (fun () ->
         Result.map_error
           (fun r -> Format.asprintf "%a" Convert.pp_reason r)
-          (with_journal_signals cj ~runs ~journaled (fun () ->
+          (with_journal_signals cj ~runs ~what:"runs" ~journaled (fun () ->
                execute ~skip ~on_entry)))
   with
   | Error _ as e -> e
@@ -648,10 +677,11 @@ let run_cmd =
       jobs journal resume trace metrics =
     if runs <= 0 then fail "--runs must be positive"
     else if jobs <= 0 then fail "--jobs must be positive"
-    else if resume && journal = None then fail "--resume requires --journal"
-    else if journal <> None && runs < 2 then
-      fail "--journal records campaigns; it requires --runs >= 2"
     else
+      Result.bind (check_resume ~journal ~resume) @@ fun () ->
+      if journal <> None && runs < 2 then
+        fail "--journal records campaigns; it requires --runs >= 2"
+      else
       with_observability ~trace ~metrics @@ fun () ->
       Result.bind (load_test spec) (fun test ->
           let outcomes =
@@ -892,8 +922,8 @@ let supervise_cmd =
     if runs <= 0 then fail "--runs must be positive"
     else if jobs <= 0 then fail "--jobs must be positive"
     else if backoff <= 0.0 then fail "--backoff must be positive"
-    else if resume && journal = None then fail "--resume requires --journal"
     else
+      Result.bind (check_resume ~journal ~resume) @@ fun () ->
       with_observability ~trace ~metrics @@ fun () ->
       Result.bind (load_test spec) (fun test ->
           let config =
@@ -960,6 +990,164 @@ let supervise_cmd =
          $ stress_arg $ faults_arg $ runs_arg $ watchdog_arg
          $ min_retired_arg $ retries_arg $ backoff_arg $ jobs_arg
          $ journal_arg $ resume_arg $ trace_arg $ metrics_arg))
+
+(* --- crash-suite ---------------------------------------------------------- *)
+
+module Crashsim = Perple_sim.Crashsim
+module Crash_suite = Perple_core.Crash_suite
+module Persistency = Perple_memmodel.Persistency
+
+let persistency_conv =
+  let parse s =
+    match Config.persistency_of_name s with
+    | Some p -> Ok p
+    | None -> Error (`Msg "expected epoch or eager-bug")
+  in
+  Arg.conv
+    (parse, fun ppf p -> Format.pp_print_string ppf (Config.persistency_name p))
+
+let persistency_arg =
+  Arg.(
+    value
+    & opt persistency_conv Config.Epoch
+    & info [ "persistency" ] ~docv:"MODEL"
+        ~doc:
+          "Persistency controller model: $(b,epoch) (default: a drain \
+           commits the thread's pending writebacks in flush order) or \
+           $(b,eager-bug) (the planted bug: drain commits nothing, \
+           writebacks persist lazily and independently).")
+
+let crash_suite_cmd =
+  (* The report is printed in point order from the indexed record array —
+     never in completion order — so stdout is bit-identical for every
+     --jobs value and for any kill/resume split. *)
+  let print_suite ~test ~persistency ~crosscheck
+      (records : Crash_suite.record array) =
+    Printf.printf "crash suite of %s: %d crash points, persistency %s\n"
+      test.Ast.name (Array.length records)
+      (Config.persistency_name persistency);
+    if test.Ast.post_crash = None then
+      Printf.printf
+        "note: %s has no post-crash condition; reporting reachable images \
+         only\n"
+        test.Ast.name;
+    let violating = ref 0 and unrecoverable = ref 0 and images = ref 0 in
+    Array.iter
+      (fun (r : Crash_suite.record) ->
+        match r.Crash_suite.outcome with
+        | Supervisor.Unrecoverable ->
+          incr unrecoverable;
+          Printf.printf "point %3d  unrecoverable: %s\n" r.Crash_suite.point
+            (Option.value ~default:"recovery failed" r.Crash_suite.error)
+        | _ ->
+          images := !images + r.Crash_suite.images;
+          if r.Crash_suite.violations > 0 then begin
+            incr violating;
+            Printf.printf "point %3d  images %3d  VIOLATED x%d%s\n"
+              r.Crash_suite.point r.Crash_suite.images r.Crash_suite.violations
+              (match r.Crash_suite.witness with
+              | Some w ->
+                "  witness "
+                ^ String.concat " "
+                    (List.map (fun (x, v) -> Printf.sprintf "%s=%d" x v) w)
+              | None -> "")
+          end
+          else
+            Printf.printf "point %3d  images %3d  ok\n" r.Crash_suite.point
+              r.Crash_suite.images)
+      records;
+    Printf.printf
+      "suite verdict: %s (%d of %d points violated, %d unrecoverable, %d \
+       images examined)\n"
+      (if !violating > 0 then "VIOLATED"
+       else if !unrecoverable > 0 then "UNRECOVERABLE"
+       else "consistent")
+      !violating (Array.length records) !unrecoverable !images;
+    if crosscheck then
+      Printf.printf "axiomatic cross-check: %s\n"
+        (let model =
+           match persistency with
+           | Config.Epoch -> Persistency.Epoch
+           | Config.Eager -> Persistency.Eager
+         in
+         let operational_holds = !violating = 0 && !unrecoverable = 0 in
+         if Persistency.condition_holds model test = operational_holds then
+           "agrees"
+         else "DISAGREES (checker bug)")
+  in
+  let crosscheck_arg =
+    Arg.(
+      value & flag
+      & info [ "crosscheck" ]
+          ~doc:
+            "Also evaluate the post-crash condition with the declarative \
+             (axiomatic) persistency checker and report whether the two \
+             verdicts agree.")
+  in
+  let run spec persistency jobs journal resume crosscheck =
+    if jobs <= 0 then fail "--jobs must be positive"
+    else
+      Result.bind (check_resume ~journal ~resume) @@ fun () ->
+      Result.bind (load_test spec) @@ fun test ->
+      let points = Crashsim.crash_points test in
+      let digest =
+        Ledger.digest_of_params
+          [
+            ("command", "crash-suite");
+            ("test", Digest.to_hex (Digest.string (Printer.to_string test)));
+            ("persistency", Config.persistency_name persistency);
+            ("points", string_of_int points);
+          ]
+      in
+      Result.bind
+        (open_campaign_journal ~journal ~resume ~command:"crash-suite"
+           ~digest ~runs:points ~what:"crash points" ~record_kind:"point"
+           ~of_record:Crash_suite.of_json ~to_record:Crash_suite.to_json
+           ~index_of:(fun (r : Crash_suite.record) -> r.Crash_suite.point)
+           ~validate:(fun _ _ -> Ok ()))
+      @@ fun cj ->
+      let journaled = ref (Hashtbl.length cj.cj_completed) in
+      let on_record =
+        match cj.cj_journal with
+        | None -> None
+        | Some j ->
+          Some
+            (fun r ->
+              Journal.append j (Crash_suite.to_json r);
+              incr journaled)
+      in
+      let skip p = Hashtbl.mem cj.cj_completed p in
+      Result.bind
+        (journal_errors (fun () ->
+             Ok
+               (with_journal_signals cj ~runs:points ~what:"crash points"
+                  ~journaled (fun () ->
+                    Crash_suite.evaluate ~jobs ~skip ?on_record ~persistency
+                      test))))
+      @@ fun computed ->
+      let records =
+        Array.init points (fun p ->
+            match computed.(p) with
+            | Some r -> r
+            | None -> (
+              match Hashtbl.find_opt cj.cj_completed p with
+              | Some r -> r
+              | None -> assert false))
+      in
+      print_suite ~test ~persistency ~crosscheck records;
+      Ok ()
+  in
+  Cmd.v
+    (Cmd.info "crash-suite"
+       ~doc:
+         "Exhaustively crash a test at every instruction boundary and \
+          evaluate its post-crash condition against every reachable \
+          persisted image; a violation means the persistency model lets a \
+          crash expose inconsistent durable state.")
+    (wrap
+       Term.(
+         const run $ test_arg $ persistency_arg $ jobs_arg $ journal_arg
+         $ resume_arg $ crosscheck_arg))
 
 (* --- emit ---------------------------------------------------------------- *)
 
@@ -1269,6 +1457,7 @@ let main_cmd =
       run_cmd;
       litmus7_cmd;
       supervise_cmd;
+      crash_suite_cmd;
       emit_cmd;
       trace_cmd;
       generate_cmd;

@@ -57,7 +57,11 @@ let thread_asm (conv : Convert.t) ~thread =
         let loc_name = conv.Convert.image.Program.location_names.(loc) in
         line "    movq %s(%%rip), %s         # r%d <- [%s]" loc_name
           scratch_regs.(reg) reg loc_name
-      | Program.Fence -> line "    mfence")
+      | Program.Fence -> line "    mfence"
+      | Program.Flush { loc; addr = _ } ->
+        let loc_name = conv.Convert.image.Program.location_names.(loc) in
+        line "    clflush %s(%%rip)" loc_name
+      | Program.Drain -> line "    sfence")
     program.Program.body;
   if reads > 0 then begin
     line "    # buf[%d*n + i] <- r_i" reads;
@@ -456,7 +460,11 @@ let c11_file (conv : Convert.t) ~outcomes =
                 conv.Convert.image.Program.location_names.(loc);
               incr slot
             | Program.Fence ->
-              line "    atomic_thread_fence(memory_order_seq_cst);")
+              line "    atomic_thread_fence(memory_order_seq_cst);"
+            | Program.Flush { loc; addr = _ } ->
+              line "    __builtin_ia32_clflush((void *)&%s);"
+                conv.Convert.image.Program.location_names.(loc)
+            | Program.Drain -> line "    __builtin_ia32_sfence();")
           program.Program.body;
         if reads > 0 then begin
           for i = 0 to reads - 1 do

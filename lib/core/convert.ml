@@ -111,7 +111,10 @@ let convert_body test =
                 ignore instr_index;
                 Program.Load
                   { loc = loc_id x; addr = Program.Shared; reg = this }
-              | Ast.Mfence -> Program.Fence)
+              | Ast.Mfence -> Program.Fence
+              | Ast.Flush x ->
+                Program.Flush { loc = loc_id x; addr = Program.Shared }
+              | Ast.Drain -> Program.Drain)
             program
         in
         ignore thread;

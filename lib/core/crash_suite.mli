@@ -1,0 +1,53 @@
+(** Exhaustive crash-point campaign over one litmus test.
+
+    The persistency analogue of {!Engine.campaign_entries}: one task per
+    crash point instead of one per seeded run, fanned out over the same
+    deterministic {!Pool}.  Each point is evaluated with
+    {!Perple_sim.Crashsim.evaluate_point}; the per-point {!record} is
+    also the journal's record type (kind ["point"]), so a resumed suite
+    prints from journaled records and a clean suite from freshly computed
+    ones, byte-identically.
+
+    Crash-point evaluation draws no randomness — the reachable images
+    are an exhaustive enumeration — so resume needs no seed bookkeeping:
+    a journaled point is simply skipped. *)
+
+type record = {
+  point : int;  (** Instructions executed before the crash. *)
+  outcome : Perple_harness.Supervisor.outcome;
+      (** [Ok] when recovery evaluated the point (even with violations);
+          [Unrecoverable] when the evaluator itself raised — the point is
+          recorded instead of aborting the suite. *)
+  images : int;  (** Distinct reachable persisted images. *)
+  violations : int;
+      (** Images satisfying [assumes] but violating [requires]. *)
+  witness : (string * int) list option;
+      (** A violating image, if any (sorted by location name). *)
+  error : string option;
+      (** The evaluator's exception message when [Unrecoverable]. *)
+}
+
+val evaluate :
+  ?jobs:int ->
+  ?skip:(int -> bool) ->
+  ?on_record:(record -> unit) ->
+  ?evaluate_point:(point:int -> Perple_sim.Crashsim.point_result) ->
+  persistency:Perple_sim.Config.persistency ->
+  Perple_litmus.Ast.t ->
+  record option array
+(** Evaluate every crash point not excluded by [skip], distributing them
+    over up to [jobs] domains.  Slot [p] of the result holds point [p]'s
+    record ([None] iff skipped); the array is bit-identical for every
+    [jobs] value.  [on_record] fires once per retiring point, serialized,
+    in completion (not point) order — the journaling hook.
+    [evaluate_point] overrides the evaluator (tests use it to exercise
+    the [Unrecoverable] path); a raising evaluator yields an
+    [Unrecoverable] record, never an exception.  Raises
+    [Invalid_argument] if [jobs < 1]. *)
+
+val to_json : record -> Perple_util.Json.t
+(** Kind-tagged (["point"]) journal record; deterministic field order. *)
+
+val of_json : Perple_util.Json.t -> (record, string) result
+(** Strict inverse of {!to_json}: a record that lost or mistyped a field
+    is rejected whole. *)

@@ -87,5 +87,6 @@ let empty ~t_reads ~virtual_runtime ~termination =
         termination;
         iterations_retired = Array.map (fun _ -> 0) t_reads;
         lost_stores = 0;
+        persisted = None;
       };
   }

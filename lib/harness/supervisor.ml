@@ -3,19 +3,21 @@ module Config = Perple_sim.Config
 module Rng = Perple_util.Rng
 module Ast = Perple_litmus.Ast
 
-type outcome = Ok | Timeout | Crashed | Truncated
+type outcome = Ok | Timeout | Crashed | Truncated | Unrecoverable
 
 let outcome_name = function
   | Ok -> "ok"
   | Timeout -> "timeout"
   | Crashed -> "crashed"
   | Truncated -> "truncated"
+  | Unrecoverable -> "unrecoverable"
 
 let outcome_of_name = function
   | "ok" -> Some Ok
   | "timeout" -> Some Timeout
   | "crashed" -> Some Crashed
   | "truncated" -> Some Truncated
+  | "unrecoverable" -> Some Unrecoverable
   | _ -> None
 
 type policy = {
@@ -188,7 +190,8 @@ let run_perpetual ?(config = Config.default) ?(stress_threads = 0) ~policy
         finish Truncated
           (Some (Perpetual.truncate run ~iterations:retired))
           retired
-      | Timeout | Crashed ->
+      | Timeout | Crashed | Unrecoverable ->
+        (* [classify] never yields [Unrecoverable]; grouped for totality. *)
         (match !best with
         | Some (r, _) when r >= retired -> ()
         | Some _ | None -> if retired > 0 then best := Some (retired, run));
@@ -279,7 +282,7 @@ let run_litmus7 ?(config = Config.default) ?(stress_threads = 0) ~policy ~rng
       (match outcome with
       | Ok -> finish Ok (Some result)
       | Truncated -> finish Truncated (Some result)
-      | Timeout | Crashed ->
+      | Timeout | Crashed | Unrecoverable ->
         (match !best with
         | Some (r, _) when r >= retired -> ()
         | Some _ | None -> if retired > 0 then best := Some (retired, result));

@@ -33,6 +33,11 @@ type outcome =
   | Truncated
       (** A partial prefix of at least [min_retired] iterations was
           salvaged. *)
+  | Unrecoverable
+      (** Crash-suite only: recovery itself failed at a crash point (the
+          evaluator raised on the persisted image), so the point could be
+          classified but not evaluated.  Recorded in the ledger instead of
+          aborting the campaign. *)
 
 val outcome_name : outcome -> string
 

@@ -4,6 +4,8 @@ type instruction =
   | Store of location * int
   | Load of int * location
   | Mfence
+  | Flush of location
+  | Drain
 
 type atom = Reg_eq of int * int * int | Loc_eq of location * int
 
@@ -11,18 +13,26 @@ type quantifier = Exists | Not_exists | Forall
 
 type condition = { quantifier : quantifier; atoms : atom list }
 
+type post_crash = {
+  assumes : (location * int) list;
+  requires : (location * int) list;
+}
+
 type t = {
   name : string;
   doc : string;
   init : (location * int) list;
   threads : instruction array array;
   condition : condition;
+  post_crash : post_crash option;
 }
 
 let thread_count t = Array.length t.threads
 
 let thread_has_load program =
-  Array.exists (function Load _ -> true | Store _ | Mfence -> false) program
+  Array.exists
+    (function Load _ -> true | Store _ | Mfence | Flush _ | Drain -> false)
+    program
 
 let load_threads t =
   let rec collect i =
@@ -39,7 +49,9 @@ let loads_per_thread t =
     (fun program ->
       Array.fold_left
         (fun acc i ->
-          match i with Load _ -> acc + 1 | Store _ | Mfence -> acc)
+          match i with
+          | Load _ -> acc + 1
+          | Store _ | Mfence | Flush _ | Drain -> acc)
         0 program)
     t.threads
 
@@ -51,10 +63,23 @@ let locations t =
   List.iter (fun (x, _) -> note x) t.init;
   Array.iter
     (Array.iter (function
-      | Store (x, _) | Load (_, x) -> note x
-      | Mfence -> ()))
+      | Store (x, _) | Load (_, x) | Flush x -> note x
+      | Mfence | Drain -> ()))
     t.threads;
+  (match t.post_crash with
+  | None -> ()
+  | Some pc ->
+    List.iter (fun (x, _) -> note x) pc.assumes;
+    List.iter (fun (x, _) -> note x) pc.requires);
   String_set.elements !set
+
+let uses_persistency t =
+  t.post_crash <> None
+  || Array.exists
+       (Array.exists (function
+         | Flush _ | Drain -> true
+         | Store _ | Load _ | Mfence -> false))
+       t.threads
 
 let stores_to t x =
   let acc = ref [] in
@@ -64,7 +89,7 @@ let stores_to t x =
         (fun i instr ->
           match instr with
           | Store (y, a) when y = x -> acc := (thread, i, a) :: !acc
-          | Store _ | Load _ | Mfence -> ())
+          | Store _ | Load _ | Mfence | Flush _ | Drain -> ())
         program)
     t.threads;
   List.rev !acc
@@ -76,12 +101,13 @@ let load_slot t ~thread ~instr =
   let program = t.threads.(thread) in
   (match program.(instr) with
   | Load _ -> ()
-  | Store _ | Mfence -> invalid_arg "Ast.load_slot: not a load");
+  | Store _ | Mfence | Flush _ | Drain ->
+    invalid_arg "Ast.load_slot: not a load");
   let slot = ref 0 in
   for i = 0 to instr - 1 do
     match program.(i) with
     | Load _ -> incr slot
-    | Store _ | Mfence -> ()
+    | Store _ | Mfence | Flush _ | Drain -> ()
   done;
   !slot
 
@@ -92,7 +118,7 @@ let register_load t ~thread ~reg =
     (fun i instr ->
       match instr with
       | Load (r, x) when r = reg && !found = None -> found := Some (i, x)
-      | Load _ | Store _ | Mfence -> ())
+      | Load _ | Store _ | Mfence | Flush _ | Drain -> ())
     program;
   !found
 
@@ -107,6 +133,8 @@ type error =
   | Condition_unknown_register of int * int
   | Condition_unknown_location of location
   | Condition_impossible_value of int * int * int
+  | Post_crash_unknown_location of location
+  | Post_crash_impossible_value of location * int
 
 let pp_error ppf = function
   | Empty_test -> Format.fprintf ppf "test has no threads or no instructions"
@@ -124,6 +152,11 @@ let pp_error ppf = function
   | Condition_impossible_value (t, r, v) ->
     Format.fprintf ppf
       "condition %d:r%d=%d: no store writes %d to the loaded location" t r v v
+  | Post_crash_unknown_location x ->
+    Format.fprintf ppf "post-crash condition mentions unknown location [%s]" x
+  | Post_crash_impossible_value (x, v) ->
+    Format.fprintf ppf
+      "post-crash condition [%s]=%d: no store writes %d to [%s]" x v v x
 
 let validate t =
   let ( let* ) = Result.bind in
@@ -143,7 +176,7 @@ let validate t =
             match instr with
             | Store (x, a) when a <= 0 && !err = None ->
               err := Some (Non_positive_store (thread, x, a))
-            | Store _ | Load _ | Mfence -> ())
+            | Store _ | Load _ | Mfence | Flush _ | Drain -> ())
           program)
       t.threads;
     match !err with Some e -> Error e | None -> Ok ()
@@ -178,7 +211,7 @@ let validate t =
               if Hashtbl.mem seen r && !err = None then
                 err := Some (Register_loaded_twice (thread, r))
               else Hashtbl.replace seen r ()
-            | Store _ | Mfence -> ())
+            | Store _ | Mfence | Flush _ | Drain -> ())
           program)
       t.threads;
     match !err with Some e -> Error e | None -> Ok ()
@@ -201,16 +234,38 @@ let validate t =
           else Error (Condition_impossible_value (thread, reg, v))
       end
   in
-  check_atoms t.condition.atoms
+  let* () = check_atoms t.condition.atoms in
+  match t.post_crash with
+  | None -> Ok ()
+  | Some pc ->
+    let rec check_pm = function
+      | [] -> Ok ()
+      | (x, v) :: rest ->
+        if not (List.mem x locs) then Error (Post_crash_unknown_location x)
+        else if v = initial_value t x || List.mem v (store_constants t x)
+        then check_pm rest
+        else Error (Post_crash_impossible_value (x, v))
+    in
+    let* () = check_pm pc.assumes in
+    check_pm pc.requires
 
-let make ?(doc = "") ?(init = []) ~name ~threads ~condition () =
+let make ?(doc = "") ?(init = []) ?post_crash ~name ~threads ~condition () =
   {
     name;
     doc;
     init;
     threads = Array.of_list (List.map Array.of_list threads);
     condition;
+    post_crash;
   }
+
+let post_crash_equal a b =
+  match (a, b) with
+  | None, None -> true
+  | Some a, Some b ->
+    List.sort compare a.assumes = List.sort compare b.assumes
+    && List.sort compare a.requires = List.sort compare b.requires
+  | None, Some _ | Some _, None -> false
 
 let equal a b =
   a.name = b.name && a.doc = b.doc
@@ -218,11 +273,14 @@ let equal a b =
   && a.threads = b.threads
   && a.condition.quantifier = b.condition.quantifier
   && a.condition.atoms = b.condition.atoms
+  && post_crash_equal a.post_crash b.post_crash
 
 let pp_instruction ppf = function
   | Store (x, a) -> Format.fprintf ppf "[%s] <- %d" x a
   | Load (r, x) -> Format.fprintf ppf "r%d <- [%s]" r x
   | Mfence -> Format.fprintf ppf "mfence"
+  | Flush x -> Format.fprintf ppf "flush [%s]" x
+  | Drain -> Format.fprintf ppf "drain"
 
 let pp_atom ppf = function
   | Reg_eq (t, r, v) -> Format.fprintf ppf "%d:r%d=%d" t r v

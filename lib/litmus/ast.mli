@@ -6,7 +6,11 @@
     the x86-TSO suite needs: stores of positive constants, loads into
     registers, and [MFENCE].  Register-to-register or read-modify-write
     instructions are outside the scope of both the paper's suite and this
-    reproduction. *)
+    reproduction.
+
+    Persistent-memory tests additionally use [Flush]/[Drain] (writeback of a
+    cache line to the persistence domain, and the fence that orders such
+    writebacks) plus a {!post_crash} condition over the durable image. *)
 
 type location = string
 (** A shared memory location, e.g. ["x"].  All locations start at 0 unless
@@ -20,6 +24,14 @@ type instruction =
       (** [Load (r, x)]: [reg_{t,r} <- \[x\]] where [t] is the thread the
           instruction belongs to and [r] is a per-thread register index. *)
   | Mfence  (** Full store fence ([MFENCE]). *)
+  | Flush of location
+      (** [Flush x] ([CLFLUSH \[x\]]): request writeback of the current
+          value of [x] to the persistence domain.  The writeback is only
+          guaranteed durable after a subsequent [Drain]. *)
+  | Drain
+      (** [SFENCE]-as-drain: orders this thread's pending flushes — on
+          completion every preceding [Flush] of the thread is durable.
+          Volatile semantics are those of a full store fence. *)
 
 type atom =
   | Reg_eq of int * int * int
@@ -36,6 +48,17 @@ type quantifier =
 type condition = { quantifier : quantifier; atoms : atom list }
 (** A final condition: a quantifier over a conjunction of atoms. *)
 
+type post_crash = {
+  assumes : (location * int) list;
+      (** Antecedent over the persisted image; an empty list means "always". *)
+  requires : (location * int) list;
+      (** Consequent: whenever every [assumes] equation holds of a reachable
+          persisted image, every [requires] equation must hold too. *)
+}
+(** A crash-consistency condition, written
+    [after recovery x=1 => y=1]: for every crash point and every persisted
+    image reachable there, [assumes] implies [requires]. *)
+
 type t = {
   name : string;
   doc : string;  (** Free-form description, may be empty. *)
@@ -45,6 +68,8 @@ type t = {
   condition : condition;
       (** The test's final condition; its conjunction is the {e target
           outcome} when the quantifier is [Exists] or [Not_exists]. *)
+  post_crash : post_crash option;
+      (** Crash-consistency condition, if the test has one. *)
 }
 
 (** {1 Accessors} *)
@@ -63,7 +88,12 @@ val loads_per_thread : t -> int array
 (** [r_t] for every thread (0 for store-only threads). *)
 
 val locations : t -> location list
-(** All locations appearing in instructions or init, sorted. *)
+(** All locations appearing in instructions, init, or post-crash atoms,
+    sorted. *)
+
+val uses_persistency : t -> bool
+(** Whether the test contains [Flush]/[Drain] instructions or a post-crash
+    condition — i.e. exercises the persistence domain at all. *)
 
 val stores_to : t -> location -> (int * int * int) list
 (** [stores_to t x] lists [(thread, instruction_index, constant)] for every
@@ -98,6 +128,10 @@ type error =
   | Condition_impossible_value of int * int * int
       (** thread, register, value: [v] is neither 0, the initial value of
           the loaded location, nor any constant stored to it. *)
+  | Post_crash_unknown_location of location
+  | Post_crash_impossible_value of location * int
+      (** [v] is neither the initial value of the location nor any constant
+          stored to it, so no persisted image can ever satisfy the atom. *)
 
 val pp_error : Format.formatter -> error -> unit
 
@@ -105,11 +139,13 @@ val validate : t -> (unit, error) result
 (** Structural well-formedness required by conversion: all store constants
     positive and pairwise distinct per location, each register loaded at most
     once, condition atoms refer to loaded registers / known locations and to
-    storable values. *)
+    storable values, and post-crash atoms refer to known locations with
+    persistable values. *)
 
 val make :
   ?doc:string ->
   ?init:(location * int) list ->
+  ?post_crash:post_crash ->
   name:string ->
   threads:instruction list list ->
   condition:condition ->

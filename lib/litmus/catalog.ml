@@ -487,6 +487,64 @@ let extended_88 =
   in
   List.filteri (fun i _ -> i < 88) (pool @ padding)
 
+(* --- Persistent-memory suite ------------------------------------------- *)
+
+type pm_entry = { pm_test : Ast.t; holds_epoch : bool; holds_eager : bool }
+
+let fl x = Ast.Flush x
+let d = Ast.Drain
+
+let pm_def ?doc name threads ~assumes ~requires ~holds_epoch ~holds_eager =
+  {
+    pm_test =
+      Ast.make ?doc ~name ~threads ~condition:(exists [])
+        ~post_crash:{ Ast.assumes; requires } ();
+    holds_epoch;
+    holds_eager;
+  }
+
+let pm_suite =
+  [
+    (* The canonical epoch-ordering shape: each store is flushed and
+       drained before the next epoch begins, so the second store can never
+       persist without the first.  The eager bug lets the younger flush
+       overtake the older one. *)
+    pm_def "pm-epoch-order"
+      ~doc:"x persists before y: each epoch is drained before the next"
+      [ [ w "x" 1; fl "x"; d; w "y" 1; fl "y"; d ] ]
+      ~assumes:[ ("y", 1) ] ~requires:[ ("x", 1) ] ~holds_epoch:true
+      ~holds_eager:false;
+    (* Same discipline but the last flush is never drained: correct epoch
+       ordering still protects it (it can only persist after the earlier
+       drained epoch), while the eager bug does not. *)
+    pm_def "pm-flush-before-fence"
+      ~doc:"trailing undrained flush; earlier epoch already durable"
+      [ [ w "x" 1; fl "x"; d; w "y" 1; fl "y" ] ]
+      ~assumes:[ ("y", 1) ] ~requires:[ ("x", 1) ] ~holds_epoch:true
+      ~holds_eager:false;
+    (* A programming bug on any model: both flushes share one epoch, so a
+       crash between them (or before the drain) can persist the pair torn. *)
+    pm_def "pm-torn-pair"
+      ~doc:"two flushes in one epoch: the pair can persist torn"
+      [ [ w "x" 1; w "y" 1; fl "x"; fl "y"; d ] ]
+      ~assumes:[ ("x", 1) ] ~requires:[ ("y", 1) ] ~holds_epoch:false
+      ~holds_eager:false;
+    (* A store alone is never durable: without a flush the persistence
+       domain keeps the initial value under both models. *)
+    pm_def "pm-unflushed"
+      ~doc:"store without flush never persists"
+      [ [ w "x" 1; d ] ]
+      ~assumes:[] ~requires:[ ("x", 0) ] ~holds_epoch:true ~holds_eager:true;
+    (* Epoch ordering across threads, under the crash-suite's canonical
+       sequential schedule (thread 0 runs to completion before thread 1):
+       y only flushes after thread 0's drain has committed x. *)
+    pm_def "pm-2t-epoch-order"
+      ~doc:"two threads, one epoch each; canonical schedule orders them"
+      [ [ w "x" 1; fl "x"; d ]; [ w "y" 1; fl "y"; d ] ]
+      ~assumes:[ ("y", 1) ] ~requires:[ ("x", 1) ] ~holds_epoch:true
+      ~holds_eager:false;
+  ]
+
 let by_name =
   let table = Hashtbl.create 64 in
   List.iter (fun e -> Hashtbl.replace table e.test.Ast.name e) suite;
@@ -494,6 +552,12 @@ let by_name =
     (fun t ->
       Hashtbl.replace table t.Ast.name { test = t; classification = Forbidden })
     non_convertible;
+  List.iter
+    (fun e ->
+      (* The volatile condition of a PM test is the trivial [exists ()]. *)
+      Hashtbl.replace table e.pm_test.Ast.name
+        { test = e.pm_test; classification = Allowed })
+    pm_suite;
   table
 
 let find name = Hashtbl.find_opt by_name name
@@ -504,6 +568,10 @@ let find_exn name =
 let all_names =
   List.map (fun e -> e.test.Ast.name) suite
   @ List.map (fun t -> t.Ast.name) non_convertible
+  @ List.map (fun e -> e.pm_test.Ast.name) pm_suite
+
+let find_pm name =
+  List.find_opt (fun e -> e.pm_test.Ast.name = name) pm_suite
 
 let sb = sb.test
 let lb = lb.test

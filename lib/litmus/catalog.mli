@@ -49,6 +49,27 @@ val non_convertible : Ast.t list
     and therefore cannot be converted to perpetual form (paper, Sec V-C):
     classic diy shapes [2+2w], [s], [r], [coww], [w+rw]. *)
 
+type pm_entry = {
+  pm_test : Ast.t;
+  holds_epoch : bool;
+      (** Whether the post-crash condition holds at every crash point under
+          correct epoch-ordered persistency. *)
+  holds_eager : bool;
+      (** Same, under the buggy {e eager} variant whose drain commits
+          nothing. *)
+}
+
+val pm_suite : pm_entry list
+(** Persistent-memory crash-consistency tests: classic shapes
+    ([pm-epoch-order], [pm-flush-before-fence], [pm-torn-pair],
+    [pm-unflushed], [pm-2t-epoch-order]) with expected verdicts per
+    persistency model.  Evaluated by [perple crash-suite], not by the
+    perpetual workflow; their volatile condition is the trivial
+    [exists ()]. *)
+
+val find_pm : string -> pm_entry option
+(** Look up a PM test by name. *)
+
 val extended_88 : (Ast.t * bool) list
 (** A model of the paper's full 88-test campaign (Sec VII-G): the 34
     convertible suite tests (flag [true]) plus 54 non-convertible tests

@@ -12,7 +12,7 @@ let loads test =
         (fun instr ->
           match instr with
           | Ast.Load (reg, x) -> acc := (thread, reg, x) :: !acc
-          | Ast.Store _ | Ast.Mfence -> ())
+          | Ast.Store _ | Ast.Mfence | Ast.Flush _ | Ast.Drain -> ())
         program)
     test.Ast.threads;
   List.rev !acc

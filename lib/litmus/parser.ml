@@ -1,11 +1,21 @@
-type error = { line : int; message : string }
+type error = { line : int; column : int option; message : string }
 
-let pp_error ppf e = Format.fprintf ppf "line %d: %s" e.line e.message
+let pp_error ppf e =
+  match e.column with
+  | None -> Format.fprintf ppf "line %d: %s" e.line e.message
+  | Some c -> Format.fprintf ppf "line %d, column %d: %s" e.line c e.message
 
 exception Parse_error of error
 
 let fail line fmt =
-  Format.kasprintf (fun message -> raise (Parse_error { line; message })) fmt
+  Format.kasprintf
+    (fun message -> raise (Parse_error { line; column = None; message }))
+    fmt
+
+let fail_at line column fmt =
+  Format.kasprintf
+    (fun message -> raise (Parse_error { line; column = Some column; message }))
+    fmt
 
 let registers = [| "EAX"; "EBX"; "ECX"; "EDX"; "ESI"; "EDI" |]
 
@@ -69,13 +79,31 @@ let parse_operand line s =
     | None -> fail line "unknown register %S" s
   end
 
-let parse_instruction line s =
+(* [column] is the 1-based source column of the instruction's first
+   character, so unknown-mnemonic errors point at the offending token. *)
+let parse_instruction ?(column = 1) line s =
   let s = trim s in
-  let upper = String.uppercase_ascii s in
-  if upper = "MFENCE" then Ast.Mfence
-  else if String.length upper >= 4 && String.sub upper 0 4 = "MOV " then begin
-    let rest = String.sub s 4 (String.length s - 4) in
-    match split_on_string ~sep:"," rest with
+  let mnemonic, operands =
+    match String.index_opt s ' ' with
+    | None -> (s, "")
+    | Some i ->
+      (String.sub s 0 i, trim (String.sub s (i + 1) (String.length s - i - 1)))
+  in
+  let upper = String.uppercase_ascii mnemonic in
+  let no_operands instr =
+    if operands = "" then instr
+    else fail line "%s takes no operands, got %S" upper operands
+  in
+  match upper with
+  | "MFENCE" -> no_operands Ast.Mfence
+  | "SFENCE" | "DRAIN" -> no_operands Ast.Drain
+  | "CLFLUSH" | "FLUSH" -> (
+    match parse_operand line operands with
+    | `Mem x -> Ast.Flush x
+    | `Imm _ | `Reg _ ->
+      fail line "%s needs a memory operand, got %S" upper operands)
+  | "MOV" -> (
+    match split_on_string ~sep:"," operands with
     | [ dst; src ] -> (
       match (parse_operand line dst, parse_operand line src) with
       | `Mem x, `Imm n -> Ast.Store (x, n)
@@ -85,9 +113,12 @@ let parse_instruction line s =
           s
       | `Reg _, `Imm _ | `Reg _, `Reg _ | `Mem _, `Mem _ | `Imm _, _ ->
         fail line "unsupported MOV form %S" s)
-    | _ -> fail line "MOV needs two comma-separated operands: %S" s
-  end
-  else fail line "unsupported instruction %S (MOV/MFENCE only)" s
+    | _ -> fail line "MOV needs two comma-separated operands: %S" s)
+  | _ ->
+    fail_at line column
+      "unsupported instruction mnemonic %S (expected MOV, MFENCE, \
+       CLFLUSH/FLUSH or SFENCE/DRAIN)"
+      mnemonic
 
 (* --- Init section ------------------------------------------------------- *)
 
@@ -195,7 +226,83 @@ let parse_condition line s =
     { Ast.quantifier; atoms }
   end
 
+(* --- Post-crash condition ----------------------------------------------- *)
+
+let parse_pm_side line s =
+  List.map
+    (fun a ->
+      match parse_atom line a with
+      | Ast.Loc_eq (x, v) -> (x, v)
+      | Ast.Reg_eq _ ->
+        fail line "post-crash atoms must constrain locations, got %S" (trim a))
+    (List.filter (fun s -> trim s <> "") (split_on_string ~sep:"/\\" s))
+
+(* "after recovery[,] [A [/\ A']] => B [/\ B']" or "after recovery[,] B". *)
+let parse_post_crash line s =
+  let s = trim s in
+  let strip_word word s =
+    let n = String.length word in
+    if
+      String.length s >= n
+      && String.lowercase_ascii (String.sub s 0 n) = word
+    then Some (trim (String.sub s n (String.length s - n)))
+    else None
+  in
+  let rest =
+    match strip_word "after" s with
+    | None -> fail line "post-crash clause must start with 'after recovery'"
+    | Some r -> (
+      match strip_word "recovery" r with
+      | None -> fail line "expected 'recovery' after 'after' in %S" s
+      | Some r -> r)
+  in
+  let rest =
+    if String.length rest > 0 && rest.[0] = ',' then
+      trim (String.sub rest 1 (String.length rest - 1))
+    else rest
+  in
+  let assumes_text, requires_text =
+    match split_on_string ~sep:"=>" rest with
+    | [ only ] -> ("", only)
+    | [ lhs; rhs ] -> (lhs, rhs)
+    | _ -> fail line "post-crash clause has more than one '=>'"
+  in
+  let requires = parse_pm_side line requires_text in
+  if requires = [] then
+    fail line "post-crash clause needs at least one consequent atom";
+  { Ast.assumes = parse_pm_side line assumes_text; requires }
+
 (* --- Whole test --------------------------------------------------------- *)
+
+(* Remove a trailing ';' (and trailing blanks) without disturbing leading
+   whitespace, so cell columns still refer to the original source line. *)
+let strip_semicolon line s =
+  let blank c = c = ' ' || c = '\t' || c = '\r' in
+  let rec last i = if i >= 0 && blank s.[i] then last (i - 1) else i in
+  let e = last (String.length s - 1) in
+  if e < 0 then fail line "empty program row"
+  else if s.[e] = ';' then String.sub s 0 e
+  else String.sub s 0 (e + 1)
+
+(* Split a program row on '|', yielding [(column, cell)] with [column] the
+   1-based position of the cell's first non-blank character. *)
+let split_columns s =
+  let n = String.length s in
+  let blank c = c = ' ' || c = '\t' in
+  let rec cells start acc =
+    let stop =
+      match String.index_from_opt s start '|' with
+      | Some i when i < n -> i
+      | _ -> n
+    in
+    let cell = trim (String.sub s start (stop - start)) in
+    let rec first_nonblank i =
+      if i >= stop then start else if blank s.[i] then first_nonblank (i + 1) else i
+    in
+    let acc = (first_nonblank start + 1, cell) :: acc in
+    if stop >= n then List.rev acc else cells (stop + 1) acc
+  in
+  if n = 0 then [ (1, "") ] else cells 0 []
 
 let parse source =
   try
@@ -205,7 +312,7 @@ let parse source =
       List.filter (fun (_, l) -> trim l <> "") numbered
     in
     match significant with
-    | [] -> Error { line = 1; message = "empty input" }
+    | [] -> Error { line = 1; column = None; message = "empty input" }
     | (hline, header) :: rest ->
       let name =
         match String.split_on_char ' ' (trim header) with
@@ -261,7 +368,7 @@ let parse source =
           (fun p ->
             String.length low >= String.length p
             && String.sub low 0 (String.length p) = p)
-          [ "exists"; "~exists"; "forall"; "locations" ]
+          [ "exists"; "~exists"; "forall"; "locations"; "after " ]
       in
       let rec split_program acc = function
         | [] -> (List.rev acc, [])
@@ -272,16 +379,9 @@ let parse source =
       (match program_rows with
       | [] -> fail init_line "missing program section"
       | (header_line, header_row) :: instr_rows ->
-        let strip_semicolon line s =
-          let s = trim s in
-          if s = "" then fail line "empty program row"
-          else if s.[String.length s - 1] = ';' then
-            String.sub s 0 (String.length s - 1)
-          else s
-        in
         let header_cells =
-          List.map trim
-            (String.split_on_char '|' (strip_semicolon header_line header_row))
+          List.map snd
+            (split_columns (strip_semicolon header_line header_row))
         in
         let nthreads = List.length header_cells in
         List.iteri
@@ -294,41 +394,50 @@ let parse source =
         let programs = Array.make nthreads [] in
         List.iter
           (fun (line, row) ->
-            let cells =
-              List.map trim
-                (String.split_on_char '|' (strip_semicolon line row))
-            in
+            let cells = split_columns (strip_semicolon line row) in
             if List.length cells <> nthreads then
               fail line "row has %d columns, expected %d" (List.length cells)
                 nthreads;
             List.iteri
-              (fun i cell ->
+              (fun i (column, cell) ->
                 if cell <> "" then
-                  programs.(i) <- parse_instruction line cell :: programs.(i))
+                  programs.(i) <-
+                    parse_instruction ~column line cell :: programs.(i))
               cells)
           instr_rows;
         let threads =
           Array.map (fun instrs -> Array.of_list (List.rev instrs)) programs
         in
-        (* Skip 'locations' lines; then the condition. *)
-        let rec find_condition = function
+        (* Skip 'locations' lines; split off the post-crash clause; the
+           remaining lines form the (possibly multi-line) condition. *)
+        let is_locations l =
+          let low = String.lowercase_ascii (trim l) in
+          String.length low >= 9 && String.sub low 0 9 = "locations"
+        in
+        let is_recovery l =
+          let low = String.lowercase_ascii (trim l) in
+          String.length low >= 6 && String.sub low 0 6 = "after "
+        in
+        let tail = List.filter (fun (_, l) -> not (is_locations l)) tail in
+        let recovery_lines, cond_lines =
+          List.partition (fun (_, l) -> is_recovery l) tail
+        in
+        let post_crash =
+          match recovery_lines with
+          | [] -> None
+          | [ (line, l) ] -> Some (parse_post_crash line (trim l))
+          | _ :: (line, _) :: _ -> fail line "duplicate post-crash clause"
+        in
+        let cond_line, cond_text =
+          match cond_lines with
           | [] -> fail hline "missing final condition"
           | (line, l) :: rest ->
-            let low = String.lowercase_ascii (trim l) in
-            if
-              String.length low >= 9 && String.sub low 0 9 = "locations"
-            then find_condition rest
-            else begin
-              (* The condition may span several lines; join the remainder. *)
-              let text =
-                String.concat " " (trim l :: List.map (fun (_, s) -> trim s) rest)
-              in
-              (line, text)
-            end
+            ( line,
+              String.concat " "
+                (trim l :: List.map (fun (_, s) -> trim s) rest) )
         in
-        let cond_line, cond_text = find_condition tail in
         let condition = parse_condition cond_line cond_text in
-        Ok { Ast.name; doc = !doc; init; threads; condition })
+        Ok { Ast.name; doc = !doc; init; threads; condition; post_crash })
   with Parse_error e -> Error e
 
 let parse_file path =

@@ -11,12 +11,27 @@
     exists (0:EAX=0 /\ 1:EAX=0)
     v}
 
-    Supported instructions are [MOV \[x\],$n] (store), [MOV reg,\[x\]] (load)
-    and [MFENCE], with registers EAX/EBX/ECX/EDX/ESI/EDI (or the RAX...
-    forms).  This covers the whole x86-TSO suite the paper converts;
-    anything else is reported as an error rather than mis-parsed. *)
+    Supported instructions are [MOV \[x\],$n] (store), [MOV reg,\[x\]] (load),
+    [MFENCE], and — for persistent-memory tests — [CLFLUSH \[x\]] (alias
+    [FLUSH \[x\]]) and [SFENCE] (alias [DRAIN]), with registers
+    EAX/EBX/ECX/EDX/ESI/EDI (or the RAX... forms).  A test may carry one
+    post-crash clause after its condition:
 
-type error = { line : int; message : string }
+    {v
+    exists (0:EAX=1)
+    after recovery y=1 => x=1
+    v}
+
+    This covers the whole x86-TSO suite the paper converts plus the PM
+    extension; anything else is reported as an error rather than mis-parsed. *)
+
+type error = {
+  line : int;
+  column : int option;
+      (** 1-based source column of the offending token, when known (set for
+          unknown instruction mnemonics). *)
+  message : string;
+}
 
 val pp_error : Format.formatter -> error -> unit
 

@@ -2,6 +2,8 @@ let instruction_to_string = function
   | Ast.Store (x, a) -> Printf.sprintf "MOV [%s],$%d" x a
   | Ast.Load (r, x) -> Printf.sprintf "MOV %s,[%s]" (Parser.register_name r) x
   | Ast.Mfence -> "MFENCE"
+  | Ast.Flush x -> Printf.sprintf "CLFLUSH [%s]" x
+  | Ast.Drain -> "SFENCE"
 
 let atom_to_string = function
   | Ast.Reg_eq (t, r, v) ->
@@ -17,6 +19,17 @@ let condition_to_string cond =
   in
   Printf.sprintf "%s (%s)" quantifier
     (String.concat " /\\ " (List.map atom_to_string cond.Ast.atoms))
+
+let post_crash_to_string pc =
+  let side atoms =
+    String.concat " /\\ "
+      (List.map (fun (x, v) -> Printf.sprintf "%s=%d" x v) atoms)
+  in
+  match pc.Ast.assumes with
+  | [] -> Printf.sprintf "after recovery %s" (side pc.Ast.requires)
+  | assumes ->
+    Printf.sprintf "after recovery %s => %s" (side assumes)
+      (side pc.Ast.requires)
 
 let to_string test =
   let buf = Buffer.create 512 in
@@ -59,6 +72,11 @@ let to_string test =
   done;
   Buffer.add_string buf (condition_to_string test.Ast.condition);
   Buffer.add_char buf '\n';
+  (match test.Ast.post_crash with
+  | None -> ()
+  | Some pc ->
+    Buffer.add_string buf (post_crash_to_string pc);
+    Buffer.add_char buf '\n');
   Buffer.contents buf
 
 let summary test =

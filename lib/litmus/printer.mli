@@ -12,5 +12,8 @@ val instruction_to_string : Ast.instruction -> string
 val condition_to_string : Ast.condition -> string
 (** e.g. ["exists (0:EAX=0 /\\ 1:EAX=0)"]. *)
 
+val post_crash_to_string : Ast.post_crash -> string
+(** e.g. ["after recovery y=1 => x=1"]; no leading quantifier keyword. *)
+
 val summary : Ast.t -> string
 (** One-line human summary: name, [T], [T_L], target condition. *)

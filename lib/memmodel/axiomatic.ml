@@ -5,6 +5,8 @@ type kind =
   | Write of string * int
   | Read of int * string  (* register, location *)
   | Fence
+  | Flush of string
+      (* Volatile no-op; its durability effect lives in {!Persistency}. *)
 
 type event = { id : int; thread : int; po : int; kind : kind }
 
@@ -19,7 +21,10 @@ let events_of_test test =
             match instr with
             | Ast.Store (x, a) -> Write (x, a)
             | Ast.Load (r, x) -> Read (r, x)
-            | Ast.Mfence -> Fence
+            (* SFENCE-as-drain orders stores like a full fence on x86-TSO's
+               volatile side; only {!Persistency} distinguishes them. *)
+            | Ast.Mfence | Ast.Drain -> Fence
+            | Ast.Flush x -> Flush x
           in
           acc := { id = !id; thread; po; kind } :: !acc;
           incr id)
@@ -30,7 +35,7 @@ let events_of_test test =
 let location = function
   | Write (x, _) -> Some x
   | Read (_, x) -> Some x
-  | Fence -> None
+  | Fence | Flush _ -> None
 
 (* A candidate execution: for each read, an rf source (Some write event or
    None for the initial value); for each location, a coherence order over
@@ -229,7 +234,8 @@ let valid model test ~events candidate =
 let read_value test candidate read =
   let x = Option.get (location read.kind) in
   match List.assoc read.id candidate.rf with
-  | Some w -> ( match w.kind with Write (_, a) -> a | Read _ | Fence -> 0)
+  | Some w -> (
+    match w.kind with Write (_, a) -> a | Read _ | Fence | Flush _ -> 0)
   | None -> Ast.initial_value test x
 
 let outcome_of_candidate test candidate =
@@ -245,7 +251,7 @@ let outcome_of_candidate test candidate =
               reg;
               value = read_value test candidate e;
             }
-        | Write _ | Fence -> None)
+        | Write _ | Fence | Flush _ -> None)
       events
   in
   List.sort Outcome.(fun a b ->
@@ -268,7 +274,7 @@ let final_memory test candidate x =
   | Some order when order <> [] -> (
     match (List.nth order (List.length order - 1)).kind with
     | Write (_, a) -> a
-    | Read _ | Fence -> Ast.initial_value test x)
+    | Read _ | Fence | Flush _ -> Ast.initial_value test x)
   | _ -> Ast.initial_value test x
 
 let condition_satisfied test candidate =

@@ -86,10 +86,16 @@ let successors model test state =
             pcs = bump ();
             regs = assoc_set (t, r) value state.regs;
           }
-      | Ast.Mfence ->
+      | Ast.Mfence | Ast.Drain ->
         (* Enabled only once the buffer is empty; drains below provide the
-           interleavings in which it empties first. *)
+           interleavings in which it empties first.  SFENCE-as-drain has the
+           same volatile semantics as a full fence here; its persistency
+           effect lives in {!Persistency}. *)
         if buffer = [] then add { state with pcs = bump () }
+      | Ast.Flush _ ->
+        (* Volatile no-op: cache-line writeback does not change the coherent
+           value of the location. *)
+        add { state with pcs = bump () }
     end;
     (* Drain step.  TSO drains strictly in FIFO order; PSO keeps FIFO
        order only per location, so the oldest entry of every distinct

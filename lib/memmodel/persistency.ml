@@ -1,0 +1,150 @@
+module Ast = Perple_litmus.Ast
+
+type model = Epoch | Eager
+
+let model_to_string = function Epoch -> "epoch" | Eager -> "eager"
+
+type kind =
+  | Write of string * int
+  | Flush of string
+  | Drain
+  | Other  (* loads and volatile fences: no persistency effect *)
+
+type event = { pos : int; thread : int; kind : kind }
+
+(* Events of the canonical prefix: the first [point] instructions in
+   (thread, program order) — the same total order the operational
+   crash-point executor runs. *)
+let events_of_prefix test ~point =
+  let acc = ref [] in
+  let pos = ref 0 in
+  Array.iteri
+    (fun thread program ->
+      Array.iter
+        (fun instr ->
+          if !pos < point then begin
+            let kind =
+              match instr with
+              | Ast.Store (x, a) -> Write (x, a)
+              | Ast.Flush x -> Flush x
+              | Ast.Drain -> Drain
+              | Ast.Load _ | Ast.Mfence -> Other
+            in
+            acc := { pos = !pos; thread; kind } :: !acc;
+            incr pos
+          end)
+        program)
+    test.Ast.threads;
+  if !pos < point then
+    invalid_arg
+      (Printf.sprintf "Persistency.events_of_prefix: point %d > %d events"
+         point !pos);
+  List.rev !acc
+
+(* A flush observes the most recent write to its location in the prefix
+   order (rf to the persistence domain); with no earlier write it flushes
+   the initial value. *)
+let flush_value test events f x =
+  List.fold_left
+    (fun acc e ->
+      match e.kind with
+      | Write (y, a) when y = x && e.pos < f.pos -> a
+      | Write _ | Flush _ | Drain | Other -> acc)
+    (Ast.initial_value test x)
+    events
+
+(* A flush is durable iff a drain of the same thread follows it in program
+   order (within the prefix): the drain-order edge flush -> drain ->
+   crash.  Under the eager bug no drain edge exists, so nothing is
+   mandatory. *)
+let drained events f =
+  List.exists
+    (fun e -> e.kind = Drain && e.thread = f.thread && e.pos > f.pos)
+    events
+
+type classified = {
+  mandatory : (string * int) list;  (* location, value; prefix order *)
+  optional : (string * int) list;
+}
+
+let classify model test ~point =
+  let events = events_of_prefix test ~point in
+  let flushes =
+    List.filter_map
+      (fun e ->
+        match e.kind with
+        | Flush x -> Some (e, x)
+        | Write _ | Drain | Other -> None)
+      events
+  in
+  let valued =
+    List.map (fun (f, x) -> (f, x, flush_value test events f x)) flushes
+  in
+  let is_mandatory f =
+    match model with Epoch -> drained events f | Eager -> false
+  in
+  {
+    mandatory =
+      List.filter_map
+        (fun (f, x, v) -> if is_mandatory f then Some (x, v) else None)
+        valued;
+    optional =
+      List.filter_map
+        (fun (f, x, v) -> if is_mandatory f then None else Some (x, v))
+        valued;
+  }
+
+let reachable_images model test ~point =
+  let { mandatory; optional } = classify model test ~point in
+  let locations = Ast.locations test in
+  let base =
+    List.map (fun x -> (x, Ast.initial_value test x)) locations
+  in
+  let apply image writes =
+    List.map
+      (fun (x, v) ->
+        ( x,
+          List.fold_left
+            (fun acc (y, w) -> if y = x then w else acc)
+            v writes ))
+      image
+  in
+  let durable = apply base mandatory in
+  let optional = Array.of_list optional in
+  let n = Array.length optional in
+  if n > 20 then
+    invalid_arg "Persistency.reachable_images: too many undrained flushes";
+  let images = ref [] in
+  for mask = 0 to (1 lsl n) - 1 do
+    let chosen = ref [] in
+    for i = n - 1 downto 0 do
+      if mask land (1 lsl i) <> 0 then chosen := optional.(i) :: !chosen
+    done;
+    images := apply durable !chosen :: !images
+  done;
+  List.sort_uniq compare !images
+
+let satisfies atoms image =
+  List.for_all
+    (fun (x, v) ->
+      match List.assoc_opt x image with Some w -> w = v | None -> v = 0)
+    atoms
+
+let point_violations model test ~point =
+  match test.Ast.post_crash with
+  | None -> []
+  | Some pc ->
+    List.filter
+      (fun image ->
+        satisfies pc.Ast.assumes image && not (satisfies pc.Ast.requires image))
+      (reachable_images model test ~point)
+
+let condition_holds model test =
+  let points =
+    Array.fold_left (fun acc p -> acc + Array.length p) 0 test.Ast.threads + 1
+  in
+  let rec check point =
+    point >= points
+    || (point_violations model test ~point = [] && check (point + 1))
+  in
+  check 0

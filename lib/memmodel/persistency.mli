@@ -1,0 +1,41 @@
+(** Axiomatic persistency checker.
+
+    Classifies the persisted images reachable at every crash point of a
+    litmus test {e declaratively}, from three relations over the events of
+    the canonical prefix (the first [point] instructions in (thread,
+    program-order) — the same total order {!Perple_sim.Crashsim} executes):
+
+    - {e rf-to-persistence}: each flush observes the latest write to its
+      location that precedes it (or the initial value);
+    - {e drain order} ([Epoch] only): a flush followed in program order by
+      a same-thread drain is {e mandatory} — it has certainly reached the
+      persistence domain by the crash;
+    - every other flush is {e optional}: the writeback raced the crash, so
+      the image may contain any subset, applied in prefix order (the
+      canonical cross-thread completion order, matching
+      {!Perple_sim.Pmem}).
+
+    Under [Eager] — the buggy controller whose drain commits nothing — the
+    drain-order relation is empty and every flush is optional.  Agreement
+    of the image sets computed here with the operational executor's, at
+    every crash point under both models, is the cross-validation the
+    volatile {!Operational}/{!Axiomatic} pair already performs for TSO. *)
+
+type model = Epoch | Eager
+
+val model_to_string : model -> string
+
+val reachable_images :
+  model -> Perple_litmus.Ast.t -> point:int -> (string * int) list list
+(** Sorted, duplicate-free persisted images at crash point [point]; each
+    image is a sorted [(location, value)] list over the test's locations.
+    Raises [Invalid_argument] if [point] exceeds the instruction count or
+    more than 20 flushes are optional. *)
+
+val point_violations :
+  model -> Perple_litmus.Ast.t -> point:int -> (string * int) list list
+(** Reachable images at [point] satisfying the post-crash [assumes] but not
+    [requires]; empty for tests without a post-crash condition. *)
+
+val condition_holds : model -> Perple_litmus.Ast.t -> bool
+(** No violating image at any crash point. *)

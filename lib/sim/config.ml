@@ -1,7 +1,10 @@
 type model = Sc | Tso | Pso | Tso_store_reorder | Tso_fence_ignored
 
+type persistency = Epoch | Eager
+
 type t = {
   model : model;
+  persistency : persistency;
   progress_chance : float;
   drain_chance : float;
   buffer_capacity : int;
@@ -13,6 +16,7 @@ type t = {
 let default =
   {
     model = Tso;
+    persistency = Epoch;
     progress_chance = 0.9;
     drain_chance = 0.55;
     buffer_capacity = 8;
@@ -28,7 +32,16 @@ let model_name = function
   | Tso_store_reorder -> "tso+store-reorder-bug"
   | Tso_fence_ignored -> "tso+fence-ignored-bug"
 
+let persistency_name = function Epoch -> "epoch" | Eager -> "eager-bug"
+
+let persistency_of_name = function
+  | "epoch" -> Some Epoch
+  | "eager-bug" | "eager" -> Some Eager
+  | _ -> None
+
 let with_model model t = { t with model }
+
+let with_persistency persistency t = { t with persistency }
 
 let no_jitter t = { t with jitter_chance = 0.0 }
 

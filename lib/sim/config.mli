@@ -25,8 +25,22 @@ type model =
   | Tso_fence_ignored
       (** Buggy: [MFENCE] neither drains nor waits (breaks e.g. [amd5]). *)
 
+type persistency =
+  | Epoch
+      (** Correct epoch ordering: [drain] commits the thread's pending
+          flushes to the persistence domain in order, so flushes separated
+          by a drain persist in that order. *)
+  | Eager
+      (** Buggy controller: [drain] fails to commit — every flushed line
+          persists lazily and independently, so flushes from different
+          epochs can reach the persistence domain out of order (breaks e.g.
+          [pm-epoch-order]). *)
+
 type t = {
   model : model;
+  persistency : persistency;
+      (** Persistency behaviour of [flush]/[drain]; irrelevant (and
+          drawing no randomness) for programs without those instructions. *)
   progress_chance : float;
       (** Per round, the chance a runnable thread executes its next
           instruction; models per-core speed variation. *)
@@ -50,7 +64,15 @@ val default : t
 
 val model_name : model -> string
 
+val persistency_name : persistency -> string
+(** ["epoch"] or ["eager-bug"]. *)
+
+val persistency_of_name : string -> persistency option
+(** Inverse of {!persistency_name}; also accepts ["eager"]. *)
+
 val with_model : model -> t -> t
+
+val with_persistency : persistency -> t -> t
 
 val no_jitter : t -> t
 (** Same machine without preemption bursts; useful in unit tests that need

@@ -1,0 +1,100 @@
+module Ast = Perple_litmus.Ast
+
+type point_result = {
+  point : int;
+  images : int;
+  violations : int;
+  witness : (string * int) list option;
+}
+
+let interned test =
+  let names = Array.of_list (Ast.locations test) in
+  let id_of x =
+    let rec find i =
+      if i >= Array.length names then raise Not_found
+      else if names.(i) = x then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  (names, id_of)
+
+let instruction_count test =
+  Array.fold_left (fun acc p -> acc + Array.length p) 0 test.Ast.threads
+
+let crash_points test = instruction_count test + 1
+
+(* Execute the first [point] instructions of the canonical sequential
+   schedule — thread 0 to completion, then thread 1, ... — with SC volatile
+   semantics, tracking the persistence domain. *)
+let run_prefix ~persistency test ~point =
+  let names, id_of = interned test in
+  let nlocs = Array.length names in
+  let init = Array.map (fun x -> Ast.initial_value test x) names in
+  let memory = Array.copy init in
+  let pm =
+    Pmem.create ~nthreads:(Ast.thread_count test) ~nlocs ~cells:1 ~init
+  in
+  let executed = ref 0 in
+  Array.iteri
+    (fun thread program ->
+      Array.iter
+        (fun instr ->
+          if !executed < point then begin
+            incr executed;
+            match instr with
+            | Ast.Store (x, a) -> memory.(id_of x) <- a
+            | Ast.Load _ | Ast.Mfence -> ()
+            | Ast.Flush x ->
+              let loc = id_of x in
+              Pmem.flush pm ~thread ~loc ~cell:0 ~value:memory.(loc)
+            | Ast.Drain -> Pmem.drain pm ~persistency ~thread
+          end)
+        program)
+    test.Ast.threads;
+  if !executed < point then
+    invalid_arg
+      (Printf.sprintf "Crashsim.run_prefix: point %d > %d instructions" point
+         !executed);
+  (names, memory, pm)
+
+let assoc_of_image names image =
+  Array.to_list (Array.mapi (fun l (cells : int array) -> (names.(l), cells.(0))) image)
+
+let reachable_images ~persistency test ~point =
+  let names, _memory, pm = run_prefix ~persistency test ~point in
+  List.sort_uniq compare
+    (List.map (assoc_of_image names) (Pmem.reachable_images pm))
+
+let satisfies atoms image =
+  List.for_all
+    (fun (x, v) ->
+      match List.assoc_opt x image with Some w -> w = v | None -> v = 0)
+    atoms
+
+let evaluate_point ~persistency test ~point =
+  let images = reachable_images ~persistency test ~point in
+  match test.Ast.post_crash with
+  | None ->
+    { point; images = List.length images; violations = 0; witness = None }
+  | Some pc ->
+    let violating =
+      List.filter
+        (fun image ->
+          satisfies pc.Ast.assumes image
+          && not (satisfies pc.Ast.requires image))
+        images
+    in
+    {
+      point;
+      images = List.length images;
+      violations = List.length violating;
+      witness = (match violating with [] -> None | w :: _ -> Some w);
+    }
+
+let evaluate ~persistency test =
+  List.init (crash_points test) (fun point ->
+      evaluate_point ~persistency test ~point)
+
+let violation_free ~persistency test =
+  List.for_all (fun r -> r.violations = 0) (evaluate ~persistency test)

@@ -1,0 +1,54 @@
+(** Operational crash-point executor.
+
+    Runs a litmus test under the {e canonical sequential schedule} — thread
+    0 to completion, then thread 1, ... — with SC volatile semantics,
+    maintaining the {!Pmem} persistence domain as it goes.  A {e crash
+    point} [k] is the machine state after exactly [k] instructions of that
+    schedule (so a test with [N] instructions has [N+1] crash points,
+    enumerated the way [test_journal] truncates a journal at every byte
+    offset).  At each point the reachable persisted images are the durable
+    state overlaid with every subset of pending writebacks
+    ({!Pmem.reachable_images}); recovery evaluates the test's post-crash
+    condition against each.
+
+    The canonical schedule is a deliberate simplification: crash
+    consistency here is about the {e order of writebacks}, not volatile
+    interleavings, and one fixed schedule keeps the image sets exactly
+    comparable with the axiomatic persistency checker (which classifies the
+    same prefixes declaratively). *)
+
+type point_result = {
+  point : int;  (** Instructions executed before the crash. *)
+  images : int;  (** Distinct reachable persisted images. *)
+  violations : int;  (** Images where [assumes] holds but [requires] fails. *)
+  witness : (string * int) list option;
+      (** A violating image, if any (sorted by location name). *)
+}
+
+val instruction_count : Perple_litmus.Ast.t -> int
+
+val crash_points : Perple_litmus.Ast.t -> int
+(** [instruction_count + 1]: one point per instruction boundary. *)
+
+val reachable_images :
+  persistency:Config.persistency ->
+  Perple_litmus.Ast.t ->
+  point:int ->
+  (string * int) list list
+(** The persisted images reachable at a crash point, each a sorted
+    [(location, value)] list over all of the test's locations; the list of
+    images is sorted and duplicate-free. *)
+
+val evaluate_point :
+  persistency:Config.persistency ->
+  Perple_litmus.Ast.t ->
+  point:int ->
+  point_result
+(** Tests without a post-crash condition report zero violations. *)
+
+val evaluate :
+  persistency:Config.persistency -> Perple_litmus.Ast.t -> point_result list
+(** [evaluate_point] at every crash point, in order. *)
+
+val violation_free :
+  persistency:Config.persistency -> Perple_litmus.Ast.t -> bool

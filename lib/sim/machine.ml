@@ -29,6 +29,7 @@ type stats = {
   termination : termination;
   iterations_retired : int array;
   lost_stores : int;
+  persisted : int array array option;
 }
 
 (* A store-buffer entry: destination cell and value. *)
@@ -51,9 +52,12 @@ let image_uses_indexed (image : Program.image) =
       Array.exists
         (function
           | Program.Store { addr = Program.Indexed; _ }
-          | Program.Load { addr = Program.Indexed; _ } ->
+          | Program.Load { addr = Program.Indexed; _ }
+          | Program.Flush { addr = Program.Indexed; _ } ->
             true
-          | Program.Store _ | Program.Load _ | Program.Fence -> false)
+          | Program.Store _ | Program.Load _ | Program.Fence
+          | Program.Flush _ | Program.Drain ->
+            false)
         t.body)
     image.programs
 
@@ -70,6 +74,14 @@ let run ?on_iteration_end ?on_sample ?on_event ?watchdog
   let memory =
     Array.init nlocs (fun l -> Array.make cells image.Program.init.(l))
   in
+  (* The persistence domain exists only for programs that exercise it, so
+     ordinary runs allocate nothing and draw no extra randomness. *)
+  let pmem =
+    if Program.uses_persistency image then
+      Some (Pmem.create ~nthreads ~nlocs ~cells ~init:image.Program.init)
+    else None
+  in
+  let crash_image = ref None in
   let threads =
     Array.map
       (fun (p : Program.thread) ->
@@ -268,6 +280,34 @@ let run ?on_iteration_end ?on_sample ?on_event ?watchdog
             (Exec { thread = t; iteration = st.iteration; instr; value = 0 })
         end
         (* else stall until the buffer drains *))
+    | Program.Flush { loc; addr } ->
+      let cell = cell_of addr st in
+      (* Enabled only once no older store to the same cell is buffered, so
+         the captured value includes this thread's own prior stores (x86
+         orders CLFLUSH after older stores to the same line). *)
+      if forwarded st loc cell <> None then () (* stall *)
+      else begin
+        let value = memory.(loc).(cell) in
+        (match pmem with
+        | Some pm -> Pmem.flush pm ~thread:t ~loc ~cell ~value
+        | None -> ());
+        st.pc <- st.pc + 1;
+        incr instructions;
+        emit (Exec { thread = t; iteration = st.iteration; instr; value })
+      end
+    | Program.Drain ->
+      (* Waits for an empty buffer like MFENCE — under every model: the
+         fence-ignored bug targets MFENCE specifically, and SC has no
+         buffer to wait for. *)
+      if st.buffer = [] then begin
+        (match pmem with
+        | Some pm ->
+          Pmem.drain pm ~persistency:config.Config.persistency ~thread:t
+        | None -> ());
+        st.pc <- st.pc + 1;
+        incr instructions;
+        emit (Exec { thread = t; iteration = st.iteration; instr; value = 0 })
+      end
   in
   let all_finished () = Array.for_all (fun st -> st.finished) threads in
   let all_waiting () =
@@ -302,6 +342,12 @@ let run ?on_iteration_end ?on_sample ?on_event ?watchdog
         let a = fault_of t in
         (match a.Fault.crash_at with
         | Some c when (not st.finished) && st.iteration >= c ->
+          (* The first crash freezes the persisted image: the durable
+             state plus a coin flip per pending writeback.  Draws nothing
+             when nothing is pending (or without a persistence domain). *)
+          (match (pmem, !crash_image) with
+          | Some pm, None -> crash_image := Some (Pmem.crash_snapshot pm ~rng)
+          | (Some _ | None), _ -> ());
           st.finished <- true;
           st.waiting <- false
         | Some _ | None -> ());
@@ -452,4 +498,9 @@ let run ?on_iteration_end ?on_sample ?on_event ?watchdog
     termination;
     iterations_retired = Array.map (fun st -> st.iteration) threads;
     lost_stores = !lost_stores;
+    persisted =
+      (match (pmem, !crash_image) with
+      | None, _ -> None
+      | Some _, (Some _ as snapshot) -> snapshot
+      | Some pm, None -> Some (Pmem.durable_snapshot pm));
   }

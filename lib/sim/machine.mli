@@ -59,6 +59,12 @@ type stats = {
           faults. *)
   lost_stores : int;
       (** Stores silently dropped by {!Fault.Store_loss} injection. *)
+  persisted : int array array option;
+      (** The persisted image [loc -> cell -> value], present iff the
+          program uses the persistence domain ([Flush]/[Drain]).  For a
+          crashed run this is the image frozen at the first crash fault
+          (durable state plus a seeded coin flip per pending writeback);
+          otherwise the durable state at termination. *)
 }
 
 val run :

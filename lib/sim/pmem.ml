@@ -1,0 +1,67 @@
+module Rng = Perple_util.Rng
+
+type entry = { ploc : int; pcell : int; pvalue : int }
+
+type t = {
+  durable : int array array;
+  mutable pending : entry list array;  (* per thread, oldest first *)
+}
+
+let create ~nthreads ~nlocs ~cells ~init =
+  {
+    durable = Array.init nlocs (fun l -> Array.make cells init.(l));
+    pending = Array.make nthreads [];
+  }
+
+let flush t ~thread ~loc ~cell ~value =
+  t.pending.(thread) <-
+    t.pending.(thread) @ [ { ploc = loc; pcell = cell; pvalue = value } ]
+
+let commit_entry t e = t.durable.(e.ploc).(e.pcell) <- e.pvalue
+
+let drain t ~persistency ~thread =
+  match (persistency : Config.persistency) with
+  | Config.Epoch ->
+    List.iter (commit_entry t) t.pending.(thread);
+    t.pending.(thread) <- []
+  | Config.Eager ->
+    (* The bug: the drain completes without committing anything, leaving
+       every flushed line to persist lazily on its own. *)
+    ()
+
+let pending_count t =
+  Array.fold_left (fun acc l -> acc + List.length l) 0 t.pending
+
+(* All pending entries in the canonical cross-thread apply order:
+   (thread, flush index).  Cross-thread completion order is genuinely
+   arbitrary on hardware; fixing it keeps snapshots and exhaustive
+   enumeration comparable between the operational and axiomatic sides. *)
+let all_pending t =
+  Array.to_list t.pending |> List.concat
+
+let copy_durable t = Array.map Array.copy t.durable
+
+let durable_snapshot = copy_durable
+
+let crash_snapshot t ~rng =
+  let image = copy_durable t in
+  List.iter
+    (fun e -> if Rng.bool rng then image.(e.ploc).(e.pcell) <- e.pvalue)
+    (all_pending t);
+  image
+
+let reachable_images t =
+  let pending = Array.of_list (all_pending t) in
+  let n = Array.length pending in
+  if n > 20 then
+    invalid_arg "Pmem.reachable_images: too many pending flushes to enumerate";
+  let images = ref [] in
+  for mask = 0 to (1 lsl n) - 1 do
+    let image = copy_durable t in
+    for i = 0 to n - 1 do
+      if mask land (1 lsl i) <> 0 then
+        image.(pending.(i).ploc).(pending.(i).pcell) <- pending.(i).pvalue
+    done;
+    images := image :: !images
+  done;
+  List.sort_uniq compare !images

@@ -1,0 +1,47 @@
+(** The persistence domain of the simulated machine.
+
+    Volatile memory loses its contents at a crash; this module models what
+    survives.  A [Store] alone is never durable: a [flush] of the location
+    captures the current coherent value of the cell into the issuing
+    thread's {e pending} writeback queue, and a subsequent [drain] commits
+    that thread's pending writebacks — under the correct {!Config.Epoch}
+    model, in flush order.  Under the buggy {!Config.Eager} variant the
+    drain commits nothing and every pending writeback persists lazily and
+    independently, which is exactly the failure the [pm-*] catalog tests
+    detect.
+
+    Cross-thread writeback completion order is canonicalised to
+    (thread, flush index); both the crash snapshot and the exhaustive
+    enumeration use it, keeping the operational simulator and the axiomatic
+    persistency checker image-for-image comparable. *)
+
+type t
+
+val create : nthreads:int -> nlocs:int -> cells:int -> init:int array -> t
+(** Durable image starts equal to the volatile initial values ([init] is
+    indexed by location id, replicated across [cells]). *)
+
+val flush : t -> thread:int -> loc:int -> cell:int -> value:int -> unit
+(** Append a captured cell value to the thread's pending queue. *)
+
+val drain : t -> persistency:Config.persistency -> thread:int -> unit
+(** [Epoch]: commit the thread's pending queue in order and clear it.
+    [Eager]: nothing (the bug). *)
+
+val pending_count : t -> int
+(** Flushed-but-uncommitted writebacks across all threads. *)
+
+val durable_snapshot : t -> int array array
+(** Copy of the committed durable image, [loc -> cell -> value]. *)
+
+val crash_snapshot : t -> rng:Perple_util.Rng.t -> int array array
+(** The persisted image at a crash: the durable image plus an independent
+    coin flip per pending writeback (applied in canonical order).  Draws
+    exactly [pending_count t] booleans — zero when nothing is pending, so
+    crash-free and flush-free runs stay bit-identical. *)
+
+val reachable_images : t -> int array array list
+(** Every persisted image reachable at this point: the durable image
+    overlaid with each subset of pending writebacks (canonical order),
+    deduplicated and sorted.  Raises [Invalid_argument] beyond 20 pending
+    writebacks (2^n images). *)

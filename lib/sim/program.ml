@@ -8,6 +8,8 @@ type instr =
   | Store of { loc : int; addr : addressing; value : operand }
   | Load of { loc : int; addr : addressing; reg : int }
   | Fence
+  | Flush of { loc : int; addr : addressing }
+  | Drain
 
 type thread = { body : instr array; reg_count : int }
 
@@ -41,7 +43,9 @@ let compile_litmus test =
           | Ast.Load (r, x) ->
             reg_count := max !reg_count (r + 1);
             Load { loc = id_of x; addr = Indexed; reg = r }
-          | Ast.Mfence -> Fence)
+          | Ast.Mfence -> Fence
+          | Ast.Flush x -> Flush { loc = id_of x; addr = Indexed }
+          | Ast.Drain -> Drain)
         program
     in
     { body; reg_count = !reg_count }
@@ -74,3 +78,16 @@ let pp_instr ~location_names ppf = function
     Format.fprintf ppf "r%d <- [%s%s]" reg location_names.(loc)
       (match addr with Shared -> "" | Indexed -> "[n]")
   | Fence -> Format.fprintf ppf "mfence"
+  | Flush { loc; addr } ->
+    Format.fprintf ppf "flush [%s%s]" location_names.(loc)
+      (match addr with Shared -> "" | Indexed -> "[n]")
+  | Drain -> Format.fprintf ppf "drain"
+
+let uses_persistency image =
+  Array.exists
+    (fun (t : thread) ->
+      Array.exists
+        (function
+          | Flush _ | Drain -> true | Store _ | Load _ | Fence -> false)
+        t.body)
+    image.programs

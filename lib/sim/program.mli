@@ -23,6 +23,10 @@ type instr =
   | Store of { loc : int; addr : addressing; value : operand }
   | Load of { loc : int; addr : addressing; reg : int }
   | Fence
+  | Flush of { loc : int; addr : addressing }
+      (** Writeback of the cell's current coherent value to the persistence
+          domain; durable only after a subsequent [Drain]. *)
+  | Drain  (** Persistency fence; see {!Pmem} and {!Config.persistency}. *)
 
 type thread = { body : instr array; reg_count : int }
 
@@ -40,5 +44,10 @@ val compile_litmus : Perple_litmus.Ast.t -> image
 
 val location_id : image -> string -> int
 (** Interned id of a location name.  @raise Not_found if unknown. *)
+
+val uses_persistency : image -> bool
+(** Whether any thread contains a [Flush] or [Drain]; when false the
+    machine allocates no persistence domain and draws no extra
+    randomness. *)
 
 val pp_instr : location_names:string array -> Format.formatter -> instr -> unit

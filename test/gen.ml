@@ -12,8 +12,11 @@ let locations = [ "x"; "y"; "z" ]
 
 (* A random test with [threads] threads of up to [max_instrs] instructions
    each.  Constants per location are assigned 1, 2, 3... in generation
-   order, so they stay unique. *)
-let test_gen ?(max_threads = 3) ?(max_instrs = 3) () =
+   order, so they stay unique.  With [persistency] the instruction mix
+   includes CLFLUSH/SFENCE and the test may carry a post-crash
+   condition — the full extended AST the printer/parser roundtrip
+   exercises. *)
+let test_gen ?(max_threads = 3) ?(max_instrs = 3) ?(persistency = false) () =
   let open QCheck.Gen in
   let* nthreads = int_range 2 max_threads in
   let next_const = Hashtbl.create 4 in
@@ -23,7 +26,7 @@ let test_gen ?(max_threads = 3) ?(max_instrs = 3) () =
     c
   in
   let instr_gen ~next_reg =
-    let* choice = int_range 0 9 in
+    let* choice = int_range 0 (if persistency then 13 else 9) in
     let* loc = oneofl locations in
     if choice < 4 then begin
       let reg = !next_reg in
@@ -31,7 +34,9 @@ let test_gen ?(max_threads = 3) ?(max_instrs = 3) () =
       return (Ast.Load (reg, loc))
     end
     else if choice < 9 then return (Ast.Store (loc, fresh_const loc))
-    else return Ast.Mfence
+    else if choice < 10 then return Ast.Mfence
+    else if choice < 12 then return (Ast.Flush loc)
+    else return Ast.Drain
   in
   let thread_gen =
     let* len = int_range 1 max_instrs in
@@ -88,16 +93,33 @@ let test_gen ?(max_threads = 3) ?(max_instrs = 3) () =
     in
     pick loads
   in
-  return
-    {
-      test with
-      Ast.condition = { Ast.quantifier = Ast.Exists; atoms };
-    }
+  let test = { test with Ast.condition = { Ast.quantifier = Ast.Exists; atoms } } in
+  (* Post-crash condition over locations with feasible persisted values
+     (the initial value or a stored constant); [requires] must be
+     non-empty for the printed form to parse back. *)
+  let* post_crash =
+    if not persistency then return None
+    else
+      let* want = bool in
+      if not want then return None
+      else
+        let atom_gen =
+          let* loc = oneofl locations in
+          let* value = oneofl (0 :: Ast.store_constants test loc) in
+          return (loc, value)
+        in
+        let* n_assumes = int_range 0 2 in
+        let* assumes = list_repeat n_assumes atom_gen in
+        let* n_requires = int_range 1 2 in
+        let* requires = list_repeat n_requires atom_gen in
+        return (Some { Ast.assumes; requires })
+  in
+  return { test with Ast.post_crash }
 
 let shrink_test _ = QCheck.Iter.empty
 
-let arbitrary_test ?max_threads ?max_instrs () =
+let arbitrary_test ?max_threads ?max_instrs ?persistency () =
   QCheck.make
     ~print:(fun t -> Perple_litmus.Printer.to_string t)
     ~shrink:shrink_test
-    (test_gen ?max_threads ?max_instrs ())
+    (test_gen ?max_threads ?max_instrs ?persistency ())

@@ -292,6 +292,100 @@ let test_metrics_identical_across_jobs () =
         check Alcotest.string "metrics bytes jobs 1 = jobs 4" (metrics_for 1)
           (metrics_for 4))
 
+(* --- crash-suite ---------------------------------------------------------- *)
+
+let test_crash_suite_epoch_clean () =
+  expect_ok ~grep:"suite verdict: consistent (0 of 7 points violated"
+    "crash-suite pm-epoch-order"
+
+let test_crash_suite_finds_planted_bug () =
+  expect_ok ~grep:"VIOLATED"
+    "crash-suite pm-epoch-order --persistency eager-bug"
+
+let test_crash_suite_crosscheck () =
+  expect_ok ~grep:"axiomatic cross-check: agrees"
+    "crash-suite pm-flush-before-fence --persistency eager-bug --crosscheck";
+  expect_ok ~grep:"axiomatic cross-check: agrees"
+    "crash-suite pm-flush-before-fence --crosscheck"
+
+let test_crash_suite_jobs_identical () =
+  if Lazy.force have_binary then begin
+    let output jobs =
+      let code, text =
+        run_cli_stdout
+          (Printf.sprintf
+             "crash-suite pm-torn-pair --persistency eager-bug --jobs %d"
+             jobs)
+      in
+      check Alcotest.int (Printf.sprintf "jobs=%d ok" jobs) 0 code;
+      text
+    in
+    let baseline = output 1 in
+    check Alcotest.string "jobs=4 identical" baseline (output 4)
+  end
+
+(* Satellite: every resumable subcommand rejects --resume without
+   --journal up front, with the same actionable message. *)
+let test_resume_requires_journal () =
+  List.iter
+    (fun cmd ->
+      expect_fail ~grep:"--resume requires --journal FILE" cmd)
+    [
+      "crash-suite pm-epoch-order --resume";
+      "run sb -n 100 --runs 2 --resume";
+      "supervise sb -n 100 --runs 2 --resume";
+    ]
+
+let cs_dir = Filename.concat (Filename.get_temp_dir_name ()) "perple-cli-cs"
+
+let test_crash_suite_kill_resume_identical () =
+  (* ISSUE acceptance: a journaled suite killed at an arbitrary point and
+     resumed prints a ledger byte-identical to an uninterrupted run.  The
+     kill is simulated by truncating the journal mid-file — Journal.load
+     drops the damaged tail, resume re-executes only the missing points. *)
+  if Lazy.force have_binary then begin
+    ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote cs_dir)));
+    Sys.mkdir cs_dir 0o755;
+    let journal = Filename.concat cs_dir "cs.journal" in
+    let args extra =
+      Printf.sprintf
+        "crash-suite pm-epoch-order --persistency eager-bug --journal %s%s"
+        (Filename.quote journal) extra
+    in
+    let code_base, baseline = run_cli_stdout (args "") in
+    check Alcotest.int "journaled run ok" 0 code_base;
+    (* Chop the journal to 60%%: header survives, trailing records die. *)
+    let size = (Unix.stat journal).Unix.st_size in
+    let fd = Unix.openfile journal [ Unix.O_WRONLY ] 0 in
+    Unix.ftruncate fd (size * 3 / 5);
+    Unix.close fd;
+    let code_resumed, resumed = run_cli_stdout (args " --resume") in
+    check Alcotest.int "resumed run ok" 0 code_resumed;
+    check Alcotest.string "resumed ledger identical" baseline resumed;
+    (* Resuming the now-complete journal replays it verbatim. *)
+    let code_replay, replayed = run_cli_stdout (args " --resume") in
+    check Alcotest.int "replay ok" 0 code_replay;
+    check Alcotest.string "replayed ledger identical" baseline replayed
+  end
+
+let test_crash_suite_wrong_config_rejected () =
+  if Lazy.force have_binary then begin
+    ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote cs_dir)));
+    Sys.mkdir cs_dir 0o755;
+    let journal = Filename.concat cs_dir "cs.journal" in
+    let code, _ =
+      run_cli_stdout
+        (Printf.sprintf "crash-suite pm-epoch-order --journal %s"
+           (Filename.quote journal))
+    in
+    check Alcotest.int "journaled run ok" 0 code;
+    expect_fail ~grep:"different configuration"
+      (Printf.sprintf
+         "crash-suite pm-epoch-order --persistency eager-bug --journal %s \
+          --resume"
+         (Filename.quote journal))
+  end
+
 let test_bad_jobs () =
   expect_fail ~grep:"--jobs must be positive" "run sb -n 100 --jobs 0";
   expect_fail ~grep:"--runs must be positive" "run sb -n 100 --runs 0"
@@ -353,6 +447,20 @@ let suite =
           test_ledger_identical_with_observability;
         Alcotest.test_case "metrics identical across jobs" `Quick
           test_metrics_identical_across_jobs;
+        Alcotest.test_case "crash-suite epoch clean" `Quick
+          test_crash_suite_epoch_clean;
+        Alcotest.test_case "crash-suite finds planted bug" `Quick
+          test_crash_suite_finds_planted_bug;
+        Alcotest.test_case "crash-suite crosscheck" `Quick
+          test_crash_suite_crosscheck;
+        Alcotest.test_case "crash-suite jobs-identical" `Quick
+          test_crash_suite_jobs_identical;
+        Alcotest.test_case "resume requires journal" `Quick
+          test_resume_requires_journal;
+        Alcotest.test_case "crash-suite kill/resume identical" `Quick
+          test_crash_suite_kill_resume_identical;
+        Alcotest.test_case "crash-suite wrong config rejected" `Quick
+          test_crash_suite_wrong_config_rejected;
         Alcotest.test_case "bad --runs/--jobs" `Quick test_bad_jobs;
         Alcotest.test_case "run cap note" `Quick test_run_cap_note;
         Alcotest.test_case "unknown test" `Quick test_unknown_test;

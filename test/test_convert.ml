@@ -51,7 +51,9 @@ let test_registers_renumbered () =
     Array.to_list conv.Convert.image.Program.programs.(0).Program.body
     |> List.filter_map (function
          | Program.Load { reg; _ } -> Some reg
-         | Program.Store _ | Program.Fence -> None)
+         | Program.Store _ | Program.Fence | Program.Flush _ | Program.Drain
+           ->
+           None)
   in
   check (Alcotest.list Alcotest.int) "slots in order" [ 0; 1 ] regs
 

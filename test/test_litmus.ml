@@ -297,6 +297,100 @@ let test_parse_errors () =
     (contains ~sub:"condition"
        (parse_error "X86 t\n{ x=0; }\n P0     ;\n MFENCE ;\n"))
 
+let test_parse_persistency () =
+  let text =
+    "X86 pm\n\
+     { x=0; y=0; }\n\
+     P0          ;\n\
+     MOV [x],$1  ;\n\
+     CLFLUSH [x] ;\n\
+     SFENCE      ;\n\
+     MOV [y],$1  ;\n\
+     exists (x=1)\n\
+     after recovery, y=1 => x=1\n"
+  in
+  let t = Result.get_ok (Parser.parse text) in
+  check Alcotest.bool "flush" true (t.Ast.threads.(0).(1) = Ast.Flush "x");
+  check Alcotest.bool "drain" true (t.Ast.threads.(0).(2) = Ast.Drain);
+  (match t.Ast.post_crash with
+  | Some pc ->
+    check Alcotest.bool "assumes" true (pc.Ast.assumes = [ ("y", 1) ]);
+    check Alcotest.bool "requires" true (pc.Ast.requires = [ ("x", 1) ])
+  | None -> Alcotest.fail "post-crash clause missing");
+  check Alcotest.bool "uses persistency" true (Ast.uses_persistency t);
+  (* One-sided form: no antecedent. *)
+  let t2 =
+    Result.get_ok
+      (Parser.parse
+         "X86 pm2\n{ x=0; }\n P0          ;\n CLFLUSH [x] ;\nexists \
+          (x=0)\nafter recovery x=0\n")
+  in
+  (match t2.Ast.post_crash with
+  | Some pc ->
+    check Alcotest.bool "empty assumes" true (pc.Ast.assumes = []);
+    check Alcotest.bool "one-sided requires" true (pc.Ast.requires = [ ("x", 0) ])
+  | None -> Alcotest.fail "one-sided clause missing")
+
+(* Satellite: parser errors carry the line and, for instruction errors,
+   the 1-based column of the offending token. *)
+let test_parse_error_positions () =
+  let error text =
+    match Parser.parse text with
+    | Ok _ -> Alcotest.fail "expected parse error"
+    | Error e -> e
+  in
+  let e =
+    error "X86 t\n{ x=0; }\n P0          ;\n ADD EAX,EBX ;\nexists (x=0)\n"
+  in
+  check Alcotest.int "mnemonic error line" 4 e.Parser.line;
+  check (Alcotest.option Alcotest.int) "mnemonic error column" (Some 2)
+    e.Parser.column;
+  check Alcotest.bool "offending token named" true
+    (contains ~sub:"\"ADD\"" e.Parser.message);
+  check Alcotest.bool "expected set listed" true
+    (contains ~sub:"MOV" e.Parser.message);
+  (* Second thread's cell: the column points into that cell, not at 1. *)
+  let e2 =
+    error
+      "X86 t\n\
+       { x=0; }\n\
+       P0          | P1          ;\n\
+       MOV [x],$1  | BAD EAX,[x] ;\n\
+       exists (x=0)\n"
+  in
+  check Alcotest.int "second-cell line" 4 e2.Parser.line;
+  check (Alcotest.option Alcotest.int) "second-cell column" (Some 15)
+    e2.Parser.column;
+  (* pp_error renders the position. *)
+  check Alcotest.bool "pp_error shows position" true
+    (contains ~sub:"line 4, column 15"
+       (Format.asprintf "%a" Parser.pp_error e2));
+  (* Errors with no meaningful column keep column = None. *)
+  let e3 = error "" in
+  check (Alcotest.option Alcotest.int) "no column on empty input" None
+    e3.Parser.column
+
+let test_parse_pm_errors () =
+  check Alcotest.bool "register atom in post-crash" true
+    (contains ~sub:"locations"
+       (parse_error
+          "X86 t\n{ x=0; }\n P0          ;\n MOV EAX,[x] ;\nexists \
+           (0:EAX=0)\nafter recovery 0:EAX=1\n"));
+  check Alcotest.bool "empty consequent" true
+    (contains ~sub:"consequent"
+       (parse_error
+          "X86 t\n{ x=0; }\n P0          ;\n MFENCE ;\nexists (x=0)\nafter \
+           recovery x=1 =>\n"));
+  check Alcotest.bool "duplicate clause" true
+    (contains ~sub:"duplicate"
+       (parse_error
+          "X86 t\n{ x=0; }\n P0     ;\n MFENCE ;\nexists (x=0)\nafter \
+           recovery x=0\nafter recovery x=0\n"));
+  check Alcotest.bool "flush needs memory operand" true
+    (Result.is_error
+       (Parser.parse
+          "X86 t\n{ x=0; }\n P0          ;\n CLFLUSH EAX ;\nexists (x=0)\n"))
+
 let test_register_names () =
   check (Alcotest.option Alcotest.int) "EAX" (Some 0)
     (Parser.register_index "EAX");
@@ -321,12 +415,28 @@ let test_roundtrip_catalog () =
     (Catalog.suite
     @ List.map
         (fun t -> { Catalog.test = t; classification = Catalog.Forbidden })
-        Catalog.non_convertible)
+        Catalog.non_convertible
+    @ List.map
+        (fun (e : Catalog.pm_entry) ->
+          { Catalog.test = e.Catalog.pm_test;
+            classification = Catalog.Allowed })
+        Catalog.pm_suite)
 
 let roundtrip_property =
   QCheck.Test.make ~name:"parser/printer roundtrip on random tests"
     ~count:200
     (Gen.arbitrary_test ())
+    (fun t ->
+      match Parser.parse (Printer.to_string t) with
+      | Error _ -> false
+      | Ok t' -> Ast.equal t t')
+
+(* Satellite: the same roundtrip over the full extended AST — flushes,
+   drains and post-crash conditions included. *)
+let roundtrip_property_pm =
+  QCheck.Test.make
+    ~name:"parser/printer roundtrip on random persistency tests" ~count:200
+    (Gen.arbitrary_test ~persistency:true ())
     (fun t ->
       match Parser.parse (Printer.to_string t) with
       | Error _ -> false
@@ -467,9 +577,14 @@ let suite =
         Alcotest.test_case "~exists" `Quick test_parse_not_exists;
         Alcotest.test_case "empty cells" `Quick test_parse_empty_cells;
         Alcotest.test_case "errors" `Quick test_parse_errors;
+        Alcotest.test_case "persistency syntax" `Quick test_parse_persistency;
+        Alcotest.test_case "error positions" `Quick
+          test_parse_error_positions;
+        Alcotest.test_case "persistency errors" `Quick test_parse_pm_errors;
         Alcotest.test_case "register names" `Quick test_register_names;
         Alcotest.test_case "catalog roundtrip" `Quick test_roundtrip_catalog;
         QCheck_alcotest.to_alcotest roundtrip_property;
+        QCheck_alcotest.to_alcotest roundtrip_property_pm;
         QCheck_alcotest.to_alcotest generated_tests_valid;
         QCheck_alcotest.to_alcotest parser_total_on_noise;
         QCheck_alcotest.to_alcotest parser_total_on_mutations;

@@ -1,0 +1,387 @@
+(* Persistency & crash-consistency tests: the Pmem persistence domain,
+   the operational crash-point executor, the axiomatic persistency
+   checker, their cross-validation over the PM catalog and random tests,
+   and the crash-suite engine's fan-out / fault isolation. *)
+
+module Ast = Perple_litmus.Ast
+module Catalog = Perple_litmus.Catalog
+module Config = Perple_sim.Config
+module Pmem = Perple_sim.Pmem
+module Crashsim = Perple_sim.Crashsim
+module Program = Perple_sim.Program
+module Machine = Perple_sim.Machine
+module Persistency = Perple_memmodel.Persistency
+module Crash_suite = Perple_core.Crash_suite
+module Supervisor = Perple_harness.Supervisor
+module Rng = Perple_util.Rng
+
+let check = Alcotest.check
+
+let model_of = function
+  | Config.Epoch -> Persistency.Epoch
+  | Config.Eager -> Persistency.Eager
+
+(* --- Pmem: the persistence domain ---------------------------------------- *)
+
+let test_pmem_epoch_drain () =
+  let pm = Pmem.create ~nthreads:1 ~nlocs:2 ~cells:1 ~init:[| 0; 0 |] in
+  Pmem.flush pm ~thread:0 ~loc:0 ~cell:0 ~value:1;
+  check Alcotest.int "pending before drain" 1 (Pmem.pending_count pm);
+  check Alcotest.bool "not durable before drain" true
+    ((Pmem.durable_snapshot pm).(0).(0) = 0);
+  Pmem.drain pm ~persistency:Config.Epoch ~thread:0;
+  check Alcotest.int "pending after drain" 0 (Pmem.pending_count pm);
+  check Alcotest.int "durable after drain" 1 ((Pmem.durable_snapshot pm).(0).(0))
+
+let test_pmem_eager_drain_is_noop () =
+  let pm = Pmem.create ~nthreads:1 ~nlocs:1 ~cells:1 ~init:[| 0 |] in
+  Pmem.flush pm ~thread:0 ~loc:0 ~cell:0 ~value:7;
+  Pmem.drain pm ~persistency:Config.Eager ~thread:0;
+  check Alcotest.int "still pending" 1 (Pmem.pending_count pm);
+  check Alcotest.int "not durable" 0 ((Pmem.durable_snapshot pm).(0).(0))
+
+let test_pmem_reachable_images () =
+  let pm = Pmem.create ~nthreads:1 ~nlocs:2 ~cells:1 ~init:[| 0; 0 |] in
+  Pmem.flush pm ~thread:0 ~loc:0 ~cell:0 ~value:1;
+  Pmem.flush pm ~thread:0 ~loc:1 ~cell:0 ~value:2;
+  let images = Pmem.reachable_images pm in
+  (* 2 pending writebacks to distinct cells: all 4 subsets distinct. *)
+  check Alcotest.int "2^2 images" 4 (List.length images)
+
+let test_pmem_crash_snapshot_draw_count () =
+  (* The bit-identity invariant: a crash snapshot draws exactly one coin
+     per pending writeback, and zero when nothing is pending. *)
+  let pm = Pmem.create ~nthreads:1 ~nlocs:1 ~cells:1 ~init:[| 0 |] in
+  let rng = Rng.create 11 in
+  let untouched = Rng.copy rng in
+  ignore (Pmem.crash_snapshot pm ~rng);
+  check Alcotest.bool "no pending: no draws" true
+    (Rng.bits64 rng = Rng.bits64 untouched);
+  Pmem.flush pm ~thread:0 ~loc:0 ~cell:0 ~value:1;
+  let rng = Rng.create 11 in
+  let shadow = Rng.copy rng in
+  ignore (Pmem.crash_snapshot pm ~rng);
+  ignore (Rng.bool shadow);
+  check Alcotest.bool "one pending: one draw" true
+    (Rng.bits64 rng = Rng.bits64 shadow)
+
+(* --- PM catalog verdicts -------------------------------------------------- *)
+
+(* Each catalog PM entry declares whether it holds under the epoch model
+   and under the eager bug; the operational executor and the axiomatic
+   checker must both reproduce exactly those verdicts. *)
+let test_pm_suite_verdicts_operational () =
+  List.iter
+    (fun (e : Catalog.pm_entry) ->
+      let name = e.Catalog.pm_test.Ast.name in
+      check Alcotest.bool (name ^ " epoch") e.Catalog.holds_epoch
+        (Crashsim.violation_free ~persistency:Config.Epoch e.Catalog.pm_test);
+      check Alcotest.bool (name ^ " eager") e.Catalog.holds_eager
+        (Crashsim.violation_free ~persistency:Config.Eager e.Catalog.pm_test))
+    Catalog.pm_suite
+
+let test_pm_suite_verdicts_axiomatic () =
+  List.iter
+    (fun (e : Catalog.pm_entry) ->
+      let name = e.Catalog.pm_test.Ast.name in
+      check Alcotest.bool (name ^ " epoch") e.Catalog.holds_epoch
+        (Persistency.condition_holds Persistency.Epoch e.Catalog.pm_test);
+      check Alcotest.bool (name ^ " eager") e.Catalog.holds_eager
+        (Persistency.condition_holds Persistency.Eager e.Catalog.pm_test))
+    Catalog.pm_suite
+
+let test_pm_suite_well_formed () =
+  List.iter
+    (fun (e : Catalog.pm_entry) ->
+      let t = e.Catalog.pm_test in
+      check Alcotest.bool (t.Ast.name ^ " valid") true
+        (Result.is_ok (Ast.validate t));
+      check Alcotest.bool (t.Ast.name ^ " uses persistency") true
+        (Ast.uses_persistency t);
+      check Alcotest.bool (t.Ast.name ^ " findable") true
+        (Catalog.find_pm t.Ast.name <> None))
+    Catalog.pm_suite;
+  check Alcotest.bool "unknown pm test" true (Catalog.find_pm "nope" = None)
+
+(* --- Cross-validation: operational vs axiomatic --------------------------- *)
+
+(* ISSUE acceptance: at EVERY crash point of EVERY catalog PM test, under
+   both persistency models, the operational executor and the axiomatic
+   checker enumerate exactly the same set of persisted images. *)
+let images_testable = Alcotest.(list (list (pair string int)))
+
+let cross_validate t =
+  List.iter
+    (fun persistency ->
+      let points = Crashsim.crash_points t in
+      for point = 0 to points - 1 do
+        check images_testable
+          (Printf.sprintf "%s/%s/point %d" t.Ast.name
+             (Config.persistency_name persistency)
+             point)
+          (Persistency.reachable_images (model_of persistency) t ~point)
+          (Crashsim.reachable_images ~persistency t ~point)
+      done)
+    [ Config.Epoch; Config.Eager ]
+
+let test_cross_validation_pm_suite () =
+  List.iter
+    (fun (e : Catalog.pm_entry) -> cross_validate e.Catalog.pm_test)
+    Catalog.pm_suite
+
+(* The volatile catalog has no flushes: a single initial-valued image at
+   every point, under both models. *)
+let test_cross_validation_volatile () =
+  List.iter
+    (fun (e : Catalog.entry) -> cross_validate e.Catalog.test)
+    Catalog.suite
+
+let cross_validation_property =
+  QCheck.Test.make ~name:"operational/axiomatic persistency agree" ~count:60
+    (Gen.arbitrary_test ~max_threads:3 ~max_instrs:3 ~persistency:true ())
+    (fun t ->
+      List.for_all
+        (fun persistency ->
+          let points = Crashsim.crash_points t in
+          let rec ok point =
+            point >= points
+            || Persistency.reachable_images (model_of persistency) t ~point
+                 = Crashsim.reachable_images ~persistency t ~point
+               && ok (point + 1)
+          in
+          ok 0)
+        [ Config.Epoch; Config.Eager ])
+
+(* --- Crashsim ------------------------------------------------------------- *)
+
+let test_crashsim_points () =
+  let t = Catalog.find_exn "sb" in
+  check Alcotest.int "sb instructions" 4 (Crashsim.instruction_count t);
+  check Alcotest.int "sb points" 5 (Crashsim.crash_points t)
+
+let test_crashsim_point_out_of_range () =
+  let t = Catalog.find_exn "sb" in
+  Alcotest.check_raises "beyond the last boundary"
+    (Invalid_argument "Crashsim.run_prefix: point 6 > 4 instructions")
+    (fun () ->
+      ignore (Crashsim.reachable_images ~persistency:Config.Epoch t ~point:6))
+
+let test_crashsim_witness_sorted () =
+  let e = Option.get (Catalog.find_pm "pm-epoch-order") in
+  let results = Crashsim.evaluate ~persistency:Config.Eager e.Catalog.pm_test in
+  let witnesses =
+    List.filter_map (fun (r : Crashsim.point_result) -> r.Crashsim.witness)
+      results
+  in
+  check Alcotest.bool "at least one witness" true (witnesses <> []);
+  List.iter
+    (fun w ->
+      check images_testable "witness sorted" [ List.sort compare w ] [ w ])
+    witnesses
+
+(* --- Machine integration --------------------------------------------------- *)
+
+(* Programs without Flush/Drain must not allocate a persistence domain:
+   the stats report no persisted state and the volatile rng stream is
+   untouched (bit-identity with pre-persistency ledgers). *)
+let test_machine_no_pmem_without_persistency () =
+  let conv =
+    Result.get_ok (Perple_core.Convert.convert (Catalog.find_exn "sb"))
+  in
+  let stats =
+    Machine.run ~config:Config.default ~rng:(Rng.create 3)
+      ~image:conv.Perple_core.Convert.image ~iterations:5
+      ~barrier:Machine.No_barrier ()
+  in
+  check Alcotest.bool "no persisted state" true
+    (stats.Machine.persisted = None)
+
+let test_machine_persists_flushed_state () =
+  let e = Option.get (Catalog.find_pm "pm-epoch-order") in
+  let image = Program.compile_litmus e.Catalog.pm_test in
+  check Alcotest.bool "image uses persistency" true
+    (Program.uses_persistency image);
+  let stats =
+    Machine.run ~config:Config.default ~rng:(Rng.create 3) ~image
+      ~iterations:1 ~barrier:Machine.No_barrier ()
+  in
+  match stats.Machine.persisted with
+  | None -> Alcotest.fail "expected a persisted image"
+  | Some persisted ->
+    (* Both drains retired under the epoch model: x and y durable. *)
+    check Alcotest.int "x durable" 1 persisted.(0).(0);
+    check Alcotest.int "y durable" 1 persisted.(1).(0)
+
+(* --- Crash_suite engine ---------------------------------------------------- *)
+
+let records_of_suite ?jobs ?skip ?on_record ?evaluate_point ~persistency test
+    =
+  Array.map Option.get
+    (Crash_suite.evaluate ?jobs ?skip ?on_record ?evaluate_point ~persistency
+       test)
+
+let test_crash_suite_finds_planted_bug () =
+  let e = Option.get (Catalog.find_pm "pm-epoch-order") in
+  let records = records_of_suite ~persistency:Config.Eager e.Catalog.pm_test in
+  let violating =
+    Array.fold_left
+      (fun n (r : Crash_suite.record) ->
+        if r.Crash_suite.violations > 0 then n + 1 else n)
+      0 records
+  in
+  check Alcotest.bool "eager bug detected" true (violating > 0);
+  let clean = records_of_suite ~persistency:Config.Epoch e.Catalog.pm_test in
+  Array.iter
+    (fun (r : Crash_suite.record) ->
+      check Alcotest.int
+        (Printf.sprintf "epoch point %d clean" r.Crash_suite.point)
+        0 r.Crash_suite.violations)
+    clean
+
+let test_crash_suite_jobs_identical () =
+  let e = Option.get (Catalog.find_pm "pm-torn-pair") in
+  let records jobs = records_of_suite ~jobs ~persistency:Config.Eager e.Catalog.pm_test in
+  check Alcotest.bool "jobs 1 = jobs 4" true (records 1 = records 4)
+
+let test_crash_suite_unrecoverable_isolated () =
+  (* A raising evaluator marks only its own point unrecoverable; siblings
+     still evaluate, and the suite never raises. *)
+  let e = Option.get (Catalog.find_pm "pm-epoch-order") in
+  let test = e.Catalog.pm_test in
+  let evaluate_point ~point =
+    if point = 2 then failwith "recovery exploded"
+    else Crashsim.evaluate_point ~persistency:Config.Epoch test ~point
+  in
+  let records =
+    records_of_suite ~jobs:2 ~evaluate_point ~persistency:Config.Epoch test
+  in
+  Array.iteri
+    (fun p (r : Crash_suite.record) ->
+      if p = 2 then begin
+        check Alcotest.bool "unrecoverable outcome" true
+          (r.Crash_suite.outcome = Supervisor.Unrecoverable);
+        check Alcotest.bool "carries the message" true
+          (match r.Crash_suite.error with
+          | Some m ->
+            let rec has i =
+              i + 8 <= String.length m
+              && (String.sub m i 8 = "exploded" || has (i + 1))
+            in
+            has 0
+          | None -> false)
+      end
+      else
+        check Alcotest.bool
+          (Printf.sprintf "point %d evaluated" p)
+          true
+          (r.Crash_suite.outcome = Supervisor.Ok))
+    records
+
+let test_crash_suite_skip_and_on_record () =
+  let e = Option.get (Catalog.find_pm "pm-unflushed") in
+  let retired = ref [] in
+  let skip p = p = 0 in
+  let on_record (r : Crash_suite.record) =
+    retired := r.Crash_suite.point :: !retired
+  in
+  let records =
+    Crash_suite.evaluate ~skip ~on_record ~persistency:Config.Epoch
+      e.Catalog.pm_test
+  in
+  check Alcotest.bool "skipped slot empty" true (records.(0) = None);
+  check Alcotest.bool "others filled" true
+    (Array.to_list records |> List.tl |> List.for_all Option.is_some);
+  check Alcotest.int "one callback per evaluated point"
+    (Array.length records - 1)
+    (List.length !retired);
+  check Alcotest.bool "skipped point not retired" true
+    (not (List.mem 0 !retired))
+
+let test_crash_suite_json_roundtrip () =
+  let e = Option.get (Catalog.find_pm "pm-torn-pair") in
+  let records = records_of_suite ~persistency:Config.Eager e.Catalog.pm_test in
+  Array.iter
+    (fun (r : Crash_suite.record) ->
+      match Crash_suite.of_json (Crash_suite.to_json r) with
+      | Error m -> Alcotest.failf "roundtrip failed: %s" m
+      | Ok r' ->
+        check Alcotest.bool
+          (Printf.sprintf "point %d roundtrips" r.Crash_suite.point)
+          true (r = r'))
+    records;
+  (* Strictness: mistyped and missing fields are rejected whole. *)
+  let module Json = Perple_util.Json in
+  check Alcotest.bool "wrong kind rejected" true
+    (Result.is_error
+       (Crash_suite.of_json (Json.Obj [ ("kind", Json.String "run") ])));
+  check Alcotest.bool "missing fields rejected" true
+    (Result.is_error
+       (Crash_suite.of_json (Json.Obj [ ("kind", Json.String "point") ])));
+  check Alcotest.bool "volatile outcome rejected" true
+    (Result.is_error
+       (Crash_suite.of_json
+          (Json.Obj
+             [
+               ("kind", Json.String "point");
+               ("point", Json.Int 0);
+               ("outcome", Json.String "timeout");
+               ("images", Json.Int 1);
+               ("violations", Json.Int 0);
+             ])))
+
+let suite =
+  [
+    ( "persistency.pmem",
+      [
+        Alcotest.test_case "epoch drain commits" `Quick test_pmem_epoch_drain;
+        Alcotest.test_case "eager drain is a no-op" `Quick
+          test_pmem_eager_drain_is_noop;
+        Alcotest.test_case "reachable images" `Quick test_pmem_reachable_images;
+        Alcotest.test_case "snapshot draw count" `Quick
+          test_pmem_crash_snapshot_draw_count;
+      ] );
+    ( "persistency.verdicts",
+      [
+        Alcotest.test_case "pm suite well-formed" `Quick
+          test_pm_suite_well_formed;
+        Alcotest.test_case "operational verdicts" `Quick
+          test_pm_suite_verdicts_operational;
+        Alcotest.test_case "axiomatic verdicts" `Quick
+          test_pm_suite_verdicts_axiomatic;
+      ] );
+    ( "persistency.crossvalidation",
+      [
+        Alcotest.test_case "pm suite images agree" `Quick
+          test_cross_validation_pm_suite;
+        Alcotest.test_case "volatile suite images agree" `Quick
+          test_cross_validation_volatile;
+        QCheck_alcotest.to_alcotest cross_validation_property;
+      ] );
+    ( "persistency.crashsim",
+      [
+        Alcotest.test_case "crash points" `Quick test_crashsim_points;
+        Alcotest.test_case "point out of range" `Quick
+          test_crashsim_point_out_of_range;
+        Alcotest.test_case "witness sorted" `Quick test_crashsim_witness_sorted;
+      ] );
+    ( "persistency.machine",
+      [
+        Alcotest.test_case "no pmem without persistency" `Quick
+          test_machine_no_pmem_without_persistency;
+        Alcotest.test_case "persists flushed state" `Quick
+          test_machine_persists_flushed_state;
+      ] );
+    ( "persistency.crash_suite",
+      [
+        Alcotest.test_case "finds planted bug" `Quick
+          test_crash_suite_finds_planted_bug;
+        Alcotest.test_case "jobs identical" `Quick
+          test_crash_suite_jobs_identical;
+        Alcotest.test_case "unrecoverable isolated" `Quick
+          test_crash_suite_unrecoverable_isolated;
+        Alcotest.test_case "skip and on_record" `Quick
+          test_crash_suite_skip_and_on_record;
+        Alcotest.test_case "json roundtrip" `Quick
+          test_crash_suite_json_roundtrip;
+      ] );
+  ]
