@@ -1441,6 +1441,157 @@ let suite_cmd =
        ~doc:"Run the whole perpetual litmus suite (Fig 9 summary).")
     (wrap Term.(const run $ quick_arg $ opt_iterations_arg $ opt_seed_arg))
 
+(* --- serve / submit ------------------------------------------------------- *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "perpled.sock"
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:
+          "Unix-domain socket the daemon listens on (a stale socket file \
+           left by a dead daemon is detected and replaced).")
+
+let serve_cmd =
+  let tcp_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "tcp" ] ~docv:"PORT"
+          ~doc:"Also listen on localhost TCP port $(docv).")
+  in
+  let run socket tcp jobs journal trace metrics =
+    if jobs <= 0 then fail "--jobs must be positive"
+    else begin
+      Printf.eprintf "perpled: listening on %s%s, %d job%s%s\n%!" socket
+        (match tcp with
+        | None -> ""
+        | Some p -> Printf.sprintf " and tcp 127.0.0.1:%d" p)
+        jobs
+        (if jobs = 1 then "" else "s")
+        (match journal with
+        | None -> " (no journal: campaigns are lost on restart)"
+        | Some path ->
+          if Sys.file_exists path then
+            Printf.sprintf ", resuming journal %s" path
+          else Printf.sprintf ", journal %s" path);
+      match
+        with_observability ~trace ~metrics @@ fun () ->
+        Perple_service.Server.serve ~socket ?tcp_port:tcp ~jobs ~journal ()
+      with
+      | Error m -> Error m
+      | Ok signum ->
+        Printf.eprintf
+          "\nperpled: %s: drained, journal flushed\nperpled: resume with: \
+           perple serve --socket %s%s%s\n%!"
+          (if signum = Sys.sigint then "interrupted" else "terminated")
+          socket
+          (match journal with
+          | None -> ""
+          | Some path -> " --journal " ^ Filename.quote path)
+          (if jobs = 1 then "" else Printf.sprintf " --jobs %d" jobs);
+        (* Exit the standard interrupted codes so scripts and the CI
+           smoke job can tell a drain from a crash; observability files
+           were already written by [with_observability]. *)
+        Stdlib.exit (if signum = Sys.sigint then 130 else 143)
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the campaign daemon: accept submitted campaigns over a \
+          length-prefixed binary protocol, journal every accepted spec and \
+          completed run, and stream back records that are byte-identical \
+          across crashes, restarts and $(b,--jobs) values.")
+    (wrap
+       Term.(
+         const run $ socket_arg $ tcp_arg $ jobs_arg $ journal_arg
+         $ trace_arg $ metrics_arg))
+
+let submit_cmd =
+  let campaign_arg =
+    let doc =
+      "Campaign identifier.  Resubmitting the same identifier with the \
+       same parameters is idempotent: already-journaled runs are \
+       re-streamed byte-for-byte."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"CAMPAIGN" ~doc)
+  in
+  let submit_test_arg =
+    let doc =
+      "Catalog test name (see $(b,perple list)) or path to a .litmus file \
+       (the file's contents are shipped to the daemon)."
+    in
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"TEST" ~doc)
+  in
+  let runs_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "runs" ] ~docv:"R"
+          ~doc:"Campaign size: $(docv) runs with pre-split seeds.")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "retries" ] ~docv:"K"
+          ~doc:
+            "Reconnection attempts on transport loss (exponentially \
+             backed-off sleeps); safe because submits are idempotent.")
+  in
+  let run campaign spec socket iterations seed runs counter model retries =
+    if retries < 1 then fail "--retries must be positive"
+    else
+      (* Validate locally first for a fast, friendly error; ship file
+         contents so the daemon needs no access to our filesystem. *)
+      Result.bind (load_test spec) @@ fun test ->
+      let payload =
+        if Sys.file_exists spec && not (Sys.is_directory spec) then
+          In_channel.with_open_bin spec In_channel.input_all
+        else spec
+      in
+      ignore test;
+      let wire_spec =
+        {
+          Perple_service.Wire.campaign;
+          test = payload;
+          iterations;
+          seed;
+          runs;
+          counter =
+            (match counter with
+            | Engine.Heuristic -> "heur"
+            | Engine.Exhaustive -> "exh"
+            | Engine.Exhaustive_reference -> "exh-ref");
+          model = Config.model_name model;
+        }
+      in
+      match
+        Perple_service.Client.submit_blocking ~socket ~attempts:retries
+          ~spec:wire_spec ()
+      with
+      | Error m -> fail "submit %s: %s" campaign m
+      | Ok outcome ->
+        Printf.eprintf
+          "perple: campaign %s accepted (digest %s, %d of %d runs were \
+           already journaled)\n%!"
+          campaign outcome.Perple_service.Client.digest
+          outcome.Perple_service.Client.completed_at_accept runs;
+        List.iter print_endline outcome.Perple_service.Client.records;
+        Printf.printf "metrics: %s\n" outcome.Perple_service.Client.metrics;
+        Ok ()
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Submit a campaign to a running $(b,perple serve) daemon and \
+          stream its records to stdout (one canonical ledger line per run, \
+          index order, then one metrics line).")
+    (wrap
+       Term.(
+         const run $ campaign_arg $ submit_test_arg $ socket_arg
+         $ iterations_arg $ seed_arg $ runs_arg $ counter_arg $ model_arg
+         $ retries_arg))
+
 let main_cmd =
   let info =
     Cmd.info "perple" ~version:"1.0.0"
@@ -1464,6 +1615,8 @@ let main_cmd =
       export_cmd;
       suite_cmd;
       experiment_cmd;
+      serve_cmd;
+      submit_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

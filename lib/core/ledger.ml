@@ -312,3 +312,11 @@ let kind j =
   match Json.member "kind" j with Some (Json.String k) -> Some k | _ -> None
 
 let interrupted_marker = Json.Obj [ ("kind", Json.String "interrupted") ]
+let draining_marker = Json.Obj [ ("kind", Json.String "draining") ]
+
+(* The canonical streamed form of a run record: exactly the compact JSON
+   the journal stores, so a daemon re-streaming journaled entries emits
+   the same bytes a live run produced.  [Json.to_string] is
+   deterministic, which is what makes "byte-identical re-stream" a
+   checkable contract rather than a hope. *)
+let record_line s = Json.to_string (to_json s)

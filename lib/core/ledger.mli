@@ -68,6 +68,16 @@ val header_to_json : header -> Json.t
 val parse_header : Json.t -> (header, string) result
 
 val kind : Json.t -> string option
-(** The record's ["kind"] field: ["header"], ["run"] or ["interrupted"]. *)
+(** The record's ["kind"] field: ["header"], ["run"], ["interrupted"],
+    or — in service journals — ["spec"], ["cancel"] and ["draining"]. *)
 
 val interrupted_marker : Json.t
+
+val draining_marker : Json.t
+(** Appended by [perple serve] on SIGINT/SIGTERM after sessions drain;
+    skipped (like ["interrupted"]) when the journal is replayed. *)
+
+val record_line : t -> string
+(** The canonical single-line serialization of a run record
+    ([Json.to_string] of {!to_json}, no trailing newline) — the exact
+    bytes the service streams for the record, live or replayed. *)

@@ -1,0 +1,124 @@
+(* Seeded fault injection over a FIFO byte stream.  All draws come from
+   one SplitMix64 stream in push order, so (seed, pushed traffic) fully
+   determine every fault — the property the qcheck schedules rely on to
+   shrink and replay. *)
+
+module Rng = Perple_util.Rng
+module Metrics = Perple_util.Metrics
+
+type profile = {
+  tear : float;
+  delay : float;
+  duplicate : float;
+  disconnect : float;
+  stall : float;
+  max_delay : int;
+}
+
+let quiet =
+  { tear = 0.0; delay = 0.0; duplicate = 0.0; disconnect = 0.0; stall = 0.0;
+    max_delay = 0 }
+
+let rough =
+  { tear = 0.35; delay = 0.3; duplicate = 0.05; disconnect = 0.04;
+    stall = 0.05; max_delay = 40 }
+
+type segment = { bytes : string; release : int }
+
+type t = {
+  rng : Rng.t;
+  profile : profile;
+  queue : segment Queue.t;
+  mutable last_release : int;
+  mutable cut : bool;
+  mutable faults : int;
+}
+
+let create ~seed profile =
+  {
+    rng = Rng.create seed;
+    profile;
+    queue = Queue.create ();
+    last_release = 0;
+    cut = false;
+    faults = 0;
+  }
+
+let fault t name =
+  t.faults <- t.faults + 1;
+  Metrics.incr name
+
+(* Split [s] into 1..n pieces at distinct random offsets. *)
+let shred t s =
+  let len = String.length s in
+  if len <= 1 then [ s ]
+  else begin
+    let cuts = 1 + Rng.int t.rng (min 3 (len - 1)) in
+    let offsets =
+      List.init cuts (fun _ -> 1 + Rng.int t.rng (len - 1))
+      |> List.sort_uniq compare
+    in
+    let rec pieces start = function
+      | [] -> [ String.sub s start (len - start) ]
+      | o :: rest -> String.sub s start (o - start) :: pieces o rest
+    in
+    pieces 0 offsets
+  end
+
+let enqueue t ~now bytes =
+  if String.length bytes > 0 then begin
+    let p = t.profile in
+    let release = ref now in
+    if Rng.chance t.rng p.delay && p.max_delay > 0 then begin
+      fault t "chaos.delays";
+      release := now + 1 + Rng.int t.rng p.max_delay
+    end;
+    if Rng.chance t.rng p.stall && p.max_delay > 0 then begin
+      fault t "chaos.stalls";
+      release := !release + p.max_delay
+    end;
+    (* FIFO: a segment never releases before its predecessor. *)
+    t.last_release <- max t.last_release !release;
+    Queue.add { bytes; release = t.last_release } t.queue;
+    if Rng.chance t.rng p.duplicate then begin
+      (* A duplicated segment desynchronizes the framing downstream —
+         the receiver must classify the stream as corrupt, never hang. *)
+      fault t "chaos.duplicates";
+      Queue.add { bytes; release = t.last_release } t.queue
+    end
+  end
+
+let push t ~now data =
+  if (not t.cut) && String.length data > 0 then begin
+    let p = t.profile in
+    let data, cut_here =
+      if Rng.chance t.rng p.disconnect then begin
+        fault t "chaos.disconnects";
+        (* Sever mid-chunk: the prefix is still delivered, so a frame in
+           progress arrives torn — the receiver sees EOF inside a frame. *)
+        (String.sub data 0 (Rng.int t.rng (String.length data)), true)
+      end
+      else (data, false)
+    in
+    let segments =
+      if Rng.chance t.rng p.tear then begin
+        fault t "chaos.tears";
+        shred t data
+      end
+      else [ data ]
+    in
+    List.iter (enqueue t ~now) segments;
+    if cut_here then t.cut <- true
+  end
+
+let pull t ~now =
+  match Queue.peek_opt t.queue with
+  | Some seg when seg.release <= now ->
+    ignore (Queue.pop t.queue);
+    `Data seg.bytes
+  | Some _ -> `Idle
+  | None -> if t.cut then `Cut else `Idle
+
+let cut t = t.cut
+let in_flight t = Queue.fold (fun n s -> n + String.length s.bytes) 0 t.queue
+let faults t = t.faults

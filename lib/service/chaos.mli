@@ -1,0 +1,53 @@
+(** Deterministic byte-stream fault injector for the protocol suites.
+
+    A [t] sits between a test client and the daemon state machines in
+    place of a socket: the test {!push}es the bytes one side wrote and
+    {!pull}s what the other side would observe.  In between, seeded
+    faults are applied — frames torn at arbitrary byte offsets, segments
+    delayed or stalled, bytes duplicated (corrupting the stream, which
+    must end in quarantine, not a crash), and mid-frame disconnects.
+    Delivery is FIFO with non-decreasing release times: like TCP, the
+    proxy never reorders, it only mangles timing and integrity.
+
+    Everything is a pure function of the seed and the pushed traffic, so
+    a failing schedule replays exactly from its seed.  Each injected
+    fault increments a [chaos.*] metric and {!faults} so suites can
+    assert coverage. *)
+
+type profile = {
+  tear : float;  (** P(a pushed chunk is split at random offsets). *)
+  delay : float;  (** P(a segment's release is pushed into the future). *)
+  duplicate : float;  (** P(a segment is delivered twice). *)
+  disconnect : float;  (** P(the stream is cut inside a pushed chunk). *)
+  stall : float;  (** P(a segment is stalled for [max_delay] ticks). *)
+  max_delay : int;  (** Upper bound on injected delay, in ticks. *)
+}
+
+val quiet : profile
+(** All probabilities zero: a transparent proxy. *)
+
+val rough : profile
+(** The default chaos mix used by the qcheck schedules. *)
+
+type t
+
+val create : seed:int -> profile -> t
+
+val push : t -> now:int -> string -> unit
+(** Bytes written by the sender at tick [now].  Ignored after a cut. *)
+
+val pull : t -> now:int -> [ `Data of string | `Idle | `Cut ]
+(** What the receiver observes at tick [now]: the next released segment,
+    nothing yet ([`Idle] — possibly with bytes still in flight), or the
+    end of a severed connection ([`Cut], reported once all bytes that
+    preceded the cut have been delivered, i.e. a mid-frame disconnect
+    delivers the frame's prefix first). *)
+
+val cut : t -> bool
+(** A disconnect fault has fired (bytes may still be draining). *)
+
+val in_flight : t -> int
+(** Bytes pushed but not yet pulled. *)
+
+val faults : t -> int
+(** Total faults injected so far. *)

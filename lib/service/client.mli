@@ -1,0 +1,58 @@
+(** Client-side protocol state machine and blocking submitter.
+
+    The sans-IO machine mirrors {!Session} from the other end of the
+    wire: hello handshake, submit, then a strict record stream —
+    records must arrive in index order, exactly [runs] of them,
+    followed by one [Metrics_chunk].  Anything else (an error frame, a
+    corrupt stream, silence past the liveness deadline, EOF mid-stream)
+    moves the machine to [Failed] with a reason — a client can always
+    classify how its submission ended, never hang.
+
+    {!submit_blocking} drives the machine over a real socket and
+    retries retryable failures (disconnects, timeouts, draining
+    daemons) with the {!Perple_harness.Supervisor.backed_off} growth
+    discipline; retrying is safe because submits are idempotent per
+    campaign id and the daemon re-streams from the journal. *)
+
+type config = { heartbeat_every : int; liveness_timeout : int }
+
+val default_config : config
+
+type outcome = {
+  digest : string;  (** Parameter digest echoed by [Accepted]. *)
+  completed_at_accept : int;
+      (** Runs already journaled server-side when we were accepted. *)
+  records : string list;  (** Canonical record lines, index order. *)
+  metrics : string;  (** The [Metrics_chunk] payload. *)
+}
+
+type status = Pending | Done of outcome | Failed of string
+
+type t
+
+val create : ?config:config -> ?peer:string -> spec:Wire.spec -> now:int -> unit -> t
+(** A fresh machine with its [Hello] already queued. *)
+
+val input : t -> now:int -> string -> unit
+val eof : t -> now:int -> unit
+val tick : t -> now:int -> unit
+val output : t -> Perple_util.Framed.buf
+val status : t -> status
+
+val retryable : string -> bool
+(** Whether a [Failed] reason is worth a reconnection (transport-level
+    loss or a draining daemon) rather than a verdict (rejection,
+    protocol error). *)
+
+val submit_blocking :
+  socket:string ->
+  ?attempts:int ->
+  ?backoff:float ->
+  ?initial_delay_ms:int ->
+  spec:Wire.spec ->
+  unit ->
+  (outcome, string) result
+(** Connect to the daemon at [socket], run the machine to a terminal
+    status, and retry retryable failures up to [attempts] times with
+    exponentially grown sleeps ([initial_delay_ms] scaled by [backoff]
+    per retry, {!Perple_harness.Supervisor.backed_off} rounding). *)

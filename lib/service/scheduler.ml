@@ -1,0 +1,507 @@
+(* Campaign scheduler: journal-backed multiplexing of submitted specs
+   over the campaign engine.
+
+   Record kinds in a serve journal (after the standard header):
+     {"kind":"spec", ...}     an accepted campaign, in submit order
+     {"kind":"crun","campaign":C,"run":{...}}   one completed run
+     {"kind":"cancel","campaign":C}
+     {"kind":"draining"} / {"kind":"interrupted"}   shutdown markers
+
+   Specs are journaled before they are acknowledged and runs before they
+   are streamed, so every byte a client ever saw is reconstructible from
+   the journal alone. *)
+
+module Json = Perple_util.Json
+module Journal = Perple_util.Journal
+module Metrics = Perple_util.Metrics
+module Trace = Perple_util.Trace_event
+module Ast = Perple_litmus.Ast
+module Parser = Perple_litmus.Parser
+module Printer = Perple_litmus.Printer
+module Catalog = Perple_litmus.Catalog
+module Config = Perple_sim.Config
+module Engine = Perple_core.Engine
+module Ledger = Perple_core.Ledger
+module Convert = Perple_core.Convert
+
+type campaign = {
+  spec : Wire.spec;
+  digest : string;
+  test : Ast.t;
+  counter : Engine.counter;
+  model : Config.model;
+  seeds : int array;
+  records : string option array;
+  mutable done_count : int;
+  mutable cancelled : bool;
+  mutable failure : string option;
+}
+
+type t = {
+  jobs : int;
+  journal_path : string option;
+  mutable journal : Journal.t option;
+  campaigns : (string, campaign) Hashtbl.t;
+  mutable order : string list;  (** Submit order, oldest first. *)
+}
+
+(* --- spec validation ------------------------------------------------------- *)
+
+let counter_of_name = function
+  | "heur" | "heuristic" -> Some Engine.Heuristic
+  | "exh" | "exhaustive" -> Some Engine.Exhaustive
+  | "exh-ref" | "reference" -> Some Engine.Exhaustive_reference
+  | _ -> None
+
+let model_of_name = function
+  | "sc" -> Some Config.Sc
+  | "tso" -> Some Config.Tso
+  | "pso" -> Some Config.Pso
+  | "tso+store-reorder-bug" -> Some Config.Tso_store_reorder
+  | "tso+fence-ignored-bug" -> Some Config.Tso_fence_ignored
+  | _ -> None
+
+let resolve_test text =
+  match Catalog.find text with
+  | Some entry -> Ok entry.Catalog.test
+  | None ->
+    if String.contains text '\n' then
+      (* Litmus source shipped inline by the client. *)
+      match Parser.parse text with
+      | Ok test -> Ok test
+      | Error e -> Error (Format.asprintf "test source: %a" Parser.pp_error e)
+    else
+      Error
+        (Printf.sprintf
+           "unknown test %S (not a catalog name; to submit a file, send its \
+            contents)"
+           text)
+
+let fail fmt = Printf.ksprintf (fun m -> Error m) fmt
+
+(* Validation shared by live submits and journal replay: everything the
+   engine will assume later is checked up front, so a rejected spec
+   costs one error frame, never a daemon crash mid-campaign. *)
+let resolve (spec : Wire.spec) =
+  if spec.Wire.campaign = "" then fail "campaign id must be non-empty"
+  else if String.length spec.Wire.campaign > 256 then
+    fail "campaign id longer than 256 bytes"
+  else if spec.Wire.runs < 1 then fail "runs must be positive"
+  else if spec.Wire.iterations < 1 then fail "iterations must be positive"
+  else if spec.Wire.seed < 0 then fail "seed must be non-negative"
+  else
+    match counter_of_name spec.Wire.counter with
+    | None -> fail "unknown counter %S (heur, exh or exh-ref)" spec.Wire.counter
+    | Some counter -> (
+      match model_of_name spec.Wire.model with
+      | None -> fail "unknown model %S" spec.Wire.model
+      | Some model -> (
+        match resolve_test spec.Wire.test with
+        | Error m -> Error m
+        | Ok test -> (
+          match Convert.convert test with
+          | Error r ->
+            fail "test %s is not convertible: %s" test.Ast.name
+              (Format.asprintf "%a" Convert.pp_reason r)
+          | Ok _ -> (
+            match Perple_litmus.Outcome.of_condition test with
+            | Error m -> fail "test %s has no countable target: %s" test.Ast.name m
+            | Ok _ ->
+              let digest =
+                Ledger.digest_of_params
+                  [
+                    ("command", "serve-campaign");
+                    ( "test",
+                      Digest.to_hex (Digest.string (Printer.to_string test)) );
+                    ("iterations", string_of_int spec.Wire.iterations);
+                    ("seed", string_of_int spec.Wire.seed);
+                    ("counter", Engine.(
+                       match counter with
+                       | Heuristic -> "heur"
+                       | Exhaustive -> "exh"
+                       | Exhaustive_reference -> "exh-ref"));
+                    ("model", Config.model_name model);
+                    ("runs", string_of_int spec.Wire.runs);
+                  ]
+              in
+              Ok
+                {
+                  spec;
+                  digest;
+                  test;
+                  counter;
+                  model;
+                  seeds =
+                    Engine.campaign_seeds ~runs:spec.Wire.runs
+                      ~seed:spec.Wire.seed;
+                  records = Array.make spec.Wire.runs None;
+                  done_count = 0;
+                  cancelled = false;
+                  failure = None;
+                }))))
+
+(* --- journal records ------------------------------------------------------- *)
+
+let serve_digest = Ledger.digest_of_params [ ("command", "serve") ]
+
+let header_record =
+  Ledger.header_to_json
+    { Ledger.h_command = "serve"; h_digest = serve_digest; h_runs = 0 }
+
+let spec_record (s : Wire.spec) =
+  Json.Obj
+    [
+      ("kind", Json.String "spec");
+      ("campaign", Json.String s.Wire.campaign);
+      ("test", Json.String s.Wire.test);
+      ("iterations", Json.Int s.Wire.iterations);
+      ("seed", Json.Int s.Wire.seed);
+      ("runs", Json.Int s.Wire.runs);
+      ("counter", Json.String s.Wire.counter);
+      ("model", Json.String s.Wire.model);
+    ]
+
+let crun_record campaign run_json =
+  Json.Obj
+    [
+      ("kind", Json.String "crun");
+      ("campaign", Json.String campaign);
+      ("run", run_json);
+    ]
+
+let cancel_record campaign =
+  Json.Obj
+    [ ("kind", Json.String "cancel"); ("campaign", Json.String campaign) ]
+
+let str_field name j =
+  match Json.member name j with
+  | Some (Json.String s) -> Ok s
+  | _ -> fail "journal record: %S is not a string" name
+
+let int_field name j =
+  match Json.member name j with
+  | Some (Json.Int i) -> Ok i
+  | _ -> fail "journal record: %S is not an int" name
+
+let spec_of_record j =
+  let ( let* ) = Result.bind in
+  let* campaign = str_field "campaign" j in
+  let* test = str_field "test" j in
+  let* iterations = int_field "iterations" j in
+  let* seed = int_field "seed" j in
+  let* runs = int_field "runs" j in
+  let* counter = str_field "counter" j in
+  let* model = str_field "model" j in
+  Ok { Wire.campaign; test; iterations; seed; runs; counter; model }
+
+(* --- construction / resume ------------------------------------------------- *)
+
+let append t record =
+  match t.journal with None -> () | Some j -> Journal.append j record
+
+let ingest_record t j =
+  let ( let* ) = Result.bind in
+  match Ledger.kind j with
+  | Some ("interrupted" | "draining") -> Ok ()
+  | Some "spec" ->
+    let* spec = spec_of_record j in
+    let* c = resolve spec in
+    if Hashtbl.mem t.campaigns spec.Wire.campaign then
+      fail "journal: duplicate spec for campaign %S" spec.Wire.campaign
+    else begin
+      Hashtbl.replace t.campaigns spec.Wire.campaign c;
+      t.order <- t.order @ [ spec.Wire.campaign ];
+      Ok ()
+    end
+  | Some "cancel" ->
+    let* campaign = str_field "campaign" j in
+    (match Hashtbl.find_opt t.campaigns campaign with
+    | None -> fail "journal: cancel for unknown campaign %S" campaign
+    | Some c ->
+      c.cancelled <- true;
+      Ok ())
+  | Some "crun" ->
+    let* campaign = str_field "campaign" j in
+    (match Hashtbl.find_opt t.campaigns campaign with
+    | None -> fail "journal: run for unknown campaign %S" campaign
+    | Some c -> (
+      match Json.member "run" j with
+      | None -> fail "journal: crun record without a run"
+      | Some run_json ->
+        let* summary = Ledger.of_json run_json in
+        let i = summary.Ledger.index in
+        if i < 0 || i >= Array.length c.records then
+          fail "journal: campaign %S run index %d out of range" campaign i
+        else if summary.Ledger.seed <> c.seeds.(i) then
+          fail
+            "journal: campaign %S run %d was seeded with %d, the spec \
+             pre-splits %d"
+            campaign i summary.Ledger.seed c.seeds.(i)
+        else begin
+          if c.records.(i) = None then c.done_count <- c.done_count + 1;
+          c.records.(i) <- Some (Ledger.record_line summary);
+          Metrics.incr "service.scheduler.resumed_runs";
+          Ok ()
+        end))
+  | Some k -> fail "journal: unexpected %S record" k
+  | None -> fail "journal: record without a kind"
+
+(* Rewrite the journal to its live contents (drop shutdown markers and
+   CRC-damaged tails) before reopening for append. *)
+let compacted t =
+  let specs = List.map (fun id -> spec_record (Hashtbl.find t.campaigns id).spec) t.order in
+  let cancels =
+    List.filter_map
+      (fun id ->
+        if (Hashtbl.find t.campaigns id).cancelled then
+          Some (cancel_record id)
+        else None)
+      t.order
+  in
+  let cruns =
+    List.concat_map
+      (fun id ->
+        let c = Hashtbl.find t.campaigns id in
+        List.filter_map
+          (fun i ->
+            match c.records.(i) with
+            | None -> None
+            | Some line -> (
+              match Json.parse line with
+              | Ok run_json -> Some (crun_record id run_json)
+              | Error _ -> None (* cannot happen: we serialized it *)))
+          (List.init (Array.length c.records) Fun.id))
+      t.order
+  in
+  (header_record :: specs) @ cancels @ cruns
+
+let create ?(jobs = 1) ~journal () =
+  if jobs < 1 then invalid_arg "Scheduler.create: jobs must be >= 1";
+  let t =
+    {
+      jobs;
+      journal_path = journal;
+      journal = None;
+      campaigns = Hashtbl.create 8;
+      order = [];
+    }
+  in
+  match journal with
+  | None -> Ok t
+  | Some path ->
+    if not (Sys.file_exists path) then begin
+      let j = Journal.create path in
+      Journal.append j header_record;
+      t.journal <- Some j;
+      Ok t
+    end
+    else begin
+      match Journal.load path with
+      | Error m -> fail "journal %s: %s" path m
+      | Ok recovery -> (
+        if recovery.Journal.dropped_bytes > 0 then
+          Printf.eprintf
+            "perpled: journal %s: dropped %d damaged trailing bytes (kept %d \
+             intact)\n%!"
+            path recovery.Journal.dropped_bytes recovery.Journal.valid_bytes;
+        match recovery.Journal.records with
+        | [] ->
+          (* Created but crashed before the header was durable: start over. *)
+          let j = Journal.create path in
+          Journal.append j header_record;
+          t.journal <- Some j;
+          Ok t
+        | header :: rest -> (
+          match Ledger.parse_header header with
+          | Error m -> fail "cannot resume: %s" m
+          | Ok h ->
+            if h.Ledger.h_command <> "serve" then
+              fail
+                "cannot resume: journal %s was written by 'perple %s', not \
+                 'perple serve'"
+                path h.Ledger.h_command
+            else begin
+              let rec ingest = function
+                | [] -> Ok ()
+                | r :: rest -> (
+                  match ingest_record t r with
+                  | Error _ as e -> e
+                  | Ok () -> ingest rest)
+              in
+              match ingest rest with
+              | Error m -> fail "cannot resume: %s" m
+              | Ok () ->
+                Journal.compact ~path (compacted t);
+                t.journal <- Some (Journal.open_append path);
+                Ok t
+            end))
+    end
+
+(* --- queries --------------------------------------------------------------- *)
+
+let find t campaign = Hashtbl.find_opt t.campaigns campaign
+
+let runs t ~campaign =
+  Option.map (fun c -> Array.length c.records) (find t campaign)
+
+let completed t ~campaign =
+  match find t campaign with None -> 0 | Some c -> c.done_count
+
+let is_cancelled t ~campaign =
+  match find t campaign with None -> false | Some c -> c.cancelled
+
+let is_complete t ~campaign =
+  match find t campaign with
+  | None -> false
+  | Some c -> (not c.cancelled) && c.done_count = Array.length c.records
+
+let failed t ~campaign =
+  match find t campaign with None -> None | Some c -> c.failure
+
+let record t ~campaign ~index =
+  match find t campaign with
+  | None -> None
+  | Some c ->
+    if index < 0 || index >= Array.length c.records then None
+    else c.records.(index)
+
+let runnable c =
+  (not c.cancelled) && c.failure = None
+  && c.done_count < Array.length c.records
+
+let pending t =
+  List.exists (fun id -> runnable (Hashtbl.find t.campaigns id)) t.order
+
+(* --- submit / cancel ------------------------------------------------------- *)
+
+type accepted = { digest : string; runs : int; completed : int }
+
+let submit t spec =
+  match resolve spec with
+  | Error _ as e -> e
+  | Ok fresh -> (
+    match find t spec.Wire.campaign with
+    | Some existing ->
+      if existing.digest <> fresh.digest then
+        fail
+          "campaign %S already exists with a different configuration \
+           (digest %s, submitted %s)"
+          spec.Wire.campaign existing.digest fresh.digest
+      else if existing.cancelled then
+        fail "campaign %S was cancelled" spec.Wire.campaign
+      else begin
+        Metrics.incr "service.scheduler.resubmits";
+        Ok
+          {
+            digest = existing.digest;
+            runs = Array.length existing.records;
+            completed = existing.done_count;
+          }
+      end
+    | None ->
+      append t (spec_record spec);
+      Hashtbl.replace t.campaigns spec.Wire.campaign fresh;
+      t.order <- t.order @ [ spec.Wire.campaign ];
+      Metrics.incr "service.scheduler.campaigns_accepted";
+      Ok { digest = fresh.digest; runs = Array.length fresh.records; completed = 0 })
+
+let cancel t ~campaign =
+  match find t campaign with
+  | None -> false
+  | Some c ->
+    if not c.cancelled then begin
+      c.cancelled <- true;
+      append t (cancel_record campaign);
+      Metrics.incr "service.scheduler.campaigns_cancelled"
+    end;
+    true
+
+(* --- execution ------------------------------------------------------------- *)
+
+let step t =
+  match
+    List.find_opt (fun id -> runnable (Hashtbl.find t.campaigns id)) t.order
+  with
+  | None -> None
+  | Some id ->
+    let c = Hashtbl.find t.campaigns id in
+    let total = Array.length c.records in
+    (* The batch: the next [jobs] missing indices, in index order.  The
+       batch is what bounds how stale a kill -9 can make the journal. *)
+    let batch = ref [] in
+    let n = ref 0 in
+    let i = ref 0 in
+    while !n < t.jobs && !i < total do
+      if c.records.(!i) = None then begin
+        batch := !i :: !batch;
+        incr n
+      end;
+      incr i
+    done;
+    let batch = !batch in
+    let in_batch i = List.mem i batch in
+    let fresh = ref [] in
+    let on_entry entry =
+      let summary = Ledger.of_entry entry in
+      let line = Ledger.record_line summary in
+      append t (crun_record id (Ledger.to_json summary));
+      let idx = summary.Ledger.index in
+      if c.records.(idx) = None then c.done_count <- c.done_count + 1;
+      c.records.(idx) <- Some line;
+      fresh := (idx, line) :: !fresh;
+      Metrics.incr "service.scheduler.runs_executed"
+    in
+    Trace.span "service.scheduler.step"
+      ~args:[ ("campaign", Trace.String id); ("batch", Trace.Int (List.length batch)) ]
+      (fun () ->
+        match
+          Engine.campaign_entries
+            ~config:(Config.with_model c.model Config.default)
+            ~counter:c.counter ~jobs:t.jobs
+            ~skip:(fun i -> not (in_batch i))
+            ~on_entry ~runs:total ~seed:c.spec.Wire.seed
+            ~iterations:c.spec.Wire.iterations c.test
+        with
+        | Ok _ -> ()
+        | Error reason ->
+          (* Cannot normally happen — convertibility was validated at
+             submit — but a campaign must fail closed, not wedge the
+             queue. *)
+          c.failure <-
+            Some (Format.asprintf "%a" Convert.pp_reason reason));
+    Some (id, List.sort compare !fresh)
+
+(* --- shutdown -------------------------------------------------------------- *)
+
+let metrics_payload t ~campaign =
+  match find t campaign with
+  | None -> None
+  | Some c ->
+    if c.cancelled || c.done_count < Array.length c.records then None
+    else begin
+      let sink = Metrics.create_sink () in
+      Array.iter
+        (function
+          | None -> ()
+          | Some line -> (
+            match Json.parse line with
+            | Error _ -> ()
+            | Ok j -> (
+              match Json.member "metrics" j with
+              | None -> ()
+              | Some m -> ignore (Metrics.merge_json sink m))))
+        c.records;
+      Some (Json.to_string (Metrics.to_json sink))
+    end
+
+let note_draining t = append t Ledger.draining_marker
+
+let close_journal t =
+  match t.journal with
+  | None -> ()
+  | Some j ->
+    t.journal <- None;
+    Journal.close j
+
+let abandon t = close_journal t
+let close t = close_journal t

@@ -1,0 +1,78 @@
+(** Campaign scheduler: multiplexes submitted specs over the domain
+    pool, journals everything, and resumes exactly after a crash.
+
+    The scheduler is the daemon's only stateful core.  Each accepted
+    {!Wire.spec} is journaled, then executed in batches of up to [jobs]
+    runs through {!Perple_core.Engine.campaign_entries} (pre-split
+    per-run seeds, worker-fault isolation); every retiring run is
+    appended to the journal as a ["crun"] record {e before} it is
+    streamed.  [kill -9] at any point therefore loses at most work in
+    flight, never work acknowledged: a scheduler re-created over the same
+    journal path reloads the specs and completed runs, re-streams the
+    journaled records byte-for-byte (records are canonical
+    {!Perple_core.Ledger.record_line} serializations) and executes only
+    the missing indices.
+
+    Everything the scheduler emits is deterministic in the campaign
+    parameters: records are keyed and released by run index, so the
+    streamed bytes are identical for any [jobs] value and any
+    kill/restart split — the property the daemon smoke job in CI
+    enforces end to end. *)
+
+type t
+
+val create : ?jobs:int -> journal:string option -> unit -> (t, string) result
+(** [journal = Some path]: open (creating) or replay-and-resume the
+    journal at [path]; [Error] if its contents belong to a different
+    command or fail validation.  [journal = None] runs in-memory
+    (tests). *)
+
+type accepted = { digest : string; runs : int; completed : int }
+
+val submit : t -> Wire.spec -> (accepted, string) result
+(** Validate and accept a spec, journaling it.  Resubmitting a known
+    campaign id with identical parameters is idempotent and reports how
+    many runs are already journaled; a parameter mismatch, an unknown
+    test, a non-convertible test or nonsensical numbers are [Error]
+    (surfaced to the client as a [Rejected] error frame). *)
+
+val cancel : t -> campaign:string -> bool
+(** Journal a cancellation and stop scheduling the campaign's remaining
+    runs.  False if the campaign is unknown. *)
+
+val runs : t -> campaign:string -> int option
+val completed : t -> campaign:string -> int
+val is_cancelled : t -> campaign:string -> bool
+val is_complete : t -> campaign:string -> bool
+val failed : t -> campaign:string -> string option
+(** A campaign-level execution failure (e.g. the test stopped
+    converting), distinct from per-run crashes, which are ordinary
+    classified records. *)
+
+val record : t -> campaign:string -> index:int -> string option
+(** The canonical record line for a completed run index. *)
+
+val metrics_payload : t -> campaign:string -> string option
+(** The campaign's terminal {!Wire.frame.Metrics_chunk} payload: the
+    per-run metrics captures of all [runs] records merged (addition is
+    commutative), serialized deterministically.  [Some] once the
+    campaign is complete. *)
+
+val pending : t -> bool
+(** Some campaign still has unexecuted runs. *)
+
+val step : t -> (string * (int * string) list) option
+(** Execute the next batch (up to [jobs] missing runs of the oldest
+    incomplete campaign), journaling each run as it retires.  Returns
+    the campaign id and the new records in index order, or [None] when
+    idle. *)
+
+val note_draining : t -> unit
+(** Append a ["draining"] marker — the serve-side analogue of the CLI's
+    interrupted marker, written during signal shutdown. *)
+
+val abandon : t -> unit
+(** Close the journal descriptor {e without} draining — test hook that
+    simulates [kill -9] for the sans-IO crash-equivalence suite. *)
+
+val close : t -> unit

@@ -1,0 +1,199 @@
+(* Daemon-side session state machine.  Pure protocol discipline over
+   virtual time; all I/O and scheduling lives in the driver. *)
+
+module Framed = Perple_util.Framed
+module Metrics = Perple_util.Metrics
+module Trace = Perple_util.Trace_event
+
+type config = {
+  heartbeat_every : int;
+  liveness_timeout : int;
+  max_outbound : int;
+}
+
+let default_config =
+  { heartbeat_every = 1_000; liveness_timeout = 10_000;
+    max_outbound = 4 * 1024 * 1024 }
+
+type terminal =
+  | Completed
+  | Quarantined of string
+  | Timed_out
+  | Disconnected
+
+let terminal_name = function
+  | Completed -> "completed"
+  | Quarantined _ -> "quarantined"
+  | Timed_out -> "timed-out"
+  | Disconnected -> "disconnected"
+
+type event =
+  | Hello_received of string
+  | Submitted of Wire.spec
+  | Cancel_requested of string
+  | Terminated of terminal
+
+type state = Expect_hello | Active | Closed of terminal
+
+type t = {
+  sid : int;
+  config : config;
+  inbound : Framed.buf;
+  outbound : Framed.buf;
+  mutable state : state;
+  mutable last_seen : int;  (** Clock of the most recent inbound bytes. *)
+  mutable last_beat : int;  (** Clock of our most recent heartbeat. *)
+  mutable missed_marked : bool;
+      (** One "heartbeats missed" tick per silent stretch, not per tick. *)
+  span_start : float;  (** Wall-clock trace anchor; observation only. *)
+}
+
+let create ?(config = default_config) ~id ~now () =
+  Metrics.incr "service.sessions_opened";
+  {
+    sid = id;
+    config;
+    inbound = Framed.create ();
+    outbound = Framed.create ();
+    state = Expect_hello;
+    last_seen = now;
+    last_beat = now;
+    missed_marked = false;
+    span_start = Trace.now ();
+  }
+
+let id t = t.sid
+
+let terminal t = match t.state with Closed c -> Some c | _ -> None
+let active t = t.state = Active
+
+let enqueue t frame =
+  Framed.add_string t.outbound (Wire.encode frame);
+  Metrics.incr "service.frames_out"
+
+let send t frame =
+  match t.state with
+  | Closed _ -> `Ok (* dropped: the peer is gone or being flushed out *)
+  | Expect_hello | Active ->
+    if
+      Framed.length t.outbound + String.length (Wire.encode frame)
+      > t.config.max_outbound
+    then begin
+      Metrics.incr "service.backpressure_stalls";
+      `Overflow
+    end
+    else begin
+      enqueue t frame;
+      `Ok
+    end
+
+let send_control t frame = enqueue t frame
+
+let close t reason =
+  match t.state with
+  | Closed _ -> []
+  | _ ->
+    t.state <- Closed reason;
+    Metrics.incr
+      (match reason with
+      | Completed -> "service.sessions_completed"
+      | Quarantined _ -> "service.sessions_quarantined"
+      | Timed_out -> "service.sessions_timed_out"
+      | Disconnected -> "service.sessions_disconnected");
+    Trace.complete ~name:"service.session" ~since:t.span_start
+      ~args:
+        [
+          ("id", Trace.Int t.sid);
+          ("terminal", Trace.String (terminal_name reason));
+        ]
+      ();
+    [ Terminated reason ]
+
+let quarantine t reason =
+  (* Tell the peer why, then stop listening to it.  The Error frame
+     bypasses backpressure: a session must always be able to explain its
+     own death. *)
+  send_control t (Wire.Error { code = Wire.Protocol; message = reason });
+  close t (Quarantined reason)
+
+let on_frame t frame =
+  Metrics.incr "service.frames_in";
+  match (t.state, frame) with
+  | Closed _, _ -> []
+  | Expect_hello, Wire.Hello { version; peer } ->
+    if version <> Wire.protocol_version then
+      quarantine t
+        (Printf.sprintf "unsupported protocol version %d (want %d)" version
+           Wire.protocol_version)
+    else begin
+      t.state <- Active;
+      enqueue t (Wire.Hello { version = Wire.protocol_version; peer = "perpled" });
+      [ Hello_received peer ]
+    end
+  | Expect_hello, f ->
+    quarantine t (Printf.sprintf "expected hello, got %s" (Wire.frame_name f))
+  | Active, Wire.Hello _ -> quarantine t "duplicate hello"
+  | Active, Wire.Submit spec -> [ Submitted spec ]
+  | Active, Wire.Cancel { campaign } -> [ Cancel_requested campaign ]
+  | Active, Wire.Heartbeat _ -> []
+  | Active, Wire.Drain -> close t Completed
+  | Active, (Wire.Accepted _ | Wire.Run_record _ | Wire.Metrics_chunk _ | Wire.Error _)
+    ->
+    quarantine t
+      (Printf.sprintf "server-only frame %s from client" (Wire.frame_name frame))
+
+let feed t ~now bytes =
+  match t.state with
+  | Closed _ -> [] (* quarantined or gone: input is discarded *)
+  | _ ->
+    if String.length bytes > 0 then begin
+      t.last_seen <- now;
+      t.missed_marked <- false
+    end;
+    Framed.add_string t.inbound bytes;
+    let rec drain acc =
+      match t.state with
+      | Closed _ -> acc
+      | _ -> (
+        match Wire.next_frame t.inbound with
+        | `Need_more -> acc
+        | `Corrupt reason ->
+          acc @ quarantine t (Printf.sprintf "corrupt frame: %s" reason)
+        | `Frame f -> drain (acc @ on_frame t f))
+    in
+    drain []
+
+let eof t ~now =
+  ignore now;
+  match t.state with Closed _ -> [] | _ -> close t Disconnected
+
+let tick t ~now =
+  match t.state with
+  | Closed _ -> []
+  | _ ->
+    if now - t.last_seen >= t.config.liveness_timeout then begin
+      send_control t
+        (Wire.Error
+           { code = Wire.Timeout;
+             message =
+               Printf.sprintf "no traffic in %d ticks" (now - t.last_seen) });
+      close t Timed_out
+    end
+    else begin
+      if
+        now - t.last_seen >= 2 * t.config.heartbeat_every
+        && not t.missed_marked
+      then begin
+        (* The peer owes us a heartbeat and hasn't sent one (or any other
+           traffic) for two periods; count the silence once. *)
+        Metrics.incr "service.heartbeats_missed";
+        t.missed_marked <- true
+      end;
+      if now - t.last_beat >= t.config.heartbeat_every then begin
+        t.last_beat <- now;
+        enqueue t (Wire.Heartbeat { sent_at = now })
+      end;
+      []
+    end
+
+let output t = t.outbound

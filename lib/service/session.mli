@@ -1,0 +1,79 @@
+(** Per-client protocol session: the daemon-side state machine.
+
+    A session owns one connection's framing and discipline and nothing
+    else — it never touches sockets, clocks or the scheduler.  The
+    driver feeds it inbound bytes ({!feed}), a monotonically
+    non-decreasing clock ({!tick}; milliseconds in the real daemon,
+    virtual ticks in tests) and connection teardown ({!eof}), and reads
+    back {!event}s to act on plus outbound bytes to write ({!output}).
+    That sans-IO shape is what makes the chaos suite possible: the same
+    state machine is driven deterministically in tests and by the
+    [select] loop in production.
+
+    Discipline enforced here:
+
+    - {e handshake}: the first frame must be a version-matching [Hello];
+    - {e protocol-error quarantine}: a corrupt frame, or any frame the
+      state machine does not allow, closes the session with an [Error]
+      frame — input after quarantine is discarded, so one misbehaving
+      client costs one session, never a stall of the pool;
+    - {e liveness}: heartbeats are emitted every [heartbeat_every] ticks
+      and the peer must show traffic within [liveness_timeout] ticks or
+      the session times out;
+    - {e backpressure}: {!send} refuses ([`Overflow]) once more than
+      [max_outbound] bytes are queued — the caller retries after the
+      queue drains; small control frames bypass the bound via
+      {!send_control} so a session can always be told why it is dying. *)
+
+type config = {
+  heartbeat_every : int;
+  liveness_timeout : int;
+  max_outbound : int;
+}
+
+val default_config : config
+(** 1000 ms heartbeats, 10 s liveness, 4 MiB outbound bound. *)
+
+type terminal =
+  | Completed  (** Clean [Drain] handshake. *)
+  | Quarantined of string  (** Protocol error; the reason sent back. *)
+  | Timed_out
+  | Disconnected  (** Peer vanished (EOF/reset). *)
+
+val terminal_name : terminal -> string
+
+type event =
+  | Hello_received of string  (** Peer name from its [Hello]. *)
+  | Submitted of Wire.spec
+  | Cancel_requested of string
+  | Terminated of terminal
+      (** Emitted exactly once; after it only output flushing remains. *)
+
+type t
+
+val create : ?config:config -> id:int -> now:int -> unit -> t
+val id : t -> int
+
+val feed : t -> now:int -> string -> event list
+(** Inbound bytes.  Decodes as many complete frames as arrived, walks
+    the state machine, and returns the surfaced events in order. *)
+
+val eof : t -> now:int -> event list
+(** The transport reported end-of-file or reset. *)
+
+val tick : t -> now:int -> event list
+(** Clock advance: emit due heartbeats, enforce the liveness deadline. *)
+
+val send : t -> Wire.frame -> [ `Ok | `Overflow ]
+(** Queue a frame for the peer, unless the outbound bound is hit.
+    Frames sent to a terminated session are silently dropped ([`Ok]). *)
+
+val send_control : t -> Wire.frame -> unit
+(** Queue a small control frame regardless of the outbound bound. *)
+
+val output : t -> Perple_util.Framed.buf
+(** The outbound byte queue; the driver writes from it. *)
+
+val terminal : t -> terminal option
+val active : t -> bool
+(** The handshake completed and no terminal state was reached. *)

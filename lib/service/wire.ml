@@ -1,0 +1,272 @@
+(* Frame codec.  Encoding is append-to-buffer; decoding is a cursor over
+   an immutable string with two local exceptions — [Truncated] for "the
+   declared body ended early" and [Bad] for "these bytes are wrong" —
+   both caught at the single entry point and turned into [Corrupt].
+   Nothing in here allocates proportionally to anything but the frame
+   itself, and nothing raises past [decode]. *)
+
+type spec = {
+  campaign : string;
+  test : string;
+  iterations : int;
+  seed : int;
+  runs : int;
+  counter : string;
+  model : string;
+}
+
+type error_code = Protocol | Rejected | Cancelled | Draining | Timeout | Internal
+
+type frame =
+  | Hello of { version : int; peer : string }
+  | Submit of spec
+  | Accepted of { campaign : string; digest : string; runs : int; completed : int }
+  | Run_record of { campaign : string; index : int; record : string }
+  | Metrics_chunk of { campaign : string; payload : string }
+  | Heartbeat of { sent_at : int }
+  | Cancel of { campaign : string }
+  | Drain
+  | Error of { code : error_code; message : string }
+
+let protocol_version = 1
+
+(* Run records embed per-run metrics dumps; litmus sources are a few KiB.
+   16 MiB bounds a hostile length prefix without ever constraining real
+   traffic. *)
+let max_frame = 16 * 1024 * 1024
+
+let frame_name = function
+  | Hello _ -> "hello"
+  | Submit _ -> "submit"
+  | Accepted _ -> "accepted"
+  | Run_record _ -> "run-record"
+  | Metrics_chunk _ -> "metrics-chunk"
+  | Heartbeat _ -> "heartbeat"
+  | Cancel _ -> "cancel"
+  | Drain -> "drain"
+  | Error _ -> "error"
+
+let error_code_name = function
+  | Protocol -> "protocol"
+  | Rejected -> "rejected"
+  | Cancelled -> "cancelled"
+  | Draining -> "draining"
+  | Timeout -> "timeout"
+  | Internal -> "internal"
+
+let code_byte = function
+  | Protocol -> 0
+  | Rejected -> 1
+  | Cancelled -> 2
+  | Draining -> 3
+  | Timeout -> 4
+  | Internal -> 5
+
+let code_of_byte = function
+  | 0 -> Some Protocol
+  | 1 -> Some Rejected
+  | 2 -> Some Cancelled
+  | 3 -> Some Draining
+  | 4 -> Some Timeout
+  | 5 -> Some Internal
+  | _ -> None
+
+(* --- encoding -------------------------------------------------------------- *)
+
+let add_u8 b v = Buffer.add_char b (Char.chr (v land 0xFF))
+
+let add_u32 b v =
+  if v < 0 || v > 0xFFFF_FFFF then
+    invalid_arg (Printf.sprintf "Wire: u32 field out of range: %d" v);
+  add_u8 b (v lsr 24);
+  add_u8 b (v lsr 16);
+  add_u8 b (v lsr 8);
+  add_u8 b v
+
+let add_i64 b v =
+  let v = Int64.of_int v in
+  for shift = 7 downto 0 do
+    Buffer.add_char b
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (shift * 8)) 0xFFL)))
+  done
+
+let add_str b s =
+  add_u32 b (String.length s);
+  Buffer.add_string b s
+
+let tag_byte = function
+  | Hello _ -> 1
+  | Submit _ -> 2
+  | Accepted _ -> 3
+  | Run_record _ -> 4
+  | Metrics_chunk _ -> 5
+  | Heartbeat _ -> 6
+  | Cancel _ -> 7
+  | Drain -> 8
+  | Error _ -> 9
+
+let encode frame =
+  let b = Buffer.create 64 in
+  add_u8 b (tag_byte frame);
+  (match frame with
+  | Hello { version; peer } ->
+    add_u32 b version;
+    add_str b peer
+  | Submit { campaign; test; iterations; seed; runs; counter; model } ->
+    add_str b campaign;
+    add_str b test;
+    add_i64 b iterations;
+    add_i64 b seed;
+    add_u32 b runs;
+    add_str b counter;
+    add_str b model
+  | Accepted { campaign; digest; runs; completed } ->
+    add_str b campaign;
+    add_str b digest;
+    add_u32 b runs;
+    add_u32 b completed
+  | Run_record { campaign; index; record } ->
+    add_str b campaign;
+    add_u32 b index;
+    add_str b record
+  | Metrics_chunk { campaign; payload } ->
+    add_str b campaign;
+    add_str b payload
+  | Heartbeat { sent_at } -> add_i64 b sent_at
+  | Cancel { campaign } -> add_str b campaign
+  | Drain -> ()
+  | Error { code; message } ->
+    add_u8 b (code_byte code);
+    add_str b message);
+  let body = Buffer.contents b in
+  let out = Buffer.create (8 + String.length body) in
+  add_u32 out (String.length body);
+  (* Body checksum: a spliced or duplicated byte stream must classify
+     as Corrupt, never decode to a plausible wrong frame. *)
+  add_u32 out (Perple_util.Journal.crc32 body);
+  Buffer.add_string out body;
+  Buffer.contents out
+
+(* --- decoding -------------------------------------------------------------- *)
+
+type decoded = Frame of frame * int | Need_more | Corrupt of string
+
+(* Raised only inside [decode], always caught there. *)
+exception Truncated
+exception Bad of string
+
+type cursor = { s : string; mutable pos : int; limit : int }
+
+let get_u8 c =
+  if c.pos >= c.limit then raise Truncated;
+  let v = Char.code c.s.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let get_u32 c =
+  if c.pos + 4 > c.limit then raise Truncated;
+  let b i = Char.code c.s.[c.pos + i] in
+  let v = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+  c.pos <- c.pos + 4;
+  v
+
+let get_i64 c =
+  if c.pos + 8 > c.limit then raise Truncated;
+  let v = ref 0L in
+  for i = 0 to 7 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code c.s.[c.pos + i]))
+  done;
+  c.pos <- c.pos + 8;
+  let n = Int64.to_int !v in
+  (* OCaml ints are 63-bit: a wire value outside their range cannot have
+     been produced by [encode] and must not be silently wrapped. *)
+  if Int64.of_int n <> !v then raise (Bad "integer field out of range");
+  n
+
+let get_str c =
+  let n = get_u32 c in
+  if c.pos + n > c.limit then raise Truncated;
+  let s = String.sub c.s c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let decode_body tag c =
+  match tag with
+  | 1 ->
+    let version = get_u32 c in
+    let peer = get_str c in
+    Hello { version; peer }
+  | 2 ->
+    let campaign = get_str c in
+    let test = get_str c in
+    let iterations = get_i64 c in
+    let seed = get_i64 c in
+    let runs = get_u32 c in
+    let counter = get_str c in
+    let model = get_str c in
+    Submit { campaign; test; iterations; seed; runs; counter; model }
+  | 3 ->
+    let campaign = get_str c in
+    let digest = get_str c in
+    let runs = get_u32 c in
+    let completed = get_u32 c in
+    Accepted { campaign; digest; runs; completed }
+  | 4 ->
+    let campaign = get_str c in
+    let index = get_u32 c in
+    let record = get_str c in
+    Run_record { campaign; index; record }
+  | 5 ->
+    let campaign = get_str c in
+    let payload = get_str c in
+    Metrics_chunk { campaign; payload }
+  | 6 -> Heartbeat { sent_at = get_i64 c }
+  | 7 -> Cancel { campaign = get_str c }
+  | 8 -> Drain
+  | 9 ->
+    let byte = get_u8 c in
+    let message = get_str c in
+    (match code_of_byte byte with
+    | Some code -> Error { code; message }
+    | None -> raise (Bad (Printf.sprintf "unknown error code %d" byte)))
+  | t -> raise (Bad (Printf.sprintf "unknown frame tag %d" t))
+
+let decode ?(pos = 0) s =
+  let avail = String.length s - pos in
+  if pos < 0 || avail < 0 then Corrupt "negative offset"
+  else if avail < 4 then Need_more
+  else begin
+    let b i = Char.code s.[pos + i] in
+    let len = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+    if len < 1 then Corrupt "empty frame body"
+    else if len > max_frame then
+      Corrupt (Printf.sprintf "frame body of %d bytes exceeds limit" len)
+    else if avail < 8 + len then Need_more
+    else begin
+      let crc = (b 4 lsl 24) lor (b 5 lsl 16) lor (b 6 lsl 8) lor b 7 in
+      if Perple_util.Journal.crc32 (String.sub s (pos + 8) len) <> crc then
+        Corrupt "frame checksum mismatch"
+      else begin
+        let c = { s; pos = pos + 9; limit = pos + 8 + len } in
+        match decode_body (Char.code s.[pos + 8]) c with
+        | frame ->
+          if c.pos <> c.limit then
+            Corrupt
+              (Printf.sprintf "%s frame has %d trailing bytes"
+                 (frame_name frame) (c.limit - c.pos))
+          else Frame (frame, 8 + len)
+        (* The body length was declared and present, so an inner field
+           running off the end is corruption, not a short read. *)
+        | exception Truncated -> Corrupt "frame body truncated"
+        | exception Bad m -> Corrupt m
+      end
+    end
+  end
+
+let next_frame buf =
+  match decode (Perple_util.Framed.contents buf) with
+  | Frame (f, consumed) ->
+    Perple_util.Framed.consume buf consumed;
+    `Frame f
+  | Need_more -> `Need_more
+  | Corrupt m -> `Corrupt m

@@ -1,0 +1,102 @@
+(** The perpled binary wire protocol: length-prefixed frames.
+
+    On the wire a frame is
+
+    {v
+    <u32 big-endian body length> <u32 crc32 of body> <u8 tag> <body fields...>
+    v}
+
+    with fixed-width big-endian integers ([u8]/[u32]/[i64]) and
+    length-prefixed byte strings ([u32] length + raw bytes).  The layout
+    is deliberately dumb: no compression, no optional fields, no
+    versioned body shapes — version negotiation happens once, in
+    {!frame.Hello}, and every other frame decodes the same way forever.
+
+    The checksum is what makes fault classification sound: a
+    desynchronized stream (duplicated or spliced bytes) can otherwise
+    produce a {e wrong but decodable} frame by accident, silently
+    corrupting a result stream.  With the body CRC (same CRC-32 as the
+    durability journal) a splice is detected with probability
+    [1 - 2^-32] and surfaces as [Corrupt] — quarantine on the daemon
+    side, a classified retryable failure on the client side.
+
+    {!decode} is total over arbitrary bytes: any input yields a complete
+    {!frame}, [Need_more] (the buffer holds a frame prefix), or [Corrupt]
+    (the bytes can never become a valid frame) — it never raises, however
+    the transport tears, truncates or duplicates bytes.  Every frame type
+    round-trips: [decode (encode f) = Frame (f, _)], property-tested over
+    random frames in the suite. *)
+
+type spec = {
+  campaign : string;
+      (** Client-chosen campaign id; resubmitting an id the daemon
+          already knows (with the same parameters) re-streams its
+          results instead of re-running them. *)
+  test : string;  (** Catalog test name, or full [.litmus] source text. *)
+  iterations : int;
+  seed : int;
+  runs : int;
+  counter : string;  (** [heur], [exh] or [exh-ref] (as the CLI). *)
+  model : string;  (** [sc], [tso], [pso] or a buggy-model name. *)
+}
+
+type error_code =
+  | Protocol  (** The peer broke framing or state-machine rules. *)
+  | Rejected  (** A submit failed validation. *)
+  | Cancelled
+  | Draining  (** The daemon is shutting down; retry after restart. *)
+  | Timeout  (** Liveness deadline missed. *)
+  | Internal
+
+type frame =
+  | Hello of { version : int; peer : string }
+      (** First frame in both directions; [version] must match
+          {!protocol_version}. *)
+  | Submit of spec
+  | Accepted of {
+      campaign : string;
+      digest : string;  (** Config digest, as in campaign journals. *)
+      runs : int;
+      completed : int;  (** Runs already journaled (re-streamed first). *)
+    }
+  | Run_record of { campaign : string; index : int; record : string }
+      (** One ledger record ({!Perple_core.Ledger.record_line}); the
+          daemon streams indices in order, journaled ones first. *)
+  | Metrics_chunk of { campaign : string; payload : string }
+      (** Terminal frame of a campaign: the merged per-run metrics dump
+          (deterministic for any [--jobs] and any kill/restart split). *)
+  | Heartbeat of { sent_at : int }
+      (** Liveness beacon, both directions; [sent_at] is the sender's
+          clock (virtual in tests) and is not interpreted. *)
+  | Cancel of { campaign : string }
+  | Drain
+      (** Client → server: no further requests, close when flushed.
+          Server → client: daemon is draining; resubmit after restart. *)
+  | Error of { code : error_code; message : string }
+
+val protocol_version : int
+val max_frame : int
+(** Upper bound on a frame's body length; larger declared lengths are
+    [Corrupt], bounding what a hostile or broken peer can make the
+    daemon buffer. *)
+
+val frame_name : frame -> string
+val error_code_name : error_code -> string
+
+val encode : frame -> string
+(** The complete wire bytes, length prefix included. *)
+
+type decoded =
+  | Frame of frame * int  (** The frame and the bytes it consumed. *)
+  | Need_more  (** A valid frame may still be completed by more bytes. *)
+  | Corrupt of string  (** No extension of these bytes parses. *)
+
+val decode : ?pos:int -> string -> decoded
+(** Decode the frame starting at [pos] (default 0).  Never raises. *)
+
+val next_frame :
+  Perple_util.Framed.buf ->
+  [ `Frame of frame | `Need_more | `Corrupt of string ]
+(** {!decode} against a connection buffer, consuming the frame's bytes
+    on success.  A [`Corrupt] result consumes nothing — the caller is
+    expected to quarantine the connection, not to resynchronise. *)

@@ -1,0 +1,101 @@
+(* Growable FIFO byte buffer + nonblocking descriptor adapters.
+
+   The buffer is a plain [Bytes.t] with head/tail offsets.  Consuming
+   advances the head; when the buffer empties, both offsets snap back to
+   zero, and appends compact (shift live bytes to the front) before
+   growing, so steady-state framed traffic never reallocates. *)
+
+type buf = { mutable data : Bytes.t; mutable head : int; mutable tail : int }
+
+let create ?(initial = 256) () =
+  { data = Bytes.create (max 16 initial); head = 0; tail = 0 }
+
+let length b = b.tail - b.head
+let is_empty b = b.tail = b.head
+
+let reserve b n =
+  let live = length b in
+  if b.tail + n > Bytes.length b.data then begin
+    if live + n <= Bytes.length b.data then begin
+      (* Compaction alone makes room. *)
+      Bytes.blit b.data b.head b.data 0 live;
+      b.head <- 0;
+      b.tail <- live
+    end
+    else begin
+      let cap = ref (max 16 (Bytes.length b.data)) in
+      while !cap < live + n do
+        cap := !cap * 2
+      done;
+      let grown = Bytes.create !cap in
+      Bytes.blit b.data b.head grown 0 live;
+      b.data <- grown;
+      b.head <- 0;
+      b.tail <- live
+    end
+  end
+
+let add_string b s =
+  let n = String.length s in
+  if n > 0 then begin
+    reserve b n;
+    Bytes.blit_string s 0 b.data b.tail n;
+    b.tail <- b.tail + n
+  end
+
+let contents b = Bytes.sub_string b.data b.head (length b)
+
+let peek b n =
+  if n < 0 then invalid_arg "Framed.peek: negative count"
+  else if length b < n then None
+  else Some (Bytes.sub_string b.data b.head n)
+
+let consume b n =
+  if n < 0 || n > length b then invalid_arg "Framed.consume: out of range";
+  b.head <- b.head + n;
+  if b.head = b.tail then begin
+    b.head <- 0;
+    b.tail <- 0
+  end
+
+let take_all b =
+  let s = contents b in
+  consume b (length b);
+  s
+
+(* --- nonblocking descriptor adapters -------------------------------------- *)
+
+let chunk = 8192
+
+let read_into fd b =
+  reserve b chunk;
+  match Unix.read fd b.data b.tail chunk with
+  | 0 -> `Closed
+  | n ->
+    b.tail <- b.tail + n;
+    `Read n
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    ->
+    `Would_block
+  | exception
+      Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE | Unix.ENOTCONN), _, _) ->
+    `Closed
+  | exception Unix.Unix_error (e, _, _) -> `Error (Unix.error_message e)
+
+let write_from fd b =
+  let n = length b in
+  if n = 0 then `Wrote 0
+  else
+    match Unix.write fd b.data b.head n with
+    | written ->
+      consume b written;
+      `Wrote written
+    | exception
+        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+      `Would_block
+    | exception
+        Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE | Unix.ENOTCONN), _, _)
+      ->
+      `Closed
+    | exception Unix.Unix_error (e, _, _) -> `Error (Unix.error_message e)

@@ -1,0 +1,57 @@
+(** Byte buffers and nonblocking descriptor I/O for framed protocols.
+
+    A {!buf} is a growable FIFO of bytes: producers {!add_string} at the
+    tail, consumers {!peek}/{!consume} at the head.  The service layer
+    keeps one inbound and one outbound buffer per connection; the wire
+    codec ({!Perple_service.Wire}) extracts complete frames from the
+    inbound buffer and never sees a partial read, and short writes simply
+    leave the unsent suffix queued.
+
+    {!read_into}/{!write_from} adapt the buffers to nonblocking
+    [Unix.file_descr]s: they translate [EAGAIN]/[EWOULDBLOCK] into
+    [`Would_block] and connection teardown ([EPIPE], [ECONNRESET], EOF)
+    into [`Closed], so the event loop never handles exceptions on the hot
+    path.  Everything here is single-domain: one buffer belongs to one
+    connection, which belongs to one event loop. *)
+
+type buf
+
+val create : ?initial:int -> unit -> buf
+(** A fresh empty buffer.  [initial] (default 256) is a capacity hint. *)
+
+val length : buf -> int
+(** Bytes currently queued. *)
+
+val is_empty : buf -> bool
+
+val add_string : buf -> string -> unit
+(** Queue bytes at the tail, growing the buffer as needed. *)
+
+val contents : buf -> string
+(** The queued bytes, head first, without consuming them. *)
+
+val peek : buf -> int -> string option
+(** [peek b n] is the first [n] queued bytes without consuming them, or
+    [None] if fewer than [n] are queued. *)
+
+val consume : buf -> int -> unit
+(** Drop the first [n] queued bytes.  Raises [Invalid_argument] if more
+    than {!length} bytes are asked for. *)
+
+val take_all : buf -> string
+(** {!contents} followed by a full {!consume} — drain the buffer. *)
+
+val read_into :
+  Unix.file_descr ->
+  buf ->
+  [ `Read of int | `Closed | `Would_block | `Error of string ]
+(** One nonblocking read appended at the tail.  [`Read 0] never happens:
+    end-of-file is [`Closed].  [`Error] covers hard I/O failures beyond
+    ordinary teardown. *)
+
+val write_from :
+  Unix.file_descr ->
+  buf ->
+  [ `Wrote of int | `Would_block | `Closed | `Error of string ]
+(** One nonblocking write from the head; written bytes are consumed.
+    Called with an empty buffer it reports [`Wrote 0]. *)

@@ -110,7 +110,14 @@ let load path =
 type t = { fd : Unix.file_descr; mutex : Mutex.t }
 
 let open_mode mode path =
+  (* [O_CREAT] may add a directory entry, and fsync'ing the file alone
+     does not make that entry durable: after a power cut the journal's
+     appends could survive while the file itself has no name.  Sync the
+     containing directory whenever this open created the file, the same
+     discipline {!Atomic_file.write} applies after its rename. *)
+  let existed = Sys.file_exists path in
   let fd = Unix.openfile path (Unix.O_WRONLY :: Unix.O_CLOEXEC :: mode) 0o644 in
+  if not existed then Atomic_file.fsync_dir (Filename.dirname path);
   { fd; mutex = Mutex.create () }
 
 let create path = open_mode [ Unix.O_CREAT; Unix.O_TRUNC ] path

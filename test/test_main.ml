@@ -6,5 +6,6 @@ let () =
    @ Test_counting.suite @ Test_pool.suite @ Test_codegen.suite
    @ Test_report.suite
    @ Test_generate.suite @ Test_soundness.suite @ Test_observe.suite
-   @ Test_persistency.suite @ Test_journal.suite @ Test_cli.suite
+   @ Test_persistency.suite @ Test_journal.suite @ Test_service.suite
+   @ Test_cli.suite
    @ Test_misc.suite)
