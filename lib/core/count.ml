@@ -103,19 +103,22 @@ let exhaustive_independent_reference (conv : Convert.t) ~outcomes ~run =
 
 let heuristic (conv : Convert.t) ~outcomes ~run =
   let n = run.Perpetual.iterations in
-  let outcomes = Array.of_list outcomes in
-  let counts = Array.make (Array.length outcomes) 0 in
+  let compiled =
+    Array.of_list
+      (List.map
+         (fun (o, plan) -> Outcome_convert.compile_heuristic conv o plan)
+         outcomes)
+  in
+  let nout = Array.length compiled in
+  let counts = Array.make nout 0 in
   let bufs = run.Perpetual.bufs in
   let evaluations = ref 0 in
   for i = 0 to n - 1 do
     let rec first j =
-      if j >= Array.length outcomes then ()
+      if j >= nout then ()
       else begin
-        let outcome, plan = outcomes.(j) in
         incr evaluations;
-        if
-          Outcome_convert.eval_heuristic conv outcome plan ~bufs
-            ~iterations:n ~n:i
+        if Outcome_convert.eval_compiled compiled.(j) ~bufs ~iterations:n ~n:i
         then counts.(j) <- counts.(j) + 1
         else first (j + 1)
       end
@@ -126,26 +129,24 @@ let heuristic (conv : Convert.t) ~outcomes ~run =
 
 let heuristic_independent (conv : Convert.t) ~outcomes ~run =
   let n = run.Perpetual.iterations in
-  let outcomes = Array.of_list outcomes in
-  let plans =
-    Array.map (fun o -> Outcome_convert.heuristic_plan conv o) outcomes
+  let compiled =
+    Array.of_list
+      (List.map
+         (fun o ->
+           Outcome_convert.compile_heuristic conv o
+             (Outcome_convert.heuristic_plan conv o))
+         outcomes)
   in
-  let counts = Array.make (Array.length outcomes) 0 in
+  let nout = Array.length compiled in
+  let counts = Array.make nout 0 in
   let bufs = run.Perpetual.bufs in
   for i = 0 to n - 1 do
-    Array.iteri
-      (fun j o ->
-        if
-          Outcome_convert.eval_heuristic conv o plans.(j) ~bufs
-            ~iterations:n ~n:i
-        then counts.(j) <- counts.(j) + 1)
-      outcomes
+    for j = 0 to nout - 1 do
+      if Outcome_convert.eval_compiled compiled.(j) ~bufs ~iterations:n ~n:i
+      then counts.(j) <- counts.(j) + 1
+    done
   done;
-  {
-    counts;
-    frames_examined = n;
-    evaluations = n * Array.length outcomes;
-  }
+  { counts; frames_examined = n; evaluations = n * nout }
 
 (* --- Factorized exhaustive counting -------------------------------------- *)
 

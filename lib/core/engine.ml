@@ -192,8 +192,8 @@ let campaign_seeds ~runs ~seed =
       Int64.to_int (Rng.bits64 campaign_rng) land max_int)
 
 let campaign_entries ?config ?faults ?policy ?counter ?outcomes
-    ?exhaustive_cap ?stress_threads ?(jobs = 1) ?(skip = fun _ -> false)
-    ?on_entry ~runs ~seed ~iterations test =
+    ?exhaustive_cap ?stress_threads ?pool ?(jobs = 1)
+    ?(skip = fun _ -> false) ?on_entry ~runs ~seed ~iterations test =
   if runs < 0 then invalid_arg "Engine.campaign: negative run count";
   if jobs < 1 then invalid_arg "Engine.campaign: jobs must be >= 1";
   let seeds = campaign_seeds ~runs ~seed in
@@ -275,7 +275,8 @@ let campaign_entries ?config ?faults ?policy ?counter ?outcomes
     end
   in
   let raw =
-    Pool.map_result ~jobs:pool_jobs ~around (Array.length pending) (fun ti ->
+    Pool.map_result ?pool ~jobs:pool_jobs ~around (Array.length pending)
+      (fun ti ->
         run ?config ?faults ?policy ?counter ?outcomes ?exhaustive_cap
           ?stress_threads ~seed:seeds.(pending.(ti)) ~iterations test)
   in
@@ -301,10 +302,11 @@ let campaign_entries ?config ?faults ?policy ?counter ?outcomes
   | None -> Ok (if runs = 0 then [||] else entries)
 
 let campaign ?config ?faults ?policy ?counter ?outcomes ?exhaustive_cap
-    ?stress_threads ?jobs ~runs ~seed ~iterations test =
+    ?stress_threads ?pool ?jobs ~runs ~seed ~iterations test =
   match
     campaign_entries ?config ?faults ?policy ?counter ?outcomes
-      ?exhaustive_cap ?stress_threads ?jobs ~runs ~seed ~iterations test
+      ?exhaustive_cap ?stress_threads ?pool ?jobs ~runs ~seed ~iterations
+      test
   with
   | Error _ as e -> e
   | Ok entries ->

@@ -111,6 +111,7 @@ val campaign_entries :
   ?outcomes:Outcome.t list ->
   ?exhaustive_cap:int ->
   ?stress_threads:int ->
+  ?pool:Pool.t ->
   ?jobs:int ->
   ?skip:(int -> bool) ->
   ?on_entry:(entry -> unit) ->
@@ -128,7 +129,10 @@ val campaign_entries :
     run, serialized, as runs retire — the journaling hook.  The
     worker-count clamp is computed from the full [runs], not from the
     pending subset, so clamp notes and metrics are identical between a
-    clean campaign and any resume of it. *)
+    clean campaign and any resume of it.  [pool] reuses an existing
+    persistent worker pool ({!Pool.create}) across calls — the service
+    scheduler passes one so repeated step batches never spawn domains;
+    without it, parallel dispatch uses the shared process-wide pool. *)
 
 val campaign :
   ?config:Perple_sim.Config.t ->
@@ -138,6 +142,7 @@ val campaign :
   ?outcomes:Outcome.t list ->
   ?exhaustive_cap:int ->
   ?stress_threads:int ->
+  ?pool:Pool.t ->
   ?jobs:int ->
   runs:int ->
   seed:int ->

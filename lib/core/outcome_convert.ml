@@ -491,6 +491,191 @@ let eval_heuristic conv t plan ~bufs ~iterations ~n =
   | None -> false
   | Some frame -> eval conv t ~bufs ~frame
 
+(* --- Compiled heuristic evaluator ---------------------------------------- *)
+
+(* [eval_heuristic] is called once per machine iteration per outcome, and
+   each call allocates scratch arrays, option boxes and closures while
+   re-resolving the same record fields.  The compiled form flattens the
+   plan and both condition sets into int arrays once per (outcome, plan),
+   so the per-iteration evaluation is a pair of allocation-free loops
+   over consecutive memory.  Semantics are identical to
+   [derived_frame]+[eval]; the plan-construction invariant that every
+   step's source frame is derived before use lets the compiled walk drop
+   the option boxing. *)
+
+type compiled = {
+  cp_false : bool;  (** Unsatisfiable outcome: always evaluates false. *)
+  cp_frame : int array;  (** Scratch frame, one cell per load thread. *)
+  cp_pins : int array;  (** Scratch pins, one cell per thread. *)
+  cp_steps : int array;
+      (** Stride 8 per plan step: kind (0 = assign loop index, 1 = derive
+          via rf, 2 = derive via single-bound fr), target frame, source
+          buffer thread, row width, slot, source frame, k, canonical. *)
+  cp_rf : int array;
+      (** Stride 8 per rf condition: buffer thread, row width, slot, load
+          frame, k, canonical, store frame ([-thread - 1] encodes a pin on
+          a store-only thread), exact flag. *)
+  cp_fr : int array;
+      (** Stride 6 per fr condition: buffer thread, row width, slot, load
+          frame, offset and length into [cp_bounds]. *)
+  cp_bounds : int array;
+      (** Stride 3 per from-read bound: bound frame ([-thread - 1] for a
+          pin), k, canonical. *)
+}
+
+let compile_heuristic (conv : Convert.t) t plan =
+  let tl = Array.length conv.Convert.load_threads in
+  let nthreads = Array.length conv.Convert.t_reads in
+  let steps =
+    List.concat_map
+      (fun (target, d) ->
+        match d with
+        | Base | Diagonal -> [ 0; target; 0; 0; 0; 0; 0; 0 ]
+        | From_rf i ->
+          let c = t.rf.(i) in
+          let l = c.rf_load and s = c.rf_store in
+          [
+            1; target; l.thread; l.reads; l.slot; l.frame;
+            s.Convert.k; s.Convert.canonical;
+          ]
+        | From_fr i -> (
+          let c = t.fr.(i) in
+          match c.bounds with
+          | [ b ] ->
+            let l = c.fr_load and s = b.fb_store in
+            [
+              2; target; l.thread; l.reads; l.slot; l.frame;
+              s.Convert.k; s.Convert.canonical;
+            ]
+          | [] | _ :: _ :: _ ->
+            invalid_arg "compile_heuristic: multi-bound From_fr step"))
+      plan.order
+  in
+  let frame_code f thread = if f >= 0 then f else -thread - 1 in
+  let rf =
+    Array.to_list t.rf
+    |> List.concat_map (fun c ->
+           let l = c.rf_load and s = c.rf_store in
+           [
+             l.thread; l.reads; l.slot; l.frame;
+             s.Convert.k; s.Convert.canonical;
+             frame_code c.store_frame s.Convert.thread;
+             (if c.exact then 1 else 0);
+           ])
+  in
+  let bounds = ref [] and fr = ref [] and off = ref 0 in
+  Array.iter
+    (fun c ->
+      let l = c.fr_load in
+      let len = List.length c.bounds in
+      fr := [ l.thread; l.reads; l.slot; l.frame; !off; len ] :: !fr;
+      off := !off + (3 * len);
+      List.iter
+        (fun b ->
+          bounds :=
+            [
+              frame_code b.fb_frame b.fb_store.Convert.thread;
+              b.fb_store.Convert.k; b.fb_store.Convert.canonical;
+            ]
+            :: !bounds)
+        c.bounds)
+    t.fr;
+  {
+    cp_false = t.unsatisfiable;
+    cp_frame = Array.make (max tl 1) 0;
+    cp_pins = Array.make (max nthreads 1) (-1);
+    cp_steps = Array.of_list steps;
+    cp_rf = Array.of_list rf;
+    cp_fr = Array.of_list (List.concat (List.rev !fr));
+    cp_bounds = Array.of_list (List.concat (List.rev !bounds));
+  }
+
+(* [member_iteration] with the store fields unpacked. *)
+let member_iteration_kc k canonical value =
+  if value <= 0 then -1
+  else begin
+    let c = ((value - 1) mod k) + 1 in
+    if c <> canonical then -1 else (value - c) / k
+  end
+  [@@inline]
+
+let eval_compiled cp ~bufs ~iterations ~n =
+  (not cp.cp_false)
+  &&
+  let frame = cp.cp_frame and pins = cp.cp_pins in
+  (* Phase 1: derive the frame along the plan. *)
+  let steps = cp.cp_steps in
+  let ok = ref true and i = ref 0 in
+  let nsteps = Array.length steps in
+  while !ok && !i < nsteps do
+    let b = !i in
+    let kind = Array.unsafe_get steps b in
+    if kind = 0 then frame.(steps.(b + 1)) <- n
+    else begin
+      let idx = frame.(steps.(b + 5)) in
+      let value = bufs.(steps.(b + 2)).((steps.(b + 3) * idx) + steps.(b + 4)) in
+      let m =
+        if kind = 1 then member_iteration_kc steps.(b + 6) steps.(b + 7) value
+        else if value = 0 then 0
+        else begin
+          let it = member_iteration_kc steps.(b + 6) steps.(b + 7) value in
+          if it < 0 then -1 else it + 1
+        end
+      in
+      if m >= 0 && m < iterations then frame.(steps.(b + 1)) <- m
+      else ok := false
+    end;
+    i := b + 8
+  done;
+  !ok
+  && begin
+       (* Phase 2: check every converted condition on the derived frame. *)
+       Array.fill pins 0 (Array.length pins) (-1);
+       let rf = cp.cp_rf in
+       let i = ref 0 in
+       let nrf = Array.length rf in
+       while !ok && !i < nrf do
+         let b = !i in
+         let idx = frame.(rf.(b + 3)) in
+         let value = bufs.(rf.(b)).((rf.(b + 1) * idx) + rf.(b + 2)) in
+         let iter = member_iteration_kc rf.(b + 4) rf.(b + 5) value in
+         if iter < 0 then ok := false
+         else begin
+           let sf = rf.(b + 6) in
+           if sf >= 0 then begin
+             if rf.(b + 7) = 1 then (if iter <> frame.(sf) then ok := false)
+             else if iter < frame.(sf) then ok := false
+           end
+           else begin
+             let p = -sf - 1 in
+             if pins.(p) < 0 then pins.(p) <- iter
+             else if pins.(p) <> iter then ok := false
+           end
+         end;
+         i := b + 8
+       done;
+       let fr = cp.cp_fr and bounds = cp.cp_bounds in
+       let i = ref 0 in
+       let nfr = Array.length fr in
+       while !ok && !i < nfr do
+         let b = !i in
+         let idx = frame.(fr.(b + 3)) in
+         let value = bufs.(fr.(b)).((fr.(b + 1) * idx) + fr.(b + 2)) in
+         let o = ref (fr.(b + 4)) in
+         let stop = fr.(b + 4) + (3 * fr.(b + 5)) in
+         while !ok && !o < stop do
+           let bf = bounds.(!o) in
+           let bound = if bf >= 0 then frame.(bf) else pins.(-bf - 1) in
+           if bound < 0 then (if value <> 0 then ok := false)
+           else if value >= (bounds.(!o + 1) * bound) + bounds.(!o + 2) then
+             ok := false;
+           o := !o + 3
+         done;
+         i := b + 6
+       done;
+       !ok
+     end
+
 (* --- Rendering ----------------------------------------------------------- *)
 
 let frame_var_name i =

@@ -173,6 +173,20 @@ val eval_heuristic :
   n:int -> bool
 (** [p_out_h_o]: derive the frame, then {!eval} it. *)
 
+type compiled
+(** A heuristic outcome predicate flattened into int arrays with
+    preallocated scratch: one compilation per (outcome, plan), then
+    allocation-free evaluation per iteration.  Counting kernels use this;
+    {!eval_heuristic} remains the readable reference implementation. *)
+
+val compile_heuristic : Convert.t -> t -> plan -> compiled
+
+val eval_compiled :
+  compiled -> bufs:int array array -> iterations:int -> n:int -> bool
+(** Exactly {!eval_heuristic} on the compiled outcome.  Not reentrant —
+    each [compiled] value carries its own scratch — but safe to use from
+    one domain at a time (pool workers compile their own). *)
+
 val describe : Convert.t -> t -> string
 (** Human-readable rendering of the perpetual conditions, in the style of
     the paper's Fig 6 step 4 (inequalities over [buf] accesses). *)

@@ -39,6 +39,9 @@ type campaign = {
 
 type t = {
   jobs : int;
+  pool : Perple_core.Pool.t option;
+      (** Persistent worker pool, reused across step batches and across
+          campaigns; [None] when [jobs = 1] (sequential). *)
   journal_path : string option;
   mutable journal : Journal.t option;
   campaigns : (string, campaign) Hashtbl.t;
@@ -280,20 +283,33 @@ let create ?(jobs = 1) ~journal () =
   let t =
     {
       jobs;
+      pool = None;
       journal_path = journal;
       journal = None;
       campaigns = Hashtbl.create 8;
       order = [];
     }
   in
+  (* Workers are spawned only once the journal (if any) validated, so a
+     rejected resume never leaks parked domains. *)
+  let finish t =
+    (* Sized to the hardware, not to [jobs]: idle domains beyond the core
+       count only tax the GC (see Pool).  [jobs] still caps the batch
+       size per step. *)
+    let width = min jobs (Perple_core.Pool.available_domains ()) in
+    Ok
+      (if width > 1 then
+         { t with pool = Some (Perple_core.Pool.create ~jobs:width ()) }
+       else t)
+  in
   match journal with
-  | None -> Ok t
+  | None -> finish t
   | Some path ->
     if not (Sys.file_exists path) then begin
       let j = Journal.create path in
       Journal.append j header_record;
       t.journal <- Some j;
-      Ok t
+      finish t
     end
     else begin
       match Journal.load path with
@@ -310,7 +326,7 @@ let create ?(jobs = 1) ~journal () =
           let j = Journal.create path in
           Journal.append j header_record;
           t.journal <- Some j;
-          Ok t
+          finish t
         | header :: rest -> (
           match Ledger.parse_header header with
           | Error m -> fail "cannot resume: %s" m
@@ -333,7 +349,7 @@ let create ?(jobs = 1) ~journal () =
               | Ok () ->
                 Journal.compact ~path (compacted t);
                 t.journal <- Some (Journal.open_append path);
-                Ok t
+                finish t
             end))
     end
 
@@ -457,7 +473,7 @@ let step t =
         match
           Engine.campaign_entries
             ~config:(Config.with_model c.model Config.default)
-            ~counter:c.counter ~jobs:t.jobs
+            ~counter:c.counter ?pool:t.pool ~jobs:t.jobs
             ~skip:(fun i -> not (in_batch i))
             ~on_entry ~runs:total ~seed:c.spec.Wire.seed
             ~iterations:c.spec.Wire.iterations c.test
@@ -503,5 +519,13 @@ let close_journal t =
     t.journal <- None;
     Journal.close j
 
-let abandon t = close_journal t
-let close t = close_journal t
+let shutdown_pool t =
+  match t.pool with None -> () | Some p -> Perple_core.Pool.shutdown p
+
+let abandon t =
+  close_journal t;
+  shutdown_pool t
+
+let close t =
+  close_journal t;
+  shutdown_pool t

@@ -25,7 +25,10 @@ val create : ?jobs:int -> journal:string option -> unit -> (t, string) result
 (** [journal = Some path]: open (creating) or replay-and-resume the
     journal at [path]; [Error] if its contents belong to a different
     command or fail validation.  [journal = None] runs in-memory
-    (tests). *)
+    (tests).  With [jobs > 1] a persistent {!Perple_core.Pool} is
+    spawned once here and reused by every {!step} batch of every
+    campaign (joined by {!close}/{!abandon}) — no domain is spawned per
+    batch. *)
 
 type accepted = { digest : string; runs : int; completed : int }
 
@@ -73,6 +76,8 @@ val note_draining : t -> unit
 
 val abandon : t -> unit
 (** Close the journal descriptor {e without} draining — test hook that
-    simulates [kill -9] for the sans-IO crash-equivalence suite. *)
+    simulates [kill -9] for the sans-IO crash-equivalence suite.  The
+    worker pool (process-local, not crash state) is still joined. *)
 
 val close : t -> unit
+(** Close the journal and join the worker pool. *)

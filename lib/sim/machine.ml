@@ -32,18 +32,41 @@ type stats = {
   persisted : int array array option;
 }
 
-(* A store-buffer entry: destination cell and value. *)
-type entry = { loc : int; cell : int; value : int }
+(* Per-thread interpreter state: everything the hot loop touches is an
+   unboxed int field or a preallocated int array.  The store buffer is a
+   flat circular buffer over three parallel arrays (location, cell,
+   value), oldest entry at [sb_start], newest at
+   [(sb_start + sb_len - 1) land sb_mask] — no allocation per store,
+   and store-forwarding is a backwards scan over at most
+   [buffer_capacity] ints.
 
-type thread_state = {
-  mutable pc : int;
+   [ready_at] is the single scheduling word the round loop tests: the
+   first round in which the thread may act, or [max_int] while it cannot
+   act on its own (finished, fault-hung, or parked at the barrier).  It
+   subsumes the finished/waiting/hung flags on the hot path; the flags
+   remain authoritative for the slow paths that need to distinguish the
+   cases. *)
+type tstate = {
+  code : int array;  (* flat body, Program.encode_thread *)
+  code_len : int;
+  body : Program.instr array;  (* original instrs, for on_event only *)
+  regs : int array;
+  sb_loc : int array;
+  sb_cell : int array;
+  sb_val : int array;
+  sb_mask : int;
+  mutable sb_start : int;
+  mutable sb_len : int;
+  mutable pc : int;  (* offset into [code]; multiple of instr_width *)
   mutable iteration : int;
-  mutable buffer : entry list;  (* newest first *)
-  mutable stall_until : int;
+  mutable ready_at : int;
   mutable waiting : bool;  (* at the barrier *)
   mutable finished : bool;
   mutable hung : bool;  (* fault-injected: never retires again *)
-  regs : int array;
+  mutable livelocked : bool;  (* fault-injected: progress collapsed *)
+  mutable jitter_skip : int;  (* ready rounds to next jitter hit *)
+  mutable progress_skip : int;  (* collapsed-progress skip (livelocked only) *)
+  mutable loss_threshold : int;  (* per-drain silent-loss lane threshold *)
 }
 
 let image_uses_indexed (image : Program.image) =
@@ -61,45 +84,65 @@ let image_uses_indexed (image : Program.image) =
         t.body)
     image.programs
 
+let rec next_pow2 n k = if k >= n then k else next_pow2 n (k * 2)
+
 let run ?on_iteration_end ?on_sample ?on_event ?watchdog
     ?(sample_interval = 64) ~config ~rng ~image ~iterations ~barrier () =
   if iterations <= 0 then invalid_arg "Machine.run: iterations must be > 0";
   (* Ambient observability, resolved once per run so the per-round cost of
-     disabled instrumentation is a match on an immutable local. *)
+     disabled instrumentation is a compare on an immutable local.  The
+     resolution NEVER changes which random lanes are consumed: enabled and
+     disabled runs execute the same schedule. *)
   let mx = Metrics.active () in
+  let has_events = on_event <> None in
   let trace_start = Trace_event.now () in
   let nthreads = Array.length image.Program.programs in
   let nlocs = Array.length image.Program.location_names in
   let cells = if image_uses_indexed image then iterations else 1 in
-  let memory =
-    Array.init nlocs (fun l -> Array.make cells image.Program.init.(l))
-  in
+  (* Memory as one flat int array, [loc * cells + cell]. *)
+  let memory = Array.make (nlocs * cells) 0 in
+  Array.iteri
+    (fun l init -> Array.fill memory (l * cells) cells init)
+    image.Program.init;
   (* The persistence domain exists only for programs that exercise it, so
-     ordinary runs allocate nothing and draw no extra randomness. *)
+     ordinary runs allocate nothing for it. *)
   let pmem =
     if Program.uses_persistency image then
       Some (Pmem.create ~nthreads ~nlocs ~cells ~init:image.Program.init)
     else None
   in
   let crash_image = ref None in
+  let ring = next_pow2 (max 1 config.Config.buffer_capacity) 1 in
   let threads =
     Array.map
       (fun (p : Program.thread) ->
         {
+          code = Program.encode_thread p;
+          code_len = Array.length p.body * Program.instr_width;
+          body = p.body;
+          regs = Array.make (max 1 p.reg_count) 0;
+          sb_loc = Array.make ring 0;
+          sb_cell = Array.make ring 0;
+          sb_val = Array.make ring 0;
+          sb_mask = ring - 1;
+          sb_start = 0;
+          sb_len = 0;
           pc = 0;
           iteration = 0;
-          buffer = [];
-          stall_until = 0;
+          ready_at = 0;
           waiting = false;
           finished = false;
           hung = false;
-          regs = Array.make (max 1 p.reg_count) 0;
+          livelocked = false;
+          jitter_skip = max_int;
+          progress_skip = 0;
+          loss_threshold = 0;
         })
       image.Program.programs
   in
-  (* Arm the fault profile once per thread, up front, so the arming draws
-     sit at a fixed point of the random stream.  An empty profile draws
-     nothing: fault-free runs are bit-identical to pre-fault builds. *)
+  (* Arm the fault profile once per thread, up front, from the run RNG, so
+     arming sits at a fixed point of that stream.  An empty profile draws
+     nothing. *)
   let faults =
     if config.Config.faults = [] then [||]
     else
@@ -121,7 +164,88 @@ let run ?on_iteration_end ?on_sample ?on_event ?watchdog
           Metrics.add m "machine.fault_arms.store_loss" 1)
       faults
   | None -> ());
-  let fault_of t = if has_faults then faults.(t) else Fault.disarmed in
+  if has_faults then
+    Array.iteri
+      (fun t st ->
+        st.loss_threshold <- Lane.threshold faults.(t).Fault.loss_chance)
+      threads;
+  (* The lane stream: all hot-loop randomness (progress/drain/jitter
+     coins, stall lengths, buggy-model drain picks, store loss, barrier
+     skew) comes from this native-int splitmix stream, seeded from the
+     run RNG with one draw.  [Fault.arm] above and [Pmem.crash_snapshot]
+     below keep drawing from the run RNG itself — both are out of the
+     hot loop.  Each round draws ONE mix whose three 16-bit lanes serve
+     the first three threads' progress coins positionally (reading a
+     bit-slice does not advance the stream, so stalled threads skipping
+     their slice costs nothing); everything rarer pulls 16-bit lanes
+     from the same stream via [lane ()].  This is the documented
+     one-time remap of the machine's random stream (docs/internals.md,
+     "Performance"). *)
+  let lstate = ref (Int64.to_int (Rng.bits64 rng) land max_int) in
+  let lbuf = ref 0 in
+  let lcnt = ref 0 in
+  let lane () =
+    if !lcnt = 0 then begin
+      lstate := (!lstate + Lane.gamma) land max_int;
+      let z = Lane.mix !lstate in
+      lbuf := z lsr 16;
+      lcnt := 2;
+      z land 0xFFFF
+    end
+    else begin
+      let b = !lbuf in
+      lbuf := b lsr 16;
+      lcnt := !lcnt - 1;
+      b land 0xFFFF
+    end
+  in
+  (* Per-round Bernoulli decisions as lane thresholds; rare events
+     (jitter, collapsed livelock progress) as geometric skip counters so
+     their per-round cost is one decrement. *)
+  let progress_threshold = Lane.threshold config.Config.progress_chance in
+  let drain_threshold = Lane.threshold config.Config.drain_chance in
+  let jitter_on = config.Config.jitter_chance > 0.0 in
+  let jitter_table =
+    if jitter_on then Lane.geometric_table (min 1.0 config.Config.jitter_chance)
+    else [||]
+  in
+  let stall_table =
+    if jitter_on then
+      Lane.geometric_table (1.0 /. float_of_int (max 1 config.Config.jitter_mean))
+    else [||]
+  in
+  let livelock_p = config.Config.progress_chance *. Fault.livelock_factor in
+  let livelock_table =
+    if
+      has_faults && livelock_p > 0.0
+      && Array.exists (fun (a : Fault.armed) -> a.Fault.livelock_at <> None) faults
+    then Lane.geometric_table (min 1.0 livelock_p)
+    else [||]
+  in
+  let skip_of table = Array.unsafe_get table (lane () lsr Lane.shift_for_table) in
+  if jitter_on then
+    Array.iter (fun st -> st.jitter_skip <- skip_of jitter_table) threads;
+  (* Model dispatch, resolved once. *)
+  let model = config.Config.model in
+  let model_sc = model = Config.Sc in
+  let fence_waits =
+    match model with
+    | Config.Tso | Config.Pso | Config.Tso_store_reorder -> true
+    | Config.Sc | Config.Tso_fence_ignored -> false
+  in
+  let buffer_capacity = config.Config.buffer_capacity in
+  (* O(1) liveness bookkeeping instead of per-round [Array.for_all]. *)
+  let live = ref nthreads in
+  let buffered = ref 0 in
+  let any_hung = ref false in
+  (* Threads parked at the barrier; the rendezvous fires when every
+     unfinished thread is parked, i.e. [nwaiting = live]. *)
+  let nwaiting = ref 0 in
+  let barrier_on, barrier_cost, barrier_skew =
+    match barrier with
+    | Every_iteration { cost; max_release_skew } -> (true, cost, max_release_skew)
+    | No_barrier -> (false, 0, 0)
+  in
   let clock = ref 0 in
   let last_progress = ref 0 in
   let instructions = ref 0 in
@@ -129,86 +253,125 @@ let run ?on_iteration_end ?on_sample ?on_event ?watchdog
   let barriers = ref 0 in
   let stalls = ref 0 in
   let lost_stores = ref 0 in
-  let aborted = ref None in
-  let next_watchdog = ref sample_interval in
-  let cell_of addr (st : thread_state) =
-    match (addr : Program.addressing) with
-    | Program.Shared -> 0
-    | Program.Indexed -> st.iteration
+  (* Store-buffer occupancy distribution, accumulated locally and flushed
+     to the sink once per run: a hashtable probe per buffered store would
+     dominate the store fast path under an active sink. *)
+  let occ_hist = match mx with Some _ -> Array.make (ring + 1) 0 | None -> [||] in
+  (* 0 = running, 1 = watchdog abort, 2 = hung. *)
+  let aborted = ref 0 in
+  let next_watchdog =
+    ref (match watchdog with Some _ -> sample_interval | None -> max_int)
   in
-  (* Store forwarding wants the youngest matching entry; with the buffer
-     held newest-first that is the first match, so the scan short-circuits
-     instead of folding the whole buffer. *)
-  let rec forwarded_in loc cell = function
-    | [] -> None
-    | e :: rest ->
-      if e.loc = loc && e.cell = cell then Some e.value
-      else forwarded_in loc cell rest
+  let next_sample =
+    ref (match on_sample with Some _ -> sample_interval | None -> max_int)
   in
-  let forwarded st loc cell = forwarded_in loc cell st.buffer in
-  (* Split off the oldest entry (the list's last), keeping the rest in
-     newest-first order. *)
-  let rec split_oldest acc = function
-    | [] -> assert false
-    | [ oldest ] -> (oldest, List.rev acc)
-    | e :: rest -> split_oldest (e :: acc) rest
+  let iteration_snapshot () = Array.map (fun st -> st.iteration) threads in
+  (* Youngest buffered store to (loc, cell): backwards ring scan, first
+     match; -1 when absent.  Newest-to-oldest order is what makes
+     store-forwarding return the youngest matching entry. *)
+  let sb_find st loc cell =
+    let i = ref (st.sb_len - 1) in
+    let found = ref (-1) in
+    while !found < 0 && !i >= 0 do
+      let idx = (st.sb_start + !i) land st.sb_mask in
+      if
+        Array.unsafe_get st.sb_loc idx = loc
+        && Array.unsafe_get st.sb_cell idx = cell
+      then found := idx
+      else decr i
+    done;
+    !found
   in
-  let emit event =
-    match on_event with
-    | Some hook -> hook ~round:!clock event
-    | None -> ()
+  (* Remove the oldest-first position [i] from the ring, preserving the
+     order of the rest: shift the older side up one slot. *)
+  let sb_remove_at st i =
+    for k = i downto 1 do
+      let dst = (st.sb_start + k) land st.sb_mask in
+      let src = (st.sb_start + k - 1) land st.sb_mask in
+      Array.unsafe_set st.sb_loc dst (Array.unsafe_get st.sb_loc src);
+      Array.unsafe_set st.sb_cell dst (Array.unsafe_get st.sb_cell src);
+      Array.unsafe_set st.sb_val dst (Array.unsafe_get st.sb_val src)
+    done;
+    st.sb_start <- (st.sb_start + 1) land st.sb_mask;
+    st.sb_len <- st.sb_len - 1;
+    if st.sb_len = 0 then decr buffered
   in
+  (* Scratch for the Pso drain pick (distinct buffered locations in
+     ascending id order). *)
+  let pso_locs = Array.make (max 1 nlocs) 0 in
+  (* Fast-forward scratch, hoisted so the per-round scan allocates
+     nothing. *)
+  let ff_earliest = ref 0 in
   let drain_one t st =
     last_progress := !clock;
-    match st.buffer with
-    | [] -> ()
-    | _ :: _ ->
-      let entry, remaining =
-        match config.Config.model with
+    if st.sb_len > 0 then begin
+      (* Select the entry to drain, removing it from the ring. *)
+      let pos =
+        match model with
         | Config.Tso_store_reorder ->
-          (* Buggy hardware: any buffered entry may drain first.  The
-             drawn index historically addressed the buffer oldest-first;
-             map it onto the newest-first list so seeded runs stay
-             bit-identical. *)
-          let n = List.length st.buffer in
-          let i = Rng.int rng n in
-          let j = n - 1 - i in
-          let chosen = List.nth st.buffer j in
-          (chosen, List.filteri (fun k _ -> k <> j) st.buffer)
+          (* Buggy hardware: any buffered entry may drain first; the
+             pick is uniform over oldest-first positions. *)
+          if st.sb_len = 1 then 0 else (lane () * st.sb_len) lsr Lane.lane_bits
         | Config.Pso ->
-          (* Oldest entry of a uniformly chosen buffered location: FIFO per
-             location, reorderable across locations. *)
-          let locs =
-            List.sort_uniq compare (List.map (fun e -> e.loc) st.buffer)
-          in
-          let loc = List.nth locs (Rng.int rng (List.length locs)) in
-          (* Oldest entry of [loc] = last match in newest-first order.
-             Entries are distinct allocations, so physical inequality
-             removes exactly the chosen one. *)
-          let chosen =
-            match
-              List.fold_left
-                (fun acc e -> if e.loc = loc then Some e else acc)
-                None st.buffer
-            with
-            | Some e -> e
-            | None -> assert false
-          in
-          (chosen, List.filter (fun e -> e != chosen) st.buffer)
-        | Config.Sc | Config.Tso | Config.Tso_fence_ignored ->
-          split_oldest [] st.buffer
+          (* Oldest entry of a uniformly chosen buffered location: FIFO
+             per location, reorderable across locations. *)
+          if st.sb_len = 1 then 0
+          else begin
+            let count = ref 0 in
+            for l = 0 to nlocs - 1 do
+              let present = ref false in
+              for k = 0 to st.sb_len - 1 do
+                if
+                  Array.unsafe_get st.sb_loc ((st.sb_start + k) land st.sb_mask)
+                  = l
+                then present := true
+              done;
+              if !present then begin
+                pso_locs.(!count) <- l;
+                incr count
+              end
+            done;
+            let loc =
+              if !count = 1 then pso_locs.(0)
+              else pso_locs.((lane () * !count) lsr Lane.lane_bits)
+            in
+            (* Oldest entry of [loc]: first match oldest-first. *)
+            let k = ref 0 in
+            while
+              Array.unsafe_get st.sb_loc ((st.sb_start + !k) land st.sb_mask)
+              <> loc
+            do
+              incr k
+            done;
+            !k
+          end
+        | Config.Sc | Config.Tso | Config.Tso_fence_ignored -> 0
       in
-      st.buffer <- remaining;
-      let loss = (fault_of t).Fault.loss_chance in
-      if loss > 0.0 && Rng.chance rng loss then
+      let idx = (st.sb_start + pos) land st.sb_mask in
+      let loc = Array.unsafe_get st.sb_loc idx in
+      let cell = Array.unsafe_get st.sb_cell idx in
+      let value = Array.unsafe_get st.sb_val idx in
+      sb_remove_at st pos;
+      if st.loss_threshold > 0 && lane () < st.loss_threshold then
         (* Silent store loss: the entry leaves the buffer but never
            reaches memory, and no event betrays it. *)
         incr lost_stores
       else begin
-        memory.(entry.loc).(entry.cell) <- entry.value;
-        emit (Drain { thread = t; loc = entry.loc; value = entry.value });
+        Array.unsafe_set memory ((loc * cells) + cell) value;
+        if has_events then
+          (match on_event with
+          | Some hook -> hook ~round:!clock (Drain { thread = t; loc; value })
+          | None -> ());
         incr drains
       end
+    end
+  in
+  let set_finished st =
+    if not st.finished then begin
+      st.finished <- true;
+      st.ready_at <- max_int;
+      decr live
+    end
   in
   let finish_iteration t st =
     (match on_iteration_end with
@@ -218,257 +381,319 @@ let run ?on_iteration_end ?on_sample ?on_event ?watchdog
     | No_barrier ->
       st.iteration <- st.iteration + 1;
       st.pc <- 0;
-      if st.iteration >= iterations then st.finished <- true
-    | Every_iteration _ -> st.waiting <- true
+      if st.iteration >= iterations then set_finished st
+    | Every_iteration _ ->
+      st.waiting <- true;
+      incr nwaiting;
+      st.ready_at <- max_int
+  in
+  let emit_exec t st value =
+    match on_event with
+    | Some hook ->
+      hook ~round:!clock
+        (Exec
+           {
+             thread = t;
+             iteration = st.iteration;
+             (* pc already advanced past the retiring instruction *)
+             instr = st.body.((st.pc - Program.instr_width) / Program.instr_width);
+             value;
+           })
+    | None -> ()
   in
   let execute t st =
     last_progress := !clock;
-    let program = image.Program.programs.(t) in
-    let instr = program.body.(st.pc) in
-    match instr with
-    | Program.Store { loc; addr; value } ->
-      let stored = Program.eval_operand value ~iteration:st.iteration in
-      if
-        config.Config.model = Config.Sc
-      then begin
-        memory.(loc).(cell_of addr st) <- stored;
-        st.pc <- st.pc + 1;
+    let code = st.code in
+    let pc = st.pc in
+    let tag = Array.unsafe_get code pc in
+    let loc = Array.unsafe_get code (pc + 1) in
+    match tag with
+    | 0 | 1 ->
+      (* Store: value = k * iteration + a (Const stores have k = 0). *)
+      let stored =
+        (Array.unsafe_get code (pc + 2) * st.iteration)
+        + Array.unsafe_get code (pc + 3)
+      in
+      let cell = if tag = 1 then st.iteration else 0 in
+      if model_sc then begin
+        Array.unsafe_set memory ((loc * cells) + cell) stored;
+        st.pc <- pc + 4;
         incr instructions;
-        emit
-          (Exec { thread = t; iteration = st.iteration; instr; value = stored })
+        if has_events then emit_exec t st stored
       end
-      else if List.length st.buffer >= config.Config.buffer_capacity then
+      else if st.sb_len >= buffer_capacity then
         () (* stall: buffer full, retry next round *)
       else begin
-        st.buffer <-
-          { loc; cell = cell_of addr st; value = stored } :: st.buffer;
-        (match mx with
-        | Some m ->
-          Metrics.observe m "machine.buffer_occupancy"
-            (List.length st.buffer)
-        | None -> ());
-        st.pc <- st.pc + 1;
+        let idx = (st.sb_start + st.sb_len) land st.sb_mask in
+        Array.unsafe_set st.sb_loc idx loc;
+        Array.unsafe_set st.sb_cell idx cell;
+        Array.unsafe_set st.sb_val idx stored;
+        if st.sb_len = 0 then incr buffered;
+        st.sb_len <- st.sb_len + 1;
+        if Array.length occ_hist > 0 then
+          occ_hist.(st.sb_len) <- occ_hist.(st.sb_len) + 1;
+        st.pc <- pc + 4;
         incr instructions;
-        emit
-          (Exec { thread = t; iteration = st.iteration; instr; value = stored })
+        if has_events then emit_exec t st stored
       end
-    | Program.Load { loc; addr; reg } ->
-      let cell = cell_of addr st in
+    | 2 | 3 ->
+      (* Load: forwarded from the youngest matching buffered store, else
+         from memory. *)
+      let cell = if tag = 3 then st.iteration else 0 in
+      let fwd = if model_sc || st.sb_len = 0 then -1 else sb_find st loc cell in
       let value =
-        match
-          if config.Config.model = Config.Sc then None
-          else forwarded st loc cell
-        with
-        | Some v -> v
-        | None -> memory.(loc).(cell)
+        if fwd >= 0 then Array.unsafe_get st.sb_val fwd
+        else Array.unsafe_get memory ((loc * cells) + cell)
       in
-      st.regs.(reg) <- value;
-      st.pc <- st.pc + 1;
+      st.regs.(Array.unsafe_get code (pc + 2)) <- value;
+      st.pc <- pc + 4;
       incr instructions;
-      emit (Exec { thread = t; iteration = st.iteration; instr; value })
-    | Program.Fence ->
-      (match config.Config.model with
-      | Config.Tso_fence_ignored | Config.Sc ->
-        st.pc <- st.pc + 1;
+      if has_events then emit_exec t st value
+    | 4 ->
+      (* Fence: waits for an empty buffer, except under SC (no buffer)
+         and the fence-ignored bug. *)
+      if (not fence_waits) || st.sb_len = 0 then begin
+        st.pc <- pc + 4;
         incr instructions;
-        emit (Exec { thread = t; iteration = st.iteration; instr; value = 0 })
-      | Config.Tso | Config.Pso | Config.Tso_store_reorder ->
-        if st.buffer = [] then begin
-          st.pc <- st.pc + 1;
-          incr instructions;
-          emit
-            (Exec { thread = t; iteration = st.iteration; instr; value = 0 })
-        end
-        (* else stall until the buffer drains *))
-    | Program.Flush { loc; addr } ->
-      let cell = cell_of addr st in
-      (* Enabled only once no older store to the same cell is buffered, so
-         the captured value includes this thread's own prior stores (x86
-         orders CLFLUSH after older stores to the same line). *)
-      if forwarded st loc cell <> None then () (* stall *)
+        if has_events then emit_exec t st 0
+      end
+    | 5 | 6 ->
+      (* Flush: enabled only once no older store to the same cell is
+         buffered, so the captured value includes this thread's own
+         prior stores (x86 orders CLFLUSH after older stores to the same
+         line). *)
+      let cell = if tag = 6 then st.iteration else 0 in
+      if st.sb_len > 0 && sb_find st loc cell >= 0 then () (* stall *)
       else begin
-        let value = memory.(loc).(cell) in
+        let value = Array.unsafe_get memory ((loc * cells) + cell) in
         (match pmem with
         | Some pm -> Pmem.flush pm ~thread:t ~loc ~cell ~value
         | None -> ());
-        st.pc <- st.pc + 1;
+        st.pc <- pc + 4;
         incr instructions;
-        emit (Exec { thread = t; iteration = st.iteration; instr; value })
+        if has_events then emit_exec t st value
       end
-    | Program.Drain ->
-      (* Waits for an empty buffer like MFENCE — under every model: the
-         fence-ignored bug targets MFENCE specifically, and SC has no
-         buffer to wait for. *)
-      if st.buffer = [] then begin
+    | _ ->
+      (* Drain: waits for an empty buffer like MFENCE — under every
+         model: the fence-ignored bug targets MFENCE specifically, and
+         SC has no buffer to wait for. *)
+      if st.sb_len = 0 then begin
         (match pmem with
         | Some pm ->
           Pmem.drain pm ~persistency:config.Config.persistency ~thread:t
         | None -> ());
-        st.pc <- st.pc + 1;
+        st.pc <- pc + 4;
         incr instructions;
-        emit (Exec { thread = t; iteration = st.iteration; instr; value = 0 })
+        if has_events then emit_exec t st 0
       end
   in
-  let all_finished () = Array.for_all (fun st -> st.finished) threads in
-  let all_waiting () =
-    Array.for_all (fun st -> st.finished || st.waiting) threads
+  (* One thread's scheduling step, given its 16-bit progress lane.
+     [@inline] is advisory under Closure, but the call sites are direct. *)
+  let step t st plane =
+    if jitter_on && st.jitter_skip = 0 then begin
+      (* OS jitter: preempt this thread for 1 + Geometric rounds. *)
+      st.jitter_skip <- skip_of jitter_table;
+      let until = !clock + 1 + skip_of stall_table in
+      st.ready_at <- until;
+      if has_events then
+        (match on_event with
+        | Some hook -> hook ~round:!clock (Stall { thread = t; until })
+        | None -> ());
+      incr stalls
+    end
+    else begin
+      if jitter_on then st.jitter_skip <- st.jitter_skip - 1;
+      let fires =
+        if st.livelocked then
+          if st.progress_skip = 0 then begin
+            st.progress_skip <-
+              (if Array.length livelock_table = 0 then max_int
+               else skip_of livelock_table);
+            true
+          end
+          else begin
+            st.progress_skip <- st.progress_skip - 1;
+            false
+          end
+        else plane < progress_threshold
+      in
+      if fires then begin
+        if st.pc >= st.code_len then finish_iteration t st
+        else begin
+          execute t st;
+          if (not st.finished) && (not st.waiting) && st.pc >= st.code_len
+          then finish_iteration t st
+        end
+      end
+    end
   in
-  while !aborted = None && not (all_finished ()) do
+  (* Fault triggers: crash and hang fire as soon as the thread's
+     iteration reaches the armed onset, even while stalled or at the
+     barrier.  None draws any lane. *)
+  let fault_triggers t st =
+    let a = faults.(t) in
+    (match a.Fault.crash_at with
+    | Some c when (not st.finished) && st.iteration >= c ->
+      (* The first crash freezes the persisted image: the durable state
+         plus a coin flip per pending writeback, drawn from the run RNG
+         (out of the hot loop).  Draws nothing when nothing is pending
+         (or without a persistence domain). *)
+      (match (pmem, !crash_image) with
+      | Some pm, None -> crash_image := Some (Pmem.crash_snapshot pm ~rng)
+      | (Some _ | None), _ -> ());
+      set_finished st;
+      if st.waiting then begin
+        st.waiting <- false;
+        decr nwaiting
+      end
+    | Some _ | None -> ());
+    (match a.Fault.hang_at with
+    | Some h when (not st.hung) && st.iteration >= h ->
+      st.hung <- true;
+      st.ready_at <- max_int;
+      any_hung := true
+    | Some _ | None -> ());
+    match a.Fault.livelock_at with
+    | Some l when (not st.livelocked) && st.iteration >= l ->
+      (* Progress collapses by [livelock_factor]: switch the thread to a
+         skip counter over the collapsed probability. *)
+      st.livelocked <- true;
+      st.progress_skip <-
+        (if Array.length livelock_table = 0 then max_int
+         else skip_of livelock_table)
+    | Some _ | None -> ()
+  in
+  (* Round-robin rotation: the thread scan starts one position later
+     every round, which removes systematic thread-order bias just as the
+     historical random offset did (both are uniform over cyclic shifts;
+     within-round execution order was never a random permutation). *)
+  let rot = ref 0 in
+  while !aborted = 0 && !live > 0 do
     incr clock;
     if !clock - !last_progress > 2_000_000 then
       failwith
         "Machine.run: livelock (no instruction or drain for 2M rounds; is \
          drain_chance 0 with a full store buffer?)";
     (* Watchdog: polled at the sampling cadence ([>=] so fast-forward
-       jumps cannot skip a check).  Observation only — no rng draws. *)
-    (match watchdog with
-    | Some should_abort when !clock >= !next_watchdog ->
+       jumps cannot skip a check).  Observation only — no lane draws. *)
+    if !clock >= !next_watchdog then begin
       next_watchdog := !clock + sample_interval;
-      if
-        should_abort ~round:!clock
-          ~iterations:(Array.map (fun st -> st.iteration) threads)
-      then aborted := Some Watchdog_abort
-    | Some _ | None -> ());
-    if !aborted = None then begin
-    (* Randomised round-robin offset avoids systematic thread bias. *)
-    let offset = Rng.int rng nthreads in
-    for i = 0 to nthreads - 1 do
-      let t = (i + offset) mod nthreads in
-      let st = threads.(t) in
-      (* Fault triggers: crash and hang fire as soon as the thread's
-         iteration reaches the armed onset, even while stalled or at the
-         barrier.  Neither draws from the rng. *)
-      if has_faults then begin
-        let a = fault_of t in
-        (match a.Fault.crash_at with
-        | Some c when (not st.finished) && st.iteration >= c ->
-          (* The first crash freezes the persisted image: the durable
-             state plus a coin flip per pending writeback.  Draws nothing
-             when nothing is pending (or without a persistence domain). *)
-          (match (pmem, !crash_image) with
-          | Some pm, None -> crash_image := Some (Pmem.crash_snapshot pm ~rng)
-          | (Some _ | None), _ -> ());
-          st.finished <- true;
-          st.waiting <- false
-        | Some _ | None -> ());
-        match a.Fault.hang_at with
-        | Some h when (not st.hung) && st.iteration >= h -> st.hung <- true
-        | Some _ | None -> ()
-      end;
-      if
-        (not st.finished) && (not st.waiting) && (not st.hung)
-        && st.stall_until <= !clock
-      then begin
-        if config.Config.jitter_chance > 0.0
-           && Rng.chance rng config.Config.jitter_chance
-        then begin
-          st.stall_until <-
-            !clock
-            + 1
-            + Rng.geometric rng (1.0 /. float_of_int config.Config.jitter_mean);
-          emit (Stall { thread = t; until = st.stall_until });
-          incr stalls
-        end
-        else begin
-        let progress_chance =
-          match (fault_of t).Fault.livelock_at with
-          | Some l when st.iteration >= l ->
-            config.Config.progress_chance *. Fault.livelock_factor
-          | Some _ | None -> config.Config.progress_chance
-        in
-        if Rng.chance rng progress_chance then begin
-          let program = image.Program.programs.(t) in
-          if st.pc >= Array.length program.body then finish_iteration t st
-          else execute t st;
-          (* A body may be empty (store-only thread with zero instructions
-             cannot happen, but guard anyway). *)
-          if (not st.finished) && (not st.waiting)
-             && st.pc >= Array.length program.body
-          then finish_iteration t st
-        end
-        end
-      end
-    done;
-    (* Drain phase. *)
-    Array.iteri
-      (fun t st ->
-        if st.buffer <> [] && Rng.chance rng config.Config.drain_chance then
-          drain_one t st)
-      threads;
-    (* Barrier rendezvous. *)
-    (match barrier with
-    | Every_iteration { cost; max_release_skew }
-      when all_waiting () && not (all_finished ()) ->
-      clock := !clock + cost;
-      Array.iteri
-        (fun t st ->
-          if not st.finished then begin
-            while st.buffer <> [] do
-              drain_one t st
-            done;
-            st.waiting <- false;
-            st.iteration <- st.iteration + 1;
-            st.pc <- 0;
-            st.stall_until <-
-              (if max_release_skew > 0 then
-                 !clock + Rng.int rng (max_release_skew + 1)
-               else 0);
-            if st.iteration >= iterations then st.finished <- true
-          end)
-        threads;
-      emit Barrier_release;
-      incr barriers
-    | Every_iteration _ | No_barrier -> ());
-    (match on_sample with
-    | Some hook when !clock mod sample_interval = 0 ->
-      hook ~round:!clock
-        ~iterations:(Array.map (fun st -> st.iteration) threads)
-    | Some _ | None -> ());
-    (* Fast-forward through provably idle spans: when every live,
-       non-waiting thread is stalled beyond the next round and no store
-       buffer has anything to drain, no event can occur until the earliest
-       stall expires — jump the clock there.  This keeps barrier release
-       skew and long jitter bursts from costing simulation time without
-       changing any observable behaviour. *)
-    if Array.for_all (fun st -> st.buffer = []) threads then begin
-      let earliest = ref max_int in
-      let all_idle =
-        Array.for_all
-          (fun st ->
-            if st.finished || st.waiting || st.hung then true
-            else begin
-              if st.stall_until < !earliest then earliest := st.stall_until;
-              st.stall_until > !clock + 1
-            end)
-          threads
-      in
-      if all_idle && !earliest > !clock + 1 && !earliest < max_int then
-        clock := !earliest - 1
+      match watchdog with
+      | Some should_abort ->
+        if should_abort ~round:!clock ~iterations:(iteration_snapshot ()) then
+          aborted := 1
+      | None -> ()
     end;
-    (* Fault quiescence: when every unfinished thread is hung (or parked
-       at a barrier that a hung thread prevents from ever releasing) and
-       no buffered store remains, no event can ever happen again — abort
-       instead of spinning to the livelock limit. *)
-    if
-      has_faults
-      && Array.exists (fun st -> st.hung && not st.finished) threads
-      && Array.for_all (fun st -> st.finished || st.hung || st.waiting) threads
-      && Array.for_all (fun st -> st.buffer = []) threads
-    then aborted := Some Hung
+    if !aborted = 0 then begin
+      (* The round mix: threads at scan positions 0-2 read their progress
+         lane from [z] positionally; later positions (>= 4 threads) fall
+         back to the sequential lane stream. *)
+      lstate := (!lstate + Lane.gamma) land max_int;
+      let z = Lane.mix !lstate in
+      let offset = !rot in
+      rot := (if offset + 1 >= nthreads then 0 else offset + 1);
+      for i = 0 to nthreads - 1 do
+        let t =
+          let t = i + offset in
+          if t >= nthreads then t - nthreads else t
+        in
+        let st = Array.unsafe_get threads t in
+        if has_faults then fault_triggers t st;
+        if st.ready_at <= !clock then
+          step t st
+            (if i < 3 then (z lsr (i lsl 4)) land 0xFFFF else lane ())
+      done;
+      (* Drain phase. *)
+      if !buffered > 0 then
+        for t = 0 to nthreads - 1 do
+          let st = Array.unsafe_get threads t in
+          if
+            st.sb_len > 0
+            && (drain_threshold >= Lane.lane_bound
+                || (drain_threshold > 0 && lane () < drain_threshold))
+          then drain_one t st
+        done;
+      (* Barrier rendezvous: fires when every unfinished thread is parked
+         (finished threads never wait; hung-while-waiting threads still
+         count, exactly as the flag scan did). *)
+      if barrier_on && !live > 0 && !nwaiting = !live then begin
+        clock := !clock + barrier_cost;
+        nwaiting := 0;
+        Array.iteri
+          (fun t st ->
+            if not st.finished then begin
+              while st.sb_len > 0 do
+                drain_one t st
+              done;
+              st.waiting <- false;
+              st.iteration <- st.iteration + 1;
+              st.pc <- 0;
+              st.ready_at <-
+                (if barrier_skew > 0 then
+                   !clock + ((lane () * (barrier_skew + 1)) lsr Lane.lane_bits)
+                 else 0);
+              if st.iteration >= iterations then set_finished st
+            end)
+          threads;
+        if has_events then
+          (match on_event with
+          | Some hook -> hook ~round:!clock Barrier_release
+          | None -> ());
+        incr barriers
+      end;
+      if !clock >= !next_sample then begin
+        (* Fires on exact multiples of the cadence only: rounds the
+           fast-forward jumped over do not fire retroactively. *)
+        (if !clock mod sample_interval = 0 then
+           match on_sample with
+           | Some hook -> hook ~round:!clock ~iterations:(iteration_snapshot ())
+           | None -> ());
+        next_sample := ((!clock / sample_interval) + 1) * sample_interval
+      end;
+      (* Fast-forward through provably idle spans: when every thread that
+         could ever act again is stalled beyond the next round and no
+         store buffer has anything to drain, no event can occur until the
+         earliest stall expires — jump the clock there.  This keeps
+         barrier release skew and long jitter bursts from costing
+         simulation time without changing any observable behaviour.
+         (Finished, hung and barrier-parked threads sit at [max_int] and
+         fall out of the minimum.) *)
+      if !buffered = 0 then begin
+        ff_earliest := max_int;
+        for t = 0 to nthreads - 1 do
+          let r = (Array.unsafe_get threads t).ready_at in
+          if r < !ff_earliest then ff_earliest := r
+        done;
+        if !ff_earliest > !clock + 1 && !ff_earliest < max_int then
+          clock := !ff_earliest - 1
+      end;
+      (* Fault quiescence: when every unfinished thread is hung (or parked
+         at a barrier that a hung thread prevents from ever releasing) and
+         no buffered store remains, no event can ever happen again — abort
+         instead of spinning to the livelock limit. *)
+      if
+        !any_hung && !buffered = 0
+        && Array.exists (fun st -> st.hung && not st.finished) threads
+        && Array.for_all
+             (fun st -> st.finished || st.hung || st.waiting)
+             threads
+      then aborted := 2
     end
   done;
   (* Termination flush: on real hardware every buffered store eventually
      reaches memory; drain the leftovers, one round each.  An aborted run
      stops dead instead — its in-flight stores are part of the loss. *)
-  if !aborted = None then
+  if !aborted = 0 then
     Array.iteri
       (fun t st ->
-        while st.buffer <> [] do
+        while st.sb_len > 0 do
           incr clock;
           drain_one t st
         done)
       threads;
-  let termination = Option.value ~default:Completed !aborted in
+  let termination =
+    match !aborted with 0 -> Completed | 1 -> Watchdog_abort | _ -> Hung
+  in
   (match mx with
   | Some m ->
     Metrics.add m "machine.runs" 1;
@@ -478,7 +703,12 @@ let run ?on_iteration_end ?on_sample ?on_event ?watchdog
     Metrics.add m "machine.barriers" !barriers;
     Metrics.add m "machine.stalls" !stalls;
     Metrics.add m "machine.lost_stores" !lost_stores;
-    Metrics.add m ("machine.termination." ^ termination_name termination) 1
+    Metrics.add m ("machine.termination." ^ termination_name termination) 1;
+    Array.iteri
+      (fun occ count ->
+        if count > 0 then
+          Metrics.observe_many m "machine.buffer_occupancy" occ count)
+      occ_hist
   | None -> ());
   Trace_event.complete ~name:"machine.run" ~since:trace_start
     ~args:
@@ -496,7 +726,7 @@ let run ?on_iteration_end ?on_sample ?on_event ?watchdog
     barriers = !barriers;
     stalls = !stalls;
     termination;
-    iterations_retired = Array.map (fun st -> st.iteration) threads;
+    iterations_retired = iteration_snapshot ();
     lost_stores = !lost_stores;
     persisted =
       (match (pmem, !crash_image) with

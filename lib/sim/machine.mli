@@ -96,8 +96,12 @@ val run :
     supervisor bounds runs that fault injection has hung or livelocked.
 
     Fault injection ([config.faults]) is armed per thread at run start from
-    [rng]; an empty profile draws nothing, keeping fault-free runs
-    bit-identical to builds without fault injection.
+    [rng]; an empty profile draws nothing from it.  The hot loop's own
+    scheduling randomness (offsets, progress/drain/jitter coins, buggy-model
+    drain picks) comes from a {!Lane} stream seeded by a single [rng] draw
+    taken after arming, so a run is a pure function of the run seed and the
+    fault-arming draws sit at a fixed point of the [rng] stream regardless
+    of schedule length.
 
     [on_sample] fires every [sample_interval] rounds (default 64) with each
     thread's current iteration index; used to measure ground-truth thread

@@ -56,6 +56,49 @@ let compile_litmus test =
     init = Array.map (fun x -> Ast.initial_value test x) names;
   }
 
+(* Flat int encoding for the interpreter hot loop: each instruction is
+   four consecutive ints [tag; loc; x; y], so the machine walks a thread
+   body with unboxed int reads instead of matching heap-allocated
+   constructors.  Tags pack the operation with its addressing mode:
+
+     0  Store Shared     loc, k, a   (value = k * iteration + a)
+     1  Store Indexed    loc, k, a
+     2  Load  Shared     loc, reg, -
+     3  Load  Indexed    loc, reg, -
+     4  Fence            -, -, -
+     5  Flush Shared     loc, -, -
+     6  Flush Indexed    loc, -, -
+     7  Drain            -, -, -
+
+   [Const a] stores encode as [k = 0], so the interpreter evaluates
+   every store operand as [k * iteration + a] branch-free. *)
+let instr_width = 4
+
+let encode_thread (t : thread) =
+  let n = Array.length t.body in
+  let code = Array.make (n * instr_width) 0 in
+  Array.iteri
+    (fun i instr ->
+      let base = i * instr_width in
+      match instr with
+      | Store { loc; addr; value } ->
+        code.(base) <- (match addr with Shared -> 0 | Indexed -> 1);
+        code.(base + 1) <- loc;
+        let k, a = match value with Const a -> (0, a) | Seq { k; a } -> (k, a) in
+        code.(base + 2) <- k;
+        code.(base + 3) <- a
+      | Load { loc; addr; reg } ->
+        code.(base) <- (match addr with Shared -> 2 | Indexed -> 3);
+        code.(base + 1) <- loc;
+        code.(base + 2) <- reg
+      | Fence -> code.(base) <- 4
+      | Flush { loc; addr } ->
+        code.(base) <- (match addr with Shared -> 5 | Indexed -> 6);
+        code.(base + 1) <- loc
+      | Drain -> code.(base) <- 7)
+    t.body;
+  code
+
 let location_id image name =
   let rec find i =
     if i >= Array.length image.location_names then raise Not_found

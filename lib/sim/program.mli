@@ -45,6 +45,20 @@ val compile_litmus : Perple_litmus.Ast.t -> image
 val location_id : image -> string -> int
 (** Interned id of a location name.  @raise Not_found if unknown. *)
 
+val instr_width : int
+(** Ints per instruction in the flat encoding (4). *)
+
+val encode_thread : thread -> int array
+(** Flat int encoding walked by the {!Machine} interpreter: instruction
+    [i] occupies ints [4i .. 4i+3] as [tag; loc; x; y], where the tag
+    packs operation and addressing mode —
+    [0]/[1] Store Shared/Indexed ([x = k], [y = a], value
+    [k * iteration + a]; [Const a] encodes as [k = 0]),
+    [2]/[3] Load Shared/Indexed ([x = reg]),
+    [4] Fence, [5]/[6] Flush Shared/Indexed, [7] Drain.
+    Purely a representation change: the encoded body is
+    instruction-for-instruction equivalent to [t.body]. *)
+
 val uses_persistency : image -> bool
 (** Whether any thread contains a [Flush] or [Drain]; when false the
     machine allocates no persistence domain and draws no extra

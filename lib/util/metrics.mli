@@ -51,6 +51,12 @@ val observe : sink -> string -> int -> unit
 (** [observe sink name v] counts one observation of [v] in histogram
     [name]. *)
 
+val observe_many : sink -> string -> int -> int -> unit
+(** [observe_many sink name v count] records [count] observations of [v]
+    in histogram [name] with a single sink probe — for hot loops that
+    accumulate a local histogram and flush it once (equivalent to [count]
+    calls to {!observe}). *)
+
 val incr : ?by:int -> string -> unit
 (** Ambient {!add}; no-op when disabled.  [by] defaults to 1. *)
 

@@ -253,6 +253,96 @@ let test_campaign_invalid () =
   in
   check Alcotest.int "zero runs yields empty array" 0 (Array.length reports)
 
+(* --- Byte-identity across --jobs (qcheck) ---------------------------------- *)
+
+module Metrics = Perple_util.Metrics
+module Json = Perple_util.Json
+module Ledger = Perple_core.Ledger
+
+(* The campaign's externally visible output — the stdout ledger lines and
+   the metrics dump — rendered to strings, so the property below compares
+   bytes, not structural fingerprints. *)
+let campaign_output ~pool ~jobs ~faults ~runs ~seed ~iterations =
+  let sink = Metrics.create_sink () in
+  Metrics.install sink;
+  Fun.protect ~finally:Metrics.uninstall (fun () ->
+      let policy = Supervisor.default_policy ~iterations in
+      let entries =
+        Result.get_ok
+          (Engine.campaign_entries ~pool ~jobs ~faults ~policy ~runs ~seed
+             ~iterations Catalog.sb)
+      in
+      let buf = Buffer.create 512 in
+      Array.iter
+        (fun entry ->
+          match entry with
+          | None -> Buffer.add_string buf "<missing>\n"
+          | Some e ->
+            Buffer.add_string buf
+              (Json.to_string (Ledger.to_json (Ledger.of_entry e)));
+            Buffer.add_char buf '\n')
+        entries;
+      (Buffer.contents buf, Json.to_string (Metrics.to_json sink)))
+
+(* One eight-wide persistent pool shared by every qcheck case: explicit
+   pools are honoured at their created width, so the dispatch really is
+   multi-domain even on a single-core CI host (where implicit pools clamp
+   to [available_domains]). *)
+let qcheck_campaign_identity =
+  QCheck.Test.make ~name:"campaign ledger+metrics byte-identical across jobs"
+    ~count:8
+    (* [runs >= 8] keeps [jobs <= runs] for the whole sweep: a clamped
+       width legitimately ticks the operational [*.jobs_clamped] counters,
+       which record the flag itself and are outside the identity claim. *)
+    QCheck.(
+      triple (int_bound 100_000) (int_range 8 14)
+        (oneofl [ 0.0; 0.12; 0.3 ]))
+    (fun (seed, runs, crash_p) ->
+      let faults =
+        if crash_p = 0.0 then []
+        else [ { Fault.kind = Fault.Crash; Fault.probability = crash_p } ]
+      in
+      let pool = Pool.create ~jobs:8 () in
+      Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () ->
+          let baseline =
+            campaign_output ~pool ~jobs:1 ~faults ~runs ~seed ~iterations:120
+          in
+          List.for_all
+            (fun jobs ->
+              campaign_output ~pool ~jobs ~faults ~runs ~seed ~iterations:120
+              = baseline)
+            [ 2; 3; 4; 8 ]))
+
+(* Worker faults: whichever domain runs a failing task, the error must
+   land in that task's own slot and every sibling must complete — the
+   Ok/Error pattern and all payloads are independent of chunking. *)
+let qcheck_error_slots_stable =
+  QCheck.Test.make ~name:"map_result error slots independent of chunking"
+    ~count:20
+    QCheck.(pair (int_bound 1_000_000) (int_range 1 40))
+    (fun (mask_seed, n) ->
+      let fails i = (i * 2654435761) lxor mask_seed land 7 = 3 in
+      let task i = if fails i then raise (Boom i) else i * 3 in
+      let shape results =
+        Array.to_list
+          (Array.mapi
+             (fun i r ->
+               match r with
+               | Ok v -> Printf.sprintf "%d:ok:%d" i v
+               | Error e -> (
+                 match e.Pool.exn with
+                 | Boom b -> Printf.sprintf "%d:boom:%d" i b
+                 | _ -> Printf.sprintf "%d:other" i))
+             results)
+      in
+      let pool = Pool.create ~jobs:8 () in
+      Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () ->
+          let baseline = shape (Pool.map_result ~jobs:1 n task) in
+          List.for_all
+            (fun jobs ->
+              shape (Pool.map_result ~pool ~jobs n task) = baseline)
+            [ 2; 3; 4; 8 ]))
+
 let suite =
   [
     ( "core.pool",
@@ -287,5 +377,7 @@ let suite =
           test_campaign_seeds_match_sequential_derivation;
         Alcotest.test_case "compat wrapper raises on crash" `Quick
           test_campaign_wrapper_raises_on_crash;
+        QCheck_alcotest.to_alcotest qcheck_campaign_identity;
+        QCheck_alcotest.to_alcotest qcheck_error_slots_stable;
       ] );
   ]

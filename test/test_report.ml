@@ -18,7 +18,10 @@ let tiny =
   {
     R.Common.quick_params with
     R.Common.iterations = 600;
-    exhaustive_cap = 360_000;
+    (* Large enough that three-thread tests (frame space N^3) still give
+       the exhaustive counter a few hundred iterations; the factorized
+       kernel makes 8M frames cheaper than the machine run itself. *)
+    exhaustive_cap = 8_000_000;
     sweep = [ 100; 600 ];
     variety_iterations = 400;
     skew_iterations = 4_000;
