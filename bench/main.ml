@@ -11,6 +11,11 @@
                                               factorized-vs-reference counter
                                               agreement over the catalog
                                               (exit 1 on any mismatch)
+     dune exec bench/main.exe -- --check-solver [--gen N]
+                                              operational/axiomatic/solver
+                                              agreement over the catalog and
+                                              >= N (default 1000) generated
+                                              tests (exit 1 on any mismatch)
      dune exec bench/main.exe -- --json FILE  also emit results as JSON
 
    The experiment drivers print the same rows/series as the paper's Table II
@@ -25,7 +30,11 @@ open Toolkit
 module Catalog = Perple_litmus.Catalog
 module Ast = Perple_litmus.Ast
 module Outcome = Perple_litmus.Outcome
+module Generate = Perple_litmus.Generate
 module Operational = Perple_memmodel.Operational
+module Axiomatic = Perple_memmodel.Axiomatic
+module Solver = Perple_memmodel.Solver
+module Trace_check = Perple_core.Trace_check
 module Convert = Perple_core.Convert
 module OC = Perple_core.Outcome_convert
 module Count = Perple_core.Count
@@ -51,6 +60,23 @@ let prepared_run iterations =
 
 let run_1k = prepared_run 1_000
 let run_4k = prepared_run 4_000
+
+(* Solver trace-verification scaling: sb contributes 4 events per
+   iteration, so these runs decode to 500-, 2000- and 8000-event
+   executions.  All three ride the polynomial fast path (0 decisions),
+   which is the point: whole-trace classification at sizes the
+   operational enumerator cannot reach. *)
+let run_125 = prepared_run 125
+let run_500 = prepared_run 500
+let run_2k = prepared_run 2_000
+
+let verify_sb run =
+  let v =
+    Trace_check.verify ~model:Operational.Tso (Lazy.force sb_conv)
+      (Lazy.force run)
+  in
+  assert v.Solver.consistent;
+  v
 
 let sb_target =
   lazy
@@ -96,6 +122,9 @@ let frames_per_run =
     ("fig13:variety-count-1k", 1_000);
     ("overall:litmus7-user-500", 500);
     ("overall:perpetual-500", 500);
+    ("solver:verify-trace-500ev", 500);
+    ("solver:verify-trace-2kev", 2_000);
+    ("solver:verify-trace-8kev", 8_000);
   ]
 
 let campaign ~jobs () =
@@ -187,6 +216,16 @@ let micro_tests =
            let conv = Lazy.force sb_conv in
            Perpetual.run ~rng:(Rng.create 4) ~image:conv.Convert.image
              ~t_reads:conv.Convert.t_reads ~iterations:500 ()));
+    (* Solver backend: per-test classification next to table2's
+       operational row, and whole-trace verification scaling. *)
+    Test.make ~name:"solver:classify-sb-tso"
+      (Staged.stage (fun () -> Solver.target_allowed Operational.Tso Catalog.sb));
+    Test.make ~name:"solver:verify-trace-500ev"
+      (Staged.stage (fun () -> verify_sb run_125));
+    Test.make ~name:"solver:verify-trace-2kev"
+      (Staged.stage (fun () -> verify_sb run_500));
+    Test.make ~name:"solver:verify-trace-8kev"
+      (Staged.stage (fun () -> verify_sb run_2k));
   ]
 
 let run_micro () =
@@ -312,6 +351,64 @@ let check_counters () =
   Printf.printf "%d comparisons, %d mismatches\n" !checked !mismatches;
   !mismatches = 0
 
+(* --- Three-backend agreement: catalog + generated tests ------------------ *)
+
+(* Cross-validates the solver against both established checkers on every
+   catalog test and on >= 1000 cycle-generated tests (deterministic Rng,
+   no qcheck dependency here).  Any disagreement prints the test in
+   litmus format so it can be minimized into a committed regression. *)
+let check_solver ?(generated_count = 1_000) () =
+  Printf.printf "== three-backend agreement (catalog + >=%d generated) ==\n"
+    generated_count;
+  let mismatches = ref 0 in
+  let checked = ref 0 in
+  let same a b =
+    let sort = List.sort Outcome.compare in
+    let a = sort a and b = sort b in
+    List.length a = List.length b && List.for_all2 Outcome.equal a b
+  in
+  let show outcomes =
+    String.concat "; " (List.map Outcome.to_string outcomes)
+  in
+  let check_test (test : Ast.t) =
+    List.iter
+      (fun model ->
+        incr checked;
+        let op = Operational.reachable_outcomes model test in
+        let ax = Axiomatic.reachable_outcomes model test in
+        let sv = Solver.reachable_outcomes model test in
+        let fc_ax = Axiomatic.condition_reachable model test in
+        let fc_sv = Solver.final_condition_reachable model test in
+        if not (same op ax && same op sv && fc_ax = fc_sv) then begin
+          incr mismatches;
+          Printf.printf
+            "MISMATCH %s under %s:\n  operational: %s\n  axiomatic:   %s\n\
+            \  solver:      %s\n  final condition: axiomatic=%b solver=%b\n%s\n"
+            test.Ast.name
+            (Operational.model_to_string model)
+            (show op) (show ax) (show sv) fc_ax fc_sv
+            (Perple_litmus.Printer.to_string test)
+        end)
+      [ Operational.Sc; Operational.Tso; Operational.Pso ]
+  in
+  List.iter (fun (e : Catalog.entry) -> check_test e.Catalog.test) Catalog.suite;
+  List.iter check_test Catalog.non_convertible;
+  let rng = Rng.create 97 in
+  let generated = ref 0 in
+  while !generated < generated_count do
+    let cycle = Generate.random_cycle rng ~max_edges:5 in
+    match
+      Generate.of_cycle ~name:(Printf.sprintf "gen%d" !generated) cycle
+    with
+    | Error _ -> ()
+    | Ok test ->
+      incr generated;
+      check_test test
+  done;
+  Printf.printf "%d model/test checks (%d generated tests), %d mismatches\n"
+    !checked !generated !mismatches;
+  !mismatches = 0
+
 (* --- Per-phase metrics ---------------------------------------------------- *)
 
 (* The bench harness reuses the pipeline's own metrics emitter: a phase
@@ -337,7 +434,7 @@ let json_float f =
   if Float.is_nan f || Float.is_integer f && Float.abs f > 1e15 then "null"
   else Printf.sprintf "%.6g" f
 
-let emit_json ~path ~mode ~micro ~drivers ~counters_agree =
+let emit_json ~path ~mode ~micro ~drivers ~counters_agree ~solver_agree =
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n";
   Buffer.add_string b "  \"schema\": \"perple-bench/1\",\n";
@@ -398,12 +495,15 @@ let emit_json ~path ~mode ~micro ~drivers ~counters_agree =
   Buffer.add_string b
     (Printf.sprintf "  \"metrics\": %s,\n"
        (Json.to_string (Json.Obj !phase_metrics)));
+  let opt_bool = function
+    | Some true -> "true"
+    | Some false -> "false"
+    | None -> "null"
+  in
   Buffer.add_string b
-    (Printf.sprintf "  \"counters_agree\": %s\n"
-       (match counters_agree with
-       | Some true -> "true"
-       | Some false -> "false"
-       | None -> "null"));
+    (Printf.sprintf "  \"counters_agree\": %s,\n" (opt_bool counters_agree));
+  Buffer.add_string b
+    (Printf.sprintf "  \"solver_agree\": %s\n" (opt_bool solver_agree));
   Buffer.add_string b "}\n";
   (* Atomic replace: an interrupted bench run leaves the previous
      complete results file, never a torn JSON document. *)
@@ -426,6 +526,7 @@ let () =
   let micro_only = List.mem "--micro-only" args in
   let drivers_only = List.mem "--drivers-only" args in
   let counters_only = List.mem "--check-counters" args in
+  let solver_only = List.mem "--check-solver" args in
   let json_path =
     let rec find = function
       | "--json" :: path :: _ -> Some path
@@ -438,33 +539,51 @@ let () =
     if full then Report.Common.default_params else Report.Common.quick_params
   in
   let drivers =
-    if (not micro_only) && not counters_only then
+    if (not micro_only) && (not counters_only) && not solver_only then
       with_phase_metrics "drivers" (fun () -> run_drivers params)
     else []
   in
   let micro =
-    if (not drivers_only) && not counters_only then run_micro () else []
+    if (not drivers_only) && (not counters_only) && not solver_only then
+      run_micro ()
+    else []
   in
   let counters_agree =
-    if counters_only || json_path <> None then
+    if counters_only || (json_path <> None && not solver_only) then
       Some (with_phase_metrics "check_counters" check_counters)
+    else None
+  in
+  let generated_count =
+    let rec find = function
+      | "--gen" :: n :: _ -> int_of_string n
+      | _ :: rest -> find rest
+      | [] -> 1_000
+    in
+    find args
+  in
+  let solver_agree =
+    if solver_only then
+      Some
+        (with_phase_metrics "check_solver" (fun () ->
+             check_solver ~generated_count ()))
     else None
   in
   (* One instrumented reference campaign per emitted file: the per-phase
      breakdown every later perf PR reports against. *)
-  if json_path <> None then
+  if json_path <> None && not solver_only then
     with_phase_metrics "campaign" (fun () -> ignore (campaign ~jobs:1 ()));
   (match json_path with
   | Some path ->
     let mode =
-      if counters_only then "check-counters"
+      if solver_only then "check-solver"
+      else if counters_only then "check-counters"
       else if micro_only then "micro-only"
       else if drivers_only then "drivers-only"
       else if full then "full"
       else "quick"
     in
-    emit_json ~path ~mode ~micro ~drivers ~counters_agree
+    emit_json ~path ~mode ~micro ~drivers ~counters_agree ~solver_agree
   | None -> ());
-  match counters_agree with
-  | Some false -> exit 1
-  | Some true | None -> ()
+  match (counters_agree, solver_agree) with
+  | Some false, _ | _, Some false -> exit 1
+  | _ -> ()

@@ -14,6 +14,8 @@ module Outcome = Perple_litmus.Outcome
 module Catalog = Perple_litmus.Catalog
 module Operational = Perple_memmodel.Operational
 module Axiomatic = Perple_memmodel.Axiomatic
+module Solver = Perple_memmodel.Solver
+module Trace_check = Perple_core.Trace_check
 module Config = Perple_sim.Config
 module Fault = Perple_sim.Fault
 module Sync_mode = Perple_harness.Sync_mode
@@ -480,29 +482,146 @@ let show_cmd =
 
 (* --- check --------------------------------------------------------------- *)
 
+type backend = Operational_b | Axiomatic_b | Solver_b
+
+let backend_name = function
+  | Operational_b -> "operational"
+  | Axiomatic_b -> "axiomatic"
+  | Solver_b -> "solver"
+
+let backend_arg =
+  let backend_conv =
+    Arg.conv
+      ( (function
+         | "operational" -> Ok Operational_b
+         | "axiomatic" -> Ok Axiomatic_b
+         | "solver" -> Ok Solver_b
+         | _ -> Error (`Msg "expected operational, axiomatic or solver")),
+        fun ppf b -> Format.pp_print_string ppf (backend_name b) )
+  in
+  Arg.(
+    value
+    & opt backend_conv Operational_b
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:
+          "Consistency checker: $(b,operational) (default, state-space \
+           enumeration), $(b,axiomatic) (candidate executions against the \
+           acyclicity axioms) or $(b,solver) (constraint search over rf \
+           choices and write orderings, with a polynomial fast path).")
+
+let crosscheck_arg =
+  Arg.(
+    value & flag
+    & info [ "crosscheck" ]
+        ~doc:
+          "Run all three backends and fail if any two disagree on the \
+           reachable outcomes or the condition verdict.")
+
+let reachable_with backend model test =
+  match backend with
+  | Operational_b -> Operational.reachable_outcomes model test
+  | Axiomatic_b -> Axiomatic.reachable_outcomes model test
+  | Solver_b -> Solver.reachable_outcomes model test
+
+let same_outcomes a b =
+  let sort = List.sort Outcome.compare in
+  let a = sort a and b = sort b in
+  List.length a = List.length b && List.for_all2 Outcome.equal a b
+
 let check_cmd =
-  let run spec =
-    Result.map
-      (fun test ->
+  let print_verdict test = function
+    | Ok v ->
+      (match test.Ast.condition.Ast.quantifier with
+      | Ast.Forall ->
+        Printf.printf "  forall condition: %s\n"
+          (if v then "holds in every execution" else "violated")
+      | Ast.Exists | Ast.Not_exists ->
+        Printf.printf "  target: %s\n" (if v then "allowed" else "forbidden"))
+    | Error m -> Printf.printf "  target: n/a (%s)\n" m
+  in
+  let crosscheck test =
+    let failures = ref 0 in
+    List.iter
+      (fun model ->
+        let name = Operational.model_to_string model in
+        let op = Operational.reachable_outcomes model test in
+        let ax = Axiomatic.reachable_outcomes model test in
+        let sv = Solver.reachable_outcomes model test in
+        let outcomes_ok = same_outcomes op ax && same_outcomes op sv in
+        (* The axiomatic and solver backends both evaluate the final
+           condition over full executions, so Loc_eq conditions the
+           operational register view cannot express still crosscheck. *)
+        let fc_ax = Axiomatic.condition_reachable model test in
+        let fc_sv = Solver.final_condition_reachable model test in
+        let verdict_ok =
+          fc_ax = fc_sv
+          &&
+          match
+            (Operational.target_allowed model test, Solver.target_allowed model test)
+          with
+          | Ok a, Ok b -> a = b
+          | Error _, Error _ -> true
+          | Ok _, Error _ | Error _, Ok _ -> false
+        in
+        if outcomes_ok && verdict_ok then
+          Printf.printf "%s: all three backends agree (%d outcomes)\n" name
+            (List.length op)
+        else begin
+          incr failures;
+          Printf.printf "%s: BACKEND DISAGREEMENT\n" name;
+          List.iter
+            (fun (b, outcomes) ->
+              Printf.printf "  %-12s %s\n" b
+                (String.concat "; " (List.map Outcome.to_string outcomes)))
+            [ ("operational", op); ("axiomatic", ax); ("solver", sv) ];
+          Printf.printf "  final condition: axiomatic=%b solver=%b\n" fc_ax
+            fc_sv
+        end)
+      [ Operational.Sc; Operational.Tso; Operational.Pso ];
+    if !failures = 0 then Ok ()
+    else fail "%d model(s) with backend disagreement" !failures
+  in
+  let check_one backend test =
+    List.iter
+      (fun model ->
+        let outcomes = reachable_with backend model test in
+        Printf.printf "%s reachable outcomes (%s):\n"
+          (Operational.model_to_string model)
+          (backend_name backend);
         List.iter
-          (fun model ->
-            let outcomes = Operational.reachable_outcomes model test in
-            Printf.printf "%s reachable outcomes (operational):\n"
-              (Operational.model_to_string model);
-            List.iter
-              (fun o -> Printf.printf "  %s\n" (Outcome.to_string o))
-              outcomes;
-            let ax = Axiomatic.reachable_outcomes model test in
-            Printf.printf "  axiomatic checker agrees: %b\n"
-              (List.length ax = List.length outcomes
-              && List.for_all2 Outcome.equal ax outcomes))
-          [ Operational.Sc; Operational.Tso; Operational.Pso ])
-      (load_test spec)
+          (fun o -> Printf.printf "  %s\n" (Outcome.to_string o))
+          outcomes;
+        (match backend with
+        | Operational_b ->
+          print_verdict test (Operational.condition_verdict model test)
+        | Solver_b -> print_verdict test (Solver.condition_verdict model test)
+        | Axiomatic_b ->
+          (* Axiomatic reachability is quantifier-blind; a forall verdict
+             needs the operational or solver backend. *)
+          print_verdict test
+            (match test.Ast.condition.Ast.quantifier with
+            | Ast.Forall ->
+              Error "forall verdicts need --backend operational or solver"
+            | Ast.Exists | Ast.Not_exists ->
+              Ok (Axiomatic.condition_reachable model test)));
+        if backend <> Solver_b then begin
+          let ax = Axiomatic.reachable_outcomes model test in
+          Printf.printf "  axiomatic checker agrees: %b\n"
+            (same_outcomes ax outcomes)
+        end)
+      [ Operational.Sc; Operational.Tso; Operational.Pso ];
+    Ok ()
+  in
+  let run spec backend crosscheck_flag =
+    Result.bind (load_test spec) (fun test ->
+        if crosscheck_flag then crosscheck test else check_one backend test)
   in
   Cmd.v
     (Cmd.info "check"
-       ~doc:"Enumerate reachable outcomes under SC and x86-TSO.")
-    (wrap Term.(const run $ test_arg))
+       ~doc:
+         "Enumerate reachable outcomes under SC, x86-TSO and PSO with a \
+          chosen backend, or crosscheck all three.")
+    (wrap Term.(const run $ test_arg $ backend_arg $ crosscheck_arg))
 
 (* --- convert ------------------------------------------------------------- *)
 
@@ -673,10 +792,40 @@ let run_cmd =
          /. float_of_int !total_runtime
          *. 1_000_000.0)
   in
+  let verify_trace_arg =
+    Arg.(
+      value & flag
+      & info [ "verify-trace" ]
+          ~doc:
+            "After the run, decode the whole perpetual trace and verify it \
+             against the model's axioms with the solver backend \
+             (single-run only).  Buggy machine variants are judged against \
+             honest TSO; a violation fails the command.")
+  in
+  let print_trace_verdict model (report : Engine.report) =
+    let spec = Trace_check.spec_model model in
+    let v =
+      Trace_check.verify ~model:spec report.Engine.conversion
+        report.Engine.run
+    in
+    Printf.printf
+      "trace verification against %s: %s (%d events, %d decisions, %d \
+       backtracks)\n"
+      (Operational.model_to_string spec)
+      (if v.Solver.consistent then "consistent" else "VIOLATION")
+      v.Solver.events v.Solver.decisions v.Solver.backtracks;
+    if v.Solver.consistent then Ok ()
+    else
+      fail "trace violates %s: %s"
+        (Operational.model_to_string spec)
+        (Option.value ~default:"?" v.Solver.violation)
+  in
   let run spec iterations seed counter model all_outcomes stress cap runs
-      jobs journal resume trace metrics =
+      jobs journal resume verify_trace trace metrics =
     if runs <= 0 then fail "--runs must be positive"
     else if jobs <= 0 then fail "--jobs must be positive"
+    else if verify_trace && runs <> 1 then
+      fail "--verify-trace works on a single run (--runs 1)"
     else
       Result.bind (check_resume ~journal ~resume) @@ fun () ->
       if journal <> None && runs < 2 then
@@ -696,7 +845,7 @@ let run_cmd =
             | Error r -> fail "%s" (Format.asprintf "%a" Convert.pp_reason r)
             | Ok report ->
               print_single counter model report;
-              Ok ()
+              if verify_trace then print_trace_verdict model report else Ok ()
           else
             let digest =
               Ledger.digest_of_params
@@ -731,7 +880,8 @@ let run_cmd =
        Term.(
          const run $ test_arg $ iterations_arg $ seed_arg $ counter_arg
          $ model_arg $ all_outcomes_arg $ stress_arg $ cap_arg $ runs_arg
-         $ jobs_arg $ journal_arg $ resume_arg $ trace_arg $ metrics_arg))
+         $ jobs_arg $ journal_arg $ resume_arg $ verify_trace_arg $ trace_arg
+         $ metrics_arg))
 
 (* --- litmus7 baseline ---------------------------------------------------- *)
 

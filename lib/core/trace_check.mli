@@ -1,0 +1,39 @@
+(** Whole-trace verification of perpetual runs via the solver backend.
+
+    A perpetual run's sequenced store values make every load's reads-from
+    source unambiguous ({!Convert.decode}), so the entire run — thousands
+    of events — unrolls into one concrete execution that
+    {!Perple_memmodel.Solver.classify_trace} checks against the model's
+    axioms directly.  The report layer uses this instead of per-iteration
+    outcome classification: it validates the inter-iteration orderings the
+    outcome view cannot see, and it is the detection instrument for the
+    planted simulator bugs (their traces violate honest TSO). *)
+
+module Config := Perple_sim.Config
+module Operational := Perple_memmodel.Operational
+module Solver := Perple_memmodel.Solver
+module Perpetual := Perple_harness.Perpetual
+
+val spec_model : Config.model -> Operational.model
+(** The model a trace from this simulator configuration must satisfy.
+    The buggy variants map to honest TSO: that is how their deviations
+    are caught. *)
+
+exception Undecodable of string
+(** A recorded load value that no store of its location can have
+    produced. *)
+
+val trace_of_run :
+  Convert.t -> Perpetual.run -> Solver.trace_event array array
+(** Unroll a run into a flat per-thread event trace with decoded
+    reads-from edges.  Fully retired iterations contribute their whole
+    skeleton (flushes excluded — no volatile axiom can touch them);
+    iterations a writer had not retired contribute only stores another
+    thread observed.
+
+    @raise Undecodable on a value {!Convert.decode} cannot attribute. *)
+
+val verify :
+  model:Operational.model -> Convert.t -> Perpetual.run -> Solver.verdict
+(** [trace_of_run] piped into {!Solver.classify_trace}; an undecodable
+    value is reported as an inconsistent verdict rather than raised. *)

@@ -60,14 +60,23 @@ let split_on_string ~sep s =
 
 (* --- Instruction parsing ------------------------------------------------ *)
 
+(* "[x]" → "x"; a bare name passes through.  An unterminated bracket or an
+   empty bracket pair is a hard error — silently producing an empty-named
+   location would make every later layer misattribute its accesses. *)
+let unbracket line s =
+  if String.length s >= 1 && s.[0] = '[' then begin
+    if String.length s < 2 || s.[String.length s - 1] <> ']' then
+      fail line "unterminated bracket in %S" s;
+    let inner = trim (String.sub s 1 (String.length s - 2)) in
+    if inner = "" then fail line "empty location name in %S" s;
+    inner
+  end
+  else s
+
 let parse_operand line s =
   let s = trim s in
   if s = "" then fail line "empty operand"
-  else if s.[0] = '[' then begin
-    if s.[String.length s - 1] <> ']' then
-      fail line "unterminated memory operand %S" s;
-    `Mem (trim (String.sub s 1 (String.length s - 2)))
-  end
+  else if s.[0] = '[' then `Mem (unbracket line s)
   else if s.[0] = '$' then begin
     match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
     | Some n -> `Imm n
@@ -127,30 +136,38 @@ let parse_init line s =
   let entries =
     List.filter (fun e -> trim e <> "") (String.split_on_char ';' s)
   in
-  List.map
-    (fun entry ->
-      let entry = trim entry in
-      let entry =
-        if String.length entry > 4 && String.sub entry 0 4 = "int " then
-          trim (String.sub entry 4 (String.length entry - 4))
-        else entry
-      in
-      if String.contains entry ':' then
-        fail line "register initialisation is not supported: %S" entry;
-      match String.split_on_char '=' entry with
-      | [ loc; value ] -> (
-        let loc = trim loc in
-        let loc =
-          (* Tolerate "[x]" spelling in init. *)
-          if String.length loc >= 2 && loc.[0] = '[' then
-            trim (String.sub loc 1 (String.length loc - 2))
-          else loc
+  let bindings =
+    List.map
+      (fun entry ->
+        let entry = trim entry in
+        let entry =
+          if String.length entry > 4 && String.sub entry 0 4 = "int " then
+            trim (String.sub entry 4 (String.length entry - 4))
+          else entry
         in
-        match int_of_string_opt (trim value) with
-        | Some v -> (loc, v)
-        | None -> fail line "bad init value in %S" entry)
-      | _ -> fail line "bad init entry %S" entry)
-    entries
+        if String.contains entry ':' then
+          fail line "register initialisation is not supported: %S" entry;
+        match String.split_on_char '=' entry with
+        | [ loc; value ] -> (
+          (* Tolerate "[x]" spelling in init. *)
+          let loc = unbracket line (trim loc) in
+          if loc = "" then fail line "empty location name in %S" entry;
+          match int_of_string_opt (trim value) with
+          | Some v -> (loc, v)
+          | None -> fail line "bad init value in %S" entry)
+        | _ -> fail line "bad init entry %S" entry)
+      entries
+  in
+  (* "x=0; x=1;" is a contradiction, not a last-wins override. *)
+  let rec check_dups = function
+    | [] -> ()
+    | (loc, _) :: rest ->
+      if List.mem_assoc loc rest then
+        fail line "duplicate init binding for [%s]" loc;
+      check_dups rest
+  in
+  check_dups bindings;
+  bindings
 
 (* --- Condition ---------------------------------------------------------- *)
 
@@ -173,11 +190,8 @@ let parse_atom line s =
       | None, _ -> fail line "bad thread id %S" thread_str
       | _, None -> fail line "unknown register %S" reg_str)
     | None ->
-      let loc =
-        if String.length lhs >= 2 && lhs.[0] = '[' then
-          trim (String.sub lhs 1 (String.length lhs - 2))
-        else lhs
-      in
+      let loc = unbracket line lhs in
+      if loc = "" then fail line "empty location name in %S" s;
       Ast.Loc_eq (loc, value))
   | _ -> fail line "bad condition atom %S" s
 

@@ -1,41 +1,22 @@
 module Ast = Perple_litmus.Ast
 module Outcome = Perple_litmus.Outcome
 
-type kind =
+(* Event extraction is shared with the {!Solver} backend. *)
+type kind = Event_graph.kind =
   | Write of string * int
   | Read of int * string  (* register, location *)
   | Fence
   | Flush of string
-      (* Volatile no-op; its durability effect lives in {!Persistency}. *)
 
-type event = { id : int; thread : int; po : int; kind : kind }
+type event = Event_graph.event = {
+  id : int;
+  thread : int;
+  po : int;
+  kind : kind;
+}
 
-let events_of_test test =
-  let acc = ref [] in
-  let id = ref 0 in
-  Array.iteri
-    (fun thread program ->
-      Array.iteri
-        (fun po instr ->
-          let kind =
-            match instr with
-            | Ast.Store (x, a) -> Write (x, a)
-            | Ast.Load (r, x) -> Read (r, x)
-            (* SFENCE-as-drain orders stores like a full fence on x86-TSO's
-               volatile side; only {!Persistency} distinguishes them. *)
-            | Ast.Mfence | Ast.Drain -> Fence
-            | Ast.Flush x -> Flush x
-          in
-          acc := { id = !id; thread; po; kind } :: !acc;
-          incr id)
-        program)
-    test.Ast.threads;
-  List.rev !acc
-
-let location = function
-  | Write (x, _) -> Some x
-  | Read (_, x) -> Some x
-  | Fence | Flush _ -> None
+let events_of_test = Event_graph.events_of_test
+let location = Event_graph.location
 
 (* A candidate execution: for each read, an rf source (Some write event or
    None for the initial value); for each location, a coherence order over
@@ -57,12 +38,8 @@ let permutations list =
 
 let candidates test =
   let events = events_of_test test in
-  let writes_to x =
-    List.filter (fun e -> location e.kind = Some x && (match e.kind with Write _ -> true | _ -> false)) events
-  in
-  let reads =
-    List.filter (fun e -> match e.kind with Read _ -> true | _ -> false) events
-  in
+  let writes_to x = Event_graph.writes_to events x in
+  let reads = Event_graph.reads events in
   let rf_choices =
     List.map
       (fun e ->
@@ -132,31 +109,8 @@ let fr_edges test candidate events =
       List.map (fun w -> (read_id, w.id)) later)
     candidate.rf
 
-let po_pairs events =
-  List.concat_map
-    (fun a ->
-      List.filter_map
-        (fun b ->
-          if a.thread = b.thread && a.po < b.po then Some (a, b) else None)
-        events)
-    events
-
-let acyclic edges n =
-  let adj = Array.make n [] in
-  List.iter (fun (a, b) -> adj.(a) <- b :: adj.(a)) edges;
-  let color = Array.make n 0 in
-  let rec dfs v =
-    if color.(v) = 1 then false
-    else if color.(v) = 2 then true
-    else begin
-      color.(v) <- 1;
-      let ok = List.for_all dfs adj.(v) in
-      color.(v) <- 2;
-      ok
-    end
-  in
-  let rec all v = v >= n || (dfs v && all (v + 1)) in
-  all 0
+let po_pairs = Event_graph.po_pairs
+let acyclic = Event_graph.acyclic
 
 let valid model test ~events candidate =
   let n = List.length events in

@@ -1,0 +1,75 @@
+module Ast = Perple_litmus.Ast
+
+type kind =
+  | Write of string * int
+  | Read of int * string  (* register, location *)
+  | Fence
+  | Flush of string
+      (* Volatile no-op; its durability effect lives in {!Persistency}. *)
+
+type event = { id : int; thread : int; po : int; kind : kind }
+
+let events_of_test test =
+  let acc = ref [] in
+  let id = ref 0 in
+  Array.iteri
+    (fun thread program ->
+      Array.iteri
+        (fun po instr ->
+          let kind =
+            match instr with
+            | Ast.Store (x, a) -> Write (x, a)
+            | Ast.Load (r, x) -> Read (r, x)
+            (* SFENCE-as-drain orders stores like a full fence on x86-TSO's
+               volatile side; only {!Persistency} distinguishes them. *)
+            | Ast.Mfence | Ast.Drain -> Fence
+            | Ast.Flush x -> Flush x
+          in
+          acc := { id = !id; thread; po; kind } :: !acc;
+          incr id)
+        program)
+    test.Ast.threads;
+  List.rev !acc
+
+let location = function
+  | Write (x, _) -> Some x
+  | Read (_, x) -> Some x
+  | Fence | Flush _ -> None
+
+let is_write e = match e.kind with Write _ -> true | _ -> false
+let is_read e = match e.kind with Read _ -> true | _ -> false
+let is_fence e = match e.kind with Fence -> true | _ -> false
+let is_mem e = is_write e || is_read e
+
+let writes_to events x =
+  List.filter
+    (fun e -> is_write e && location e.kind = Some x)
+    events
+
+let reads events = List.filter is_read events
+
+let po_pairs events =
+  List.concat_map
+    (fun a ->
+      List.filter_map
+        (fun b ->
+          if a.thread = b.thread && a.po < b.po then Some (a, b) else None)
+        events)
+    events
+
+let acyclic edges n =
+  let adj = Array.make n [] in
+  List.iter (fun (a, b) -> adj.(a) <- b :: adj.(a)) edges;
+  let color = Array.make n 0 in
+  let rec dfs v =
+    if color.(v) = 1 then false
+    else if color.(v) = 2 then true
+    else begin
+      color.(v) <- 1;
+      let ok = List.for_all dfs adj.(v) in
+      color.(v) <- 2;
+      ok
+    end
+  in
+  let rec all v = v >= n || (dfs v && all (v + 1)) in
+  all 0

@@ -1,0 +1,774 @@
+module Ast = Perple_litmus.Ast
+module Outcome = Perple_litmus.Outcome
+module E = Event_graph
+
+(* A constraint formulation of the axiomatic model (see docs/internals.md,
+   "Solver backend").  Executions are not enumerated: the reads-from choice
+   for each load is a variable, the coherence order of each location is a
+   variable, and validity is acyclicity of two graphs — uniproc
+   [po-loc ∪ rf ∪ ws ∪ fr] and the per-model graph — maintained
+   incrementally while propagation orients coherence pairs forced by
+   reachability (the Chakraborty-style polynomial fast path) and search
+   branches only on genuinely free choices. *)
+
+(* ---------- flat problem events ---------- *)
+
+(* The solver core works on a flat event array so litmus tests and whole
+   perpetual-run traces share one engine.  Program order is the index
+   order of same-thread events. *)
+type ekind =
+  | K_write of string
+  | K_read of string
+  | K_fence
+  | K_flush of string
+
+type pev = { thread : int; kind : ekind }
+
+let loc_of = function
+  | K_write x | K_read x | K_flush x -> Some x
+  | K_fence -> None
+
+type verdict = {
+  consistent : bool;
+  events : int;
+  violation : string option;  (* which acyclicity axiom broke *)
+  decisions : int;            (* free coherence choices explored *)
+  backtracks : int;           (* abandoned branches *)
+}
+
+(* ---------- graphs with chain-decomposed reachability ---------- *)
+
+(* Every graph is a union of chains (paths) plus extra edges.  Each event
+   records its (chain, position) memberships, and after a topological pass
+   a vector clock per node holds, for each chain, the highest position
+   that reaches it — making reachability queries O(memberships). *)
+type graph = {
+  gname : string;
+  adj : int list array;
+  memb : (int * int) list array;  (* event -> (chain, position) *)
+  nchains : int;
+  vc : int array array;  (* node -> chain -> max position reaching it *)
+  indeg : int array;     (* scratch for the topological pass *)
+  topo : int array;      (* scratch: topological order of node ids *)
+}
+
+let mk_graph name n chains extra =
+  let adj = Array.make n [] in
+  let memb = Array.make n [] in
+  let nchains = List.length chains in
+  List.iteri
+    (fun c ids ->
+      List.iteri (fun p id -> memb.(id) <- (c, p) :: memb.(id)) ids;
+      let rec link = function
+        | a :: (b :: _ as rest) ->
+          adj.(a) <- b :: adj.(a);
+          link rest
+        | [ _ ] | [] -> ()
+      in
+      link ids)
+    chains;
+  List.iter (fun (u, v) -> adj.(u) <- v :: adj.(u)) extra;
+  {
+    gname = name;
+    adj;
+    memb;
+    nchains;
+    vc = Array.init n (fun _ -> Array.make (max 1 nchains) (-1));
+    indeg = Array.make n 0;
+    topo = Array.make n 0;
+  }
+
+(* Topological sort (cycle check) + vector-clock pass. *)
+let recompute n g =
+  let indeg = g.indeg and topo = g.topo in
+  Array.fill indeg 0 n 0;
+  for u = 0 to n - 1 do
+    List.iter (fun v -> indeg.(v) <- indeg.(v) + 1) g.adj.(u)
+  done;
+  let count = ref 0 in
+  for u = 0 to n - 1 do
+    if indeg.(u) = 0 then begin
+      topo.(!count) <- u;
+      incr count
+    end
+  done;
+  let head = ref 0 in
+  while !head < !count do
+    let u = topo.(!head) in
+    incr head;
+    List.iter
+      (fun v ->
+        indeg.(v) <- indeg.(v) - 1;
+        if indeg.(v) = 0 then begin
+          topo.(!count) <- v;
+          incr count
+        end)
+      g.adj.(u)
+  done;
+  if !count < n then Error (Printf.sprintf "cycle in %s graph" g.gname)
+  else begin
+    let nc = g.nchains in
+    for v = 0 to n - 1 do
+      Array.fill g.vc.(v) 0 (max 1 nc) (-1)
+    done;
+    for i = 0 to n - 1 do
+      let u = topo.(i) in
+      let vu = g.vc.(u) in
+      List.iter
+        (fun v ->
+          let vv = g.vc.(v) in
+          for c = 0 to nc - 1 do
+            if vu.(c) > vv.(c) then vv.(c) <- vu.(c)
+          done;
+          List.iter
+            (fun (c, p) -> if p > vv.(c) then vv.(c) <- p)
+            g.memb.(u))
+        g.adj.(u)
+    done;
+    Ok ()
+  end
+
+(* Valid only between a [recompute] and the next edge addition. *)
+let reaches g a b =
+  List.exists (fun (c, p) -> g.vc.(b).(c) >= p) g.memb.(a)
+
+(* ---------- solver state ---------- *)
+
+(* Coherence for one multi-writer location: per-writer-thread chains of
+   write ids (po-forced by uniproc) merged into one total order. *)
+type merge = {
+  mloc : string;
+  chains : int array array;
+  idx : int array;        (* next unmerged position per chain *)
+  mutable last : int;     (* most recently merged write, -1 at start *)
+  mutable remaining : int;
+}
+
+type state = {
+  n : int;
+  uni : graph;
+  mg : graph;
+  merges : merge list;
+  readers : int list array;  (* write id -> reads sourced from it *)
+  mutable trail : (unit -> unit) list;
+  mutable decisions : int;
+  mutable backtracks : int;
+}
+
+let push st f = st.trail <- f :: st.trail
+
+let add_edge st g u v =
+  g.adj.(u) <- v :: g.adj.(u);
+  push st (fun () -> g.adj.(u) <- List.tl g.adj.(u))
+
+let add_edge2 st u v =
+  add_edge st st.uni u v;
+  add_edge st st.mg u v
+
+let undo_to st saved =
+  let rec go l =
+    if l != saved then
+      match l with
+      | f :: rest ->
+        f ();
+        go rest
+      | [] -> assert false
+  in
+  go st.trail;
+  st.trail <- saved
+
+(* Append the head of chain [ci] as the next write in [m]'s coherence
+   order.  Materializes exactly the forced consequences: ws from the
+   previous merged write, fr from its readers, and ws to the heads of the
+   other chains (everything still unmerged follows [h]). *)
+let append st m ci =
+  let h = m.chains.(ci).(m.idx.(ci)) in
+  let prev = m.last in
+  let old_idx = m.idx.(ci) in
+  m.idx.(ci) <- old_idx + 1;
+  m.remaining <- m.remaining - 1;
+  m.last <- h;
+  push st (fun () ->
+      m.idx.(ci) <- old_idx;
+      m.remaining <- m.remaining + 1;
+      m.last <- prev);
+  if prev >= 0 then begin
+    add_edge2 st prev h;
+    List.iter (fun r -> add_edge2 st r h) st.readers.(prev)
+  end;
+  Array.iteri
+    (fun cj chain ->
+      if cj <> ci && m.idx.(cj) < Array.length chain then
+        add_edge2 st h chain.(m.idx.(cj)))
+    m.chains
+
+let nonempty_chains m =
+  let acc = ref [] in
+  Array.iteri
+    (fun ci chain -> if m.idx.(ci) < Array.length chain then acc := ci :: !acc)
+    m.chains;
+  List.rev !acc
+
+(* A merge down to one live chain is pure materialization: the rest of the
+   order is po-forced, so no reachability data is needed. *)
+let drain_single_chains st =
+  List.iter
+    (fun m ->
+      if m.remaining > 0 then
+        match nonempty_chains m with
+        | [ ci ] ->
+          while m.remaining > 0 do
+            append st m ci
+          done
+        | _ -> ())
+    st.merges
+
+type step =
+  | Forced of merge * int
+  | Choice of merge * int list
+  | Done
+
+exception Conflict_at of string
+
+(* Find the next coherence step.  A head [h] cannot be the next write if
+   another head reaches it (that head would then be coherence-after its
+   own successor), or if another head reaches one of [h]'s readers (the
+   reader's fr edge back to that head would close a cycle).  A single
+   admissible head is a unit propagation; several are a decision point. *)
+let find_step st =
+  let forced = ref None in
+  let choice = ref None in
+  List.iter
+    (fun m ->
+      if m.remaining > 0 then begin
+        let heads =
+          List.map (fun ci -> (ci, m.chains.(ci).(m.idx.(ci)))) (nonempty_chains m)
+        in
+        let blocked (ci, h) =
+          List.exists
+            (fun (cj, h') ->
+              cj <> ci
+              && (reaches st.uni h' h || reaches st.mg h' h
+                 || List.exists
+                      (fun r -> reaches st.uni h' r || reaches st.mg h' r)
+                      st.readers.(h)))
+            heads
+        in
+        match List.filter (fun hd -> not (blocked hd)) heads with
+        | [] -> raise (Conflict_at m.mloc)
+        | [ (ci, _) ] -> if !forced = None then forced := Some (m, ci)
+        | cis ->
+          if !choice = None then choice := Some (m, List.map fst cis)
+      end)
+    st.merges;
+  match (!forced, !choice) with
+  | Some (m, ci), _ -> Forced (m, ci)
+  | None, Some (m, cis) -> Choice (m, cis)
+  | None, None -> Done
+
+let recompute2 st =
+  match recompute st.n st.uni with
+  | Error _ as e -> e
+  | Ok () -> recompute st.n st.mg
+
+(* DPLL over the coherence orders: propagate (drain + forced appends,
+   re-checking acyclicity incrementally after each) and branch only on
+   free interleaving points, undoing via the trail. *)
+let rec solve st =
+  drain_single_chains st;
+  match recompute2 st with
+  | Error reason -> Error reason
+  | Ok () -> (
+    match find_step st with
+    | Done -> Ok ()
+    | Forced (m, ci) ->
+      append st m ci;
+      solve st
+    | Choice (m, cis) ->
+      st.decisions <- st.decisions + List.length cis - 1;
+      let rec try_heads = function
+        | [] ->
+          Error
+            (Printf.sprintf "exhausted coherence interleavings for [%s]"
+               m.mloc)
+        | ci :: rest -> (
+          let saved = st.trail in
+          append st m ci;
+          match solve st with
+          | Ok () -> Ok ()
+          | Error _ ->
+            st.backtracks <- st.backtracks + 1;
+            undo_to st saved;
+            try_heads rest)
+      in
+      try_heads cis
+    | exception Conflict_at loc ->
+      Error
+        (Printf.sprintf "no admissible coherence successor for [%s]" loc))
+
+(* ---------- static construction ---------- *)
+
+let build ~(model : Operational.model) ~(events : pev array)
+    ~(rf : int option array) ~(extra : (int * int) list) =
+  let n = Array.length events in
+  let nthreads =
+    Array.fold_left (fun m e -> max m (e.thread + 1)) 0 events
+  in
+  let by_thread = Array.make nthreads [] in
+  for id = n - 1 downto 0 do
+    by_thread.(events.(id).thread) <- id :: by_thread.(events.(id).thread)
+  done;
+  let locs =
+    let seen = Hashtbl.create 8 in
+    let acc = ref [] in
+    Array.iter
+      (fun e ->
+        match loc_of e.kind with
+        | Some x when not (Hashtbl.mem seen x) ->
+          Hashtbl.add seen x ();
+          acc := x :: !acc
+        | _ -> ())
+      events;
+    List.rev !acc
+  in
+  let is_write id = match events.(id).kind with K_write _ -> true | _ -> false in
+  let is_read id = match events.(id).kind with K_read _ -> true | _ -> false in
+  let is_fence id = match events.(id).kind with K_fence -> true | _ -> false in
+  let eloc id = loc_of events.(id).kind in
+  (* Per-(thread, location) write chains: the po-forced spine of every
+     coherence order. *)
+  let writes_tl = Hashtbl.create 16 in
+  Array.iteri
+    (fun t ids ->
+      List.iter
+        (fun id ->
+          if is_write id then
+            let x = Option.get (eloc id) in
+            let cur =
+              Option.value ~default:[] (Hashtbl.find_opt writes_tl (t, x))
+            in
+            Hashtbl.replace writes_tl (t, x) (id :: cur))
+        ids)
+    by_thread;
+  let writes_of t x =
+    List.rev (Option.value ~default:[] (Hashtbl.find_opt writes_tl (t, x)))
+  in
+  (* uniproc: po-loc as per-(thread, location) chains over every located
+     event (writes, reads, flushes). *)
+  let uni_chains =
+    List.concat_map
+      (fun x ->
+        Array.to_list by_thread
+        |> List.filter_map (fun ids ->
+               match List.filter (fun id -> eloc id = Some x) ids with
+               | [] -> None
+               | chain -> Some chain))
+      locs
+  in
+  (* Model graph: reduced per-thread chains whose closure over memory
+     events equals ppo ∪ fenced (flushes are not memory events under
+     TSO/PSO and are excluded there). *)
+  let mg_chains, mg_extra =
+    match model with
+    | Operational.Sc -> (Array.to_list by_thread, [])
+    | Operational.Tso | Operational.Pso ->
+      let chains = ref [] and extra = ref [] in
+      Array.iter
+        (fun ids ->
+          let ids = Array.of_list ids in
+          let m = Array.length ids in
+          let rf_chain =
+            Array.to_list ids |> List.filter (fun id -> is_read id || is_fence id)
+          in
+          if rf_chain <> [] then chains := rf_chain :: !chains;
+          (* One write chain under TSO (all stores drain in order), one
+             per written location under PSO (FIFO per location only). *)
+          let keeps =
+            match model with
+            | Operational.Tso -> [ is_write ]
+            | Operational.Pso ->
+              List.filter_map
+                (fun x ->
+                  if
+                    Array.exists
+                      (fun id -> is_write id && eloc id = Some x)
+                      ids
+                  then Some (fun id -> is_write id && eloc id = Some x)
+                  else None)
+                locs
+            | Operational.Sc -> assert false
+          in
+          List.iter
+            (fun keep ->
+              let chain =
+                Array.to_list ids
+                |> List.filter (fun id -> keep id || is_fence id)
+              in
+              if chain <> [] then chains := chain :: !chains;
+              (* Reads stay ordered before later writes (only W->R and,
+                 under PSO, W->W to a different location are relaxed):
+                 edge from each read to the chain's next element. *)
+              let nxt = ref (-1) in
+              for i = m - 1 downto 0 do
+                let id = ids.(i) in
+                if is_read id && !nxt >= 0 then extra := (id, !nxt) :: !extra;
+                if keep id || is_fence id then nxt := id
+              done)
+            keeps)
+        by_thread;
+      (!chains, !extra)
+  in
+  (* rf, initial-read fr, and po-forced fr edges. *)
+  let uni_extra = ref [] and mg_rf_extra = ref [] in
+  let both = ref extra in
+  let readers = Array.make n [] in
+  (* next same-thread write to the same location, for po-forced fr *)
+  let next_write = Array.make n (-1) in
+  Hashtbl.iter
+    (fun _ rev_ids ->
+      let rec go = function
+        | a :: (b :: _ as rest) ->
+          next_write.(b) <- a;
+          go rest
+        | [ _ ] | [] -> ()
+      in
+      go rev_ids)
+    writes_tl;
+  Array.iteri
+    (fun r src ->
+      if is_read r then begin
+        let x = Option.get (eloc r) in
+        match src with
+        | Some w ->
+          (match events.(w).kind with
+          | K_write y when y = x -> ()
+          | _ -> invalid_arg "Solver: rf source is not a same-location write");
+          readers.(w) <- r :: readers.(w);
+          uni_extra := (w, r) :: !uni_extra;
+          (match model with
+          | Operational.Sc -> mg_rf_extra := (w, r) :: !mg_rf_extra
+          | Operational.Tso | Operational.Pso ->
+            if events.(w).thread <> events.(r).thread then
+              mg_rf_extra := (w, r) :: !mg_rf_extra);
+          (* fr to the source's po-successor write: coherence-after the
+             source in every completion *)
+          if next_write.(w) >= 0 then both := (r, next_write.(w)) :: !both
+        | None ->
+          (* reading the initial value: fr to the first write of every
+             thread's chain (the chains carry it to the rest) *)
+          for t = 0 to nthreads - 1 do
+            match writes_of t x with
+            | w0 :: _ -> both := (r, w0) :: !both
+            | [] -> ()
+          done
+      end)
+    rf;
+  let uni =
+    mk_graph "uniproc" n uni_chains (!uni_extra @ !both)
+  in
+  let mg =
+    mk_graph
+      (Operational.model_to_string model)
+      n mg_chains
+      (mg_extra @ !mg_rf_extra @ !both)
+  in
+  (* Coherence merges for locations written by more than one thread. *)
+  let merges =
+    List.filter_map
+      (fun x ->
+        let chains =
+          List.init nthreads (fun t -> writes_of t x)
+          |> List.filter (fun c -> c <> [])
+          |> List.map Array.of_list
+        in
+        if List.length chains < 2 then None
+        else
+          let chains = Array.of_list chains in
+          Some
+            {
+              mloc = x;
+              chains;
+              idx = Array.make (Array.length chains) 0;
+              last = -1;
+              remaining =
+                Array.fold_left (fun a c -> a + Array.length c) 0 chains;
+            })
+      locs
+  in
+  { n; uni; mg; merges; readers; trail = []; decisions = 0; backtracks = 0 }
+
+let solve_exec ~model ~events ~rf ~extra =
+  let st = build ~model ~events ~rf ~extra in
+  match solve st with
+  | Ok () ->
+    {
+      consistent = true;
+      events = st.n;
+      violation = None;
+      decisions = st.decisions;
+      backtracks = st.backtracks;
+    }
+  | Error reason ->
+    {
+      consistent = false;
+      events = st.n;
+      violation = Some reason;
+      decisions = st.decisions;
+      backtracks = st.backtracks;
+    }
+
+(* ---------- whole-trace verification ---------- *)
+
+type trace_event =
+  | T_write of string
+  | T_read of string * int option
+  | T_fence
+
+let classify_trace model threads =
+  let n = Array.fold_left (fun a t -> a + Array.length t) 0 threads in
+  let events = Array.make n { thread = 0; kind = K_fence } in
+  let rf = Array.make n None in
+  let id = ref 0 in
+  Array.iteri
+    (fun t evs ->
+      Array.iter
+        (fun ev ->
+          (match ev with
+          | T_write x -> events.(!id) <- { thread = t; kind = K_write x }
+          | T_read (x, src) ->
+            events.(!id) <- { thread = t; kind = K_read x };
+            rf.(!id) <- src
+          | T_fence -> events.(!id) <- { thread = t; kind = K_fence });
+          incr id)
+        evs)
+    threads;
+  solve_exec ~model ~events ~rf ~extra:[]
+
+(* ---------- litmus-test interface ---------- *)
+
+(* rf variables: for every read, the candidate sources (writes to its
+   location, or the initial value).  Enumerated depth-first with the
+   cheap po-local coherence prunes; each full assignment is decided by
+   the coherence solver above. *)
+
+type problem = {
+  test : Ast.t;
+  pevents : pev array;
+  evs : E.event list;  (* Event_graph view, same ids *)
+  preads : E.event list;
+  wvalue : int array;  (* write id -> stored value *)
+}
+
+let problem_of_test test =
+  let evs = E.events_of_test test in
+  let n = List.length evs in
+  let pevents = Array.make n { thread = 0; kind = K_fence } in
+  let wvalue = Array.make n 0 in
+  List.iter
+    (fun (e : E.event) ->
+      let kind =
+        match e.kind with
+        | E.Write (x, a) ->
+          wvalue.(e.id) <- a;
+          K_write x
+        | E.Read (_, x) -> K_read x
+        | E.Fence -> K_fence
+        | E.Flush x -> K_flush x
+      in
+      pevents.(e.id) <- { thread = e.thread; kind })
+    evs;
+  { test; pevents; evs; preads = E.reads evs; wvalue }
+
+(* Sound po-local prunes (each rejected choice is a uniproc cycle): a
+   read cannot source a po-later own write, cannot skip over an own
+   intervening write, and cannot read the initial value past an own
+   write. *)
+let locally_coherent p (r : E.event) src =
+  let x = Option.get (E.location r.kind) in
+  let own_writes =
+    List.filter
+      (fun (w : E.event) ->
+        w.thread = r.thread && w.po < r.po && E.is_write w
+        && E.location w.kind = Some x)
+      p.evs
+  in
+  match src with
+  | None ->
+    (* reading the initial value past an own write is a uniproc cycle *)
+    own_writes = []
+  | Some (w : E.event) ->
+    if w.thread <> r.thread then
+      (* cross-thread sources are only constrained through ws *)
+      true
+    else
+      (* own sources must be the po-latest own write (store forwarding) *)
+      w.po < r.po
+      && not (List.exists (fun (w' : E.event) -> w'.po > w.po) own_writes)
+
+let domain p (r : E.event) =
+  let x = Option.get (E.location r.kind) in
+  let writes = E.writes_to p.evs x in
+  List.filter
+    (fun src -> locally_coherent p r src)
+    (List.map (fun w -> Some w) writes @ [ None ])
+
+(* Enumerate rf assignments; call [yield] on every solver-consistent one
+   with the outcome it denotes. *)
+let enumerate ?(domains = []) ~model p ~extra yield =
+  let reads = p.preads in
+  let rf = Array.make (Array.length p.pevents) None in
+  let dom (r : E.event) =
+    match List.assq_opt r domains with Some d -> d | None -> domain p r
+  in
+  let rec go = function
+    | [] ->
+      let v =
+        solve_exec ~model ~events:p.pevents
+          ~rf:(Array.map (Option.map (fun (w : E.event) -> w.id)) rf)
+          ~extra
+      in
+      if v.consistent then begin
+        let bindings =
+          List.map
+            (fun (r : E.event) ->
+              let reg =
+                match r.kind with E.Read (reg, _) -> reg | _ -> assert false
+              in
+              let value =
+                match rf.(r.id) with
+                | Some (w : E.event) -> p.wvalue.(w.id)
+                | None ->
+                  Ast.initial_value p.test (Option.get (E.location r.kind))
+              in
+              { Outcome.thread = r.thread; reg; value })
+            reads
+        in
+        yield
+          (List.sort
+             (fun (a : Outcome.binding) (b : Outcome.binding) ->
+               compare (a.thread, a.reg) (b.thread, b.reg))
+             bindings)
+          rf
+      end
+    | r :: rest ->
+      List.iter
+        (fun src ->
+          rf.(r.E.id) <- src;
+          go rest;
+          rf.(r.E.id) <- None)
+        (dom r)
+  in
+  go reads
+
+let reachable_outcomes model test =
+  let p = problem_of_test test in
+  let acc = ref [] in
+  enumerate ~model p ~extra:[] (fun outcome _ -> acc := outcome :: !acc);
+  List.sort_uniq Outcome.compare !acc
+
+exception Sat
+
+let restrict_domains p partial =
+  List.filter_map
+    (fun (r : E.event) ->
+      match r.kind with
+      | E.Read (reg, x) -> (
+        match
+          List.find_opt
+            (fun (b : Outcome.binding) ->
+              b.thread = r.thread && b.reg = reg)
+            partial
+        with
+        | None -> None
+        | Some b ->
+          let keep src =
+            (match src with
+            | Some (w : E.event) -> p.wvalue.(w.id) = b.value
+            | None -> Ast.initial_value p.test x = b.value)
+            && locally_coherent p r src
+          in
+          let writes = E.writes_to p.evs x in
+          Some
+            (r, List.filter keep (List.map (fun w -> Some w) writes @ [ None ])))
+      | _ -> None)
+    p.preads
+
+let condition_reachable model test ~partial =
+  let p = problem_of_test test in
+  let domains = restrict_domains p partial in
+  try
+    enumerate ~domains ~model p ~extra:[] (fun _ _ -> raise Sat);
+    false
+  with Sat -> true
+
+let condition_always model test ~partial =
+  List.for_all
+    (fun o -> Outcome.matches ~partial o)
+    (reachable_outcomes model test)
+
+(* The test's own condition including final-memory atoms: a [Loc_eq]
+   pins the coherence-maximal write of the location, expressed as extra
+   ws edges from every other write to the chosen target. *)
+let final_condition_reachable model test =
+  let p = problem_of_test test in
+  let atoms = test.Ast.condition.Ast.atoms in
+  let partial =
+    List.filter_map
+      (function
+        | Ast.Reg_eq (thread, reg, value) ->
+          Some { Outcome.thread; reg; value }
+        | Ast.Loc_eq _ -> None)
+      atoms
+  in
+  let domains = restrict_domains p partial in
+  let loc_targets =
+    List.filter_map
+      (function
+        | Ast.Reg_eq _ -> None
+        | Ast.Loc_eq (x, v) -> (
+          match E.writes_to p.evs x with
+          | [] -> Some (if Ast.initial_value test x = v then [ [] ] else [])
+          | writes ->
+            let targets =
+              List.filter (fun (w : E.event) -> p.wvalue.(w.id) = v) writes
+            in
+            Some
+              (List.map
+                 (fun (w : E.event) ->
+                   List.filter_map
+                     (fun (w' : E.event) ->
+                       if w'.id = w.id then None else Some (w'.id, w.id))
+                     writes)
+                 targets)))
+      atoms
+  in
+  let rec combos = function
+    | [] -> [ [] ]
+    | options :: rest ->
+      List.concat_map
+        (fun extra -> List.map (fun tail -> extra @ tail) (combos rest))
+        options
+  in
+  List.exists
+    (fun extra ->
+      try
+        enumerate ~domains ~model p ~extra (fun _ _ -> raise Sat);
+        false
+      with Sat -> true)
+    (combos loc_targets)
+
+let condition_verdict model test =
+  match test.Ast.condition.Ast.quantifier with
+  | Ast.Exists | Ast.Not_exists -> Ok (final_condition_reachable model test)
+  | Ast.Forall -> (
+    match Outcome.of_condition { test with Ast.condition = { test.Ast.condition with Ast.quantifier = Ast.Exists } } with
+    | Error _ as e -> e
+    | Ok partial -> Ok (condition_always model test ~partial))
+
+let target_allowed model test =
+  match Outcome.of_condition test with
+  | Error _ as e -> e
+  | Ok partial -> Ok (condition_reachable model test ~partial)
+
+let classify model test outcome =
+  condition_reachable model test ~partial:outcome

@@ -1,7 +1,7 @@
 let ids =
   [
     "table2"; "fig9"; "fig10"; "fig11"; "fig12"; "fig13"; "accuracy";
-    "overall"; "ablation";
+    "overall"; "ablation"; "trace-audit";
   ]
 
 let run params = function
@@ -14,6 +14,7 @@ let run params = function
   | "accuracy" -> Ok (Accuracy.render params)
   | "overall" -> Ok (Overall.render params)
   | "ablation" -> Ok (Ablation.render params)
+  | "trace-audit" -> Ok (Trace_audit.render params)
   | id ->
     Error
       (Printf.sprintf "unknown experiment %S (known: %s)" id

@@ -1,0 +1,7 @@
+(** Whole-trace audit table: perpetual runs of selected catalog tests on
+    every machine configuration, each full trace verified against its
+    specification model by {!Perple_core.Trace_check}.  Clean machines
+    must verify everywhere; the planted bug configurations show
+    VIOLATION on the tests where their deviation is observable. *)
+
+val render : Common.params -> string

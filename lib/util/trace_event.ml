@@ -11,7 +11,15 @@
    per-domain utilization visible in the viewer.  Timestamps come from the
    wall clock and are inherently non-deterministic; nothing read back into
    results may come from a trace (see docs/internals.md, "determinism
-   contract"). *)
+   contract").
+
+   The wall clock can step backwards (NTP adjustment, VM migration); raw
+   [Unix.gettimeofday] would then produce spans with negative durations,
+   which trace viewers silently misrender.  Every read goes through a
+   process-global monotonized wrapper — the maximum of the raw clock and
+   the last value handed out — so timestamps never decrease.  Spans whose
+   [since] was captured before the sink was installed carry the [no_sink]
+   sentinel and are dropped rather than recorded with a bogus epoch. *)
 
 type arg =
   | Int of int
@@ -37,20 +45,38 @@ type sink = {
 
 let ambient : sink option ref = ref None
 
+(* Monotonized wall clock, shared by every sink in the process: never
+   returns less than any value it has already returned, even if the
+   underlying clock steps backwards between calls. *)
+let last_time = Atomic.make neg_infinity
+
+let rec mono_time () =
+  let t = Unix.gettimeofday () in
+  let prev = Atomic.get last_time in
+  if t <= prev then prev
+  else if Atomic.compare_and_set last_time prev t then t
+  else mono_time ()
+
 let create_sink () =
-  { events = []; count = 0; mutex = Mutex.create (); t0 = Unix.gettimeofday () }
+  { events = []; count = 0; mutex = Mutex.create (); t0 = mono_time () }
 
 let install sink = ambient := Some sink
 let uninstall () = ambient := None
 let active () = !ambient
 let enabled () = !ambient <> None
 
-(* Microseconds since the ambient sink's epoch; 0 when tracing is off (a
-   span recorded against a disabled sink is dropped anyway). *)
+(* Sentinel returned by [now] when no sink is installed: a [since] capture
+   from before the sink existed has no epoch to be relative to, so
+   [complete] drops such spans instead of recording garbage. *)
+let no_sink = -1.0
+
+(* Microseconds since the ambient sink's epoch.  Never negative when a
+   sink is installed: the sink's [t0] came from the same monotonized
+   source. *)
 let now () =
   match !ambient with
-  | None -> 0.0
-  | Some sink -> (Unix.gettimeofday () -. sink.t0) *. 1e6
+  | None -> no_sink
+  | Some sink -> (mono_time () -. sink.t0) *. 1e6
 
 let record sink ev =
   Mutex.lock sink.mutex;
@@ -62,16 +88,19 @@ let complete ?(args = []) ~name ~since () =
   match !ambient with
   | None -> ()
   | Some sink ->
-    let ts = (Unix.gettimeofday () -. sink.t0) *. 1e6 in
-    record sink
-      {
-        name;
-        phase = `Complete;
-        ts = since;
-        dur = Float.max 0.0 (ts -. since);
-        tid = (Domain.self () :> int);
-        args;
-      }
+    if since < 0.0 then ()  (* captured before the sink was installed *)
+    else begin
+      let ts = (mono_time () -. sink.t0) *. 1e6 in
+      record sink
+        {
+          name;
+          phase = `Complete;
+          ts = since;
+          dur = Float.max 0.0 (ts -. since);
+          tid = (Domain.self () :> int);
+          args;
+        }
+    end
 
 let instant ?(args = []) ~name () =
   match !ambient with
@@ -81,7 +110,7 @@ let instant ?(args = []) ~name () =
       {
         name;
         phase = `Instant;
-        ts = (Unix.gettimeofday () -. sink.t0) *. 1e6;
+        ts = (mono_time () -. sink.t0) *. 1e6;
         dur = 0.0;
         tid = (Domain.self () :> int);
         args;

@@ -9,7 +9,13 @@
 
     {b Determinism contract}: trace timestamps and durations come from the
     wall clock and are non-deterministic; traces are observation-only and
-    nothing in them feeds back into results.  See docs/internals.md. *)
+    nothing in them feeds back into results.  See docs/internals.md.
+
+    {b Clock discipline}: reads go through a process-global monotonized
+    wrapper, so timestamps never decrease even if the wall clock steps
+    backwards; durations are clamped at [0].  A [since] captured while no
+    sink was installed is the negative {!no_sink} sentinel and {!complete}
+    drops the span instead of inventing an epoch for it. *)
 
 type arg =
   | Int of int
@@ -28,13 +34,19 @@ val uninstall : unit -> unit
 val active : unit -> sink option
 val enabled : unit -> bool
 
+val no_sink : float
+(** Negative sentinel {!now} returns when no sink is installed. *)
+
 val now : unit -> float
-(** Microseconds since the ambient sink's creation; [0.] when disabled.
-    Capture once at the start of an operation and pass to {!complete}. *)
+(** Microseconds since the ambient sink's creation (never negative, never
+    decreasing); {!no_sink} when disabled.  Capture once at the start of
+    an operation and pass to {!complete}. *)
 
 val complete : ?args:(string * arg) list -> name:string -> since:float -> unit -> unit
 (** Record a complete ("X") span from [since] (a {!now} capture) to the
-    current time.  No-op when disabled. *)
+    current time; the duration is clamped at [0].  No-op when disabled,
+    and a negative [since] ({!no_sink} — captured before the sink was
+    installed) drops the span. *)
 
 val instant : ?args:(string * arg) list -> name:string -> unit -> unit
 (** Record an instant ("i") event.  No-op when disabled. *)

@@ -69,6 +69,27 @@ let test_show_non_convertible () =
 
 let test_check () = expect_ok ~grep:"axiomatic checker agrees: true" "check lb"
 
+let test_check_solver () =
+  expect_ok ~grep:"reachable outcomes (solver)" "check sb --backend solver"
+
+let test_check_crosscheck () =
+  expect_ok ~grep:"all three backends agree" "check n5 --crosscheck"
+
+let test_check_bad_backend () =
+  expect_fail ~grep:"expected operational, axiomatic or solver"
+    "check sb --backend herd"
+
+let test_verify_trace () =
+  expect_ok ~grep:"trace verification against TSO: consistent"
+    "run mp -n 400 --verify-trace"
+
+let test_verify_trace_catches_bug () =
+  expect_fail ~grep:"trace violates TSO"
+    "run mp -n 400 --model tso+store-reorder-bug --seed 3 --verify-trace"
+
+let test_verify_trace_needs_single_run () =
+  expect_fail ~grep:"single run" "run sb -n 100 --runs 2 --verify-trace"
+
 let test_convert () =
   expect_ok ~grep:"buf1[m] >= n + 1" "convert sb"
 
@@ -417,6 +438,14 @@ let suite =
         Alcotest.test_case "show non-convertible" `Quick
           test_show_non_convertible;
         Alcotest.test_case "check" `Quick test_check;
+        Alcotest.test_case "check solver backend" `Quick test_check_solver;
+        Alcotest.test_case "check crosscheck" `Quick test_check_crosscheck;
+        Alcotest.test_case "check bad backend" `Quick test_check_bad_backend;
+        Alcotest.test_case "run verify-trace" `Quick test_verify_trace;
+        Alcotest.test_case "run verify-trace catches bug" `Quick
+          test_verify_trace_catches_bug;
+        Alcotest.test_case "verify-trace single-run only" `Quick
+          test_verify_trace_needs_single_run;
         Alcotest.test_case "convert" `Quick test_convert;
         Alcotest.test_case "run" `Quick test_run;
         Alcotest.test_case "run pso" `Quick test_run_pso;

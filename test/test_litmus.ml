@@ -297,6 +297,46 @@ let test_parse_errors () =
     (contains ~sub:"condition"
        (parse_error "X86 t\n{ x=0; }\n P0     ;\n MFENCE ;\n"))
 
+(* Satellite: init-section bugs — duplicate bindings and malformed
+   brackets used to be accepted silently (last-wins / empty-named
+   location); both are now hard parse errors with the line number. *)
+let test_parse_init_errors () =
+  let duplicate =
+    "X86 t\n{ x=0; x=1; }\n P0          ;\n MOV [x],$2  ;\nexists (x=2)\n"
+  in
+  check Alcotest.bool "duplicate init rejected" true
+    (contains ~sub:"duplicate init binding for [x]" (parse_error duplicate));
+  (match Parser.parse duplicate with
+  | Ok _ -> Alcotest.fail "expected parse error"
+  | Error e -> check Alcotest.int "duplicate init line" 2 e.Parser.line);
+  (* The bracket-tolerant spelling still parses... *)
+  let t =
+    Result.get_ok
+      (Parser.parse
+         "X86 t\n{ [x]=3; }\n P0          ;\n MOV EAX,[x] ;\nexists \
+          (0:EAX=3)\n")
+  in
+  check Alcotest.int "bracketed init value" 3 (List.assoc "x" t.Ast.init);
+  (* ...but an unterminated or empty bracket is an error, not an
+     empty-named location. *)
+  check Alcotest.bool "unterminated init bracket" true
+    (contains ~sub:"unterminated bracket"
+       (parse_error
+          "X86 t\n{ [x=0; }\n P0          ;\n MOV [x],$1  ;\nexists (x=1)\n"));
+  check Alcotest.bool "empty init bracket" true
+    (contains ~sub:"empty location name"
+       (parse_error
+          "X86 t\n{ []=0; }\n P0          ;\n MOV [x],$1  ;\nexists (x=1)\n"));
+  (* Same strictness in condition atoms. *)
+  check Alcotest.bool "unterminated condition bracket" true
+    (contains ~sub:"unterminated bracket"
+       (parse_error
+          "X86 t\n{ x=0; }\n P0          ;\n MOV [x],$1  ;\nexists ([x=1)\n"));
+  check Alcotest.bool "empty condition bracket" true
+    (contains ~sub:"empty location name"
+       (parse_error
+          "X86 t\n{ x=0; }\n P0          ;\n MOV [x],$1  ;\nexists ([]=1)\n"))
+
 let test_parse_persistency () =
   let text =
     "X86 pm\n\
@@ -577,6 +617,7 @@ let suite =
         Alcotest.test_case "~exists" `Quick test_parse_not_exists;
         Alcotest.test_case "empty cells" `Quick test_parse_empty_cells;
         Alcotest.test_case "errors" `Quick test_parse_errors;
+        Alcotest.test_case "init errors" `Quick test_parse_init_errors;
         Alcotest.test_case "persistency syntax" `Quick test_parse_persistency;
         Alcotest.test_case "error positions" `Quick
           test_parse_error_positions;

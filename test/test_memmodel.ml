@@ -266,6 +266,160 @@ let sc_subset_property =
       let tso = Operational.reachable_outcomes Operational.Tso test in
       List.for_all (fun o -> List.exists (Outcome.equal o) tso) sc)
 
+(* --- Solver backend ------------------------------------------------------- *)
+
+module Solver = Perple_memmodel.Solver
+
+let models = [ Operational.Sc; Operational.Tso; Operational.Pso ]
+
+let test_solver_agreement_catalog () =
+  List.iter
+    (fun (e : Catalog.entry) ->
+      let test = e.Catalog.test in
+      List.iter
+        (fun model ->
+          let op = Operational.reachable_outcomes model test in
+          let sv = Solver.reachable_outcomes model test in
+          if
+            List.length op <> List.length sv
+            || not (List.for_all2 Outcome.equal op sv)
+          then
+            Alcotest.failf "%s under %s: solver and operational disagree"
+              test.Ast.name
+              (Operational.model_to_string model))
+        models)
+    Catalog.suite
+
+let test_solver_table_ii () =
+  List.iter
+    (fun (e : Catalog.entry) ->
+      let expected = e.Catalog.classification = Catalog.Allowed in
+      let got =
+        Result.get_ok (Solver.target_allowed Operational.Tso e.Catalog.test)
+      in
+      check Alcotest.bool e.Catalog.test.Ast.name expected got)
+    Catalog.suite
+
+let test_solver_final_memory () =
+  (* Same Loc_eq semantics as the axiomatic checker, including on the
+     non-convertible tests. *)
+  List.iter
+    (fun t ->
+      List.iter
+        (fun model ->
+          check Alcotest.bool
+            (Printf.sprintf "%s under %s" t.Ast.name
+               (Operational.model_to_string model))
+            (Axiomatic.condition_reachable model t)
+            (Solver.final_condition_reachable model t))
+        models)
+    (List.map (fun (e : Catalog.entry) -> e.Catalog.test) Catalog.suite
+    @ Catalog.non_convertible)
+
+let test_solver_forall () =
+  let own =
+    Ast.make ~name:"always2"
+      ~threads:[ [ Ast.Store ("x", 1); Ast.Load (0, "x") ] ]
+      ~condition:
+        { Ast.quantifier = Ast.Forall; atoms = [ Ast.Reg_eq (0, 0, 1) ] }
+      ()
+  in
+  check Alcotest.bool "verdict forall" true
+    (Result.get_ok (Solver.condition_verdict Operational.Tso own));
+  check Alcotest.bool "verdict exists (sb)" true
+    (Result.get_ok (Solver.condition_verdict Operational.Tso Catalog.sb))
+
+let solver_agreement_property =
+  QCheck.Test.make ~name:"solver = operational = axiomatic on random tests"
+    ~count:300
+    (Gen.arbitrary_test ~max_threads:3 ~max_instrs:2 ())
+    (fun test ->
+      List.for_all
+        (fun model ->
+          let op = Operational.reachable_outcomes model test in
+          let ax = Axiomatic.reachable_outcomes model test in
+          let sv = Solver.reachable_outcomes model test in
+          List.length op = List.length ax
+          && List.for_all2 Outcome.equal op ax
+          && List.length op = List.length sv
+          && List.for_all2 Outcome.equal op sv)
+        models)
+
+(* --- Solver trace verification -------------------------------------------- *)
+
+(* A perpetual-style sb trace: t0 repeats [W x; R y], t1 repeats
+   [W y; R x], and every read sources the other thread's
+   previous-iteration write (buffers one iteration deep).  Relaxed but
+   TSO-consistent; SC-inconsistent from iteration 0 on (both threads
+   read past the other's already-issued store). *)
+let sb_trace iters =
+  let t0 =
+    Array.init (2 * iters) (fun j ->
+        if j mod 2 = 0 then Solver.T_write "x"
+        else
+          let i = j / 2 in
+          Solver.T_read
+            ("y", if i = 0 then None else Some (2 * iters + (2 * (i - 1)))))
+  in
+  let t1 =
+    Array.init (2 * iters) (fun j ->
+        if j mod 2 = 0 then Solver.T_write "y"
+        else
+          let i = j / 2 in
+          Solver.T_read ("x", if i = 0 then None else Some (2 * (i - 1))))
+  in
+  [| t0; t1 |]
+
+(* A perpetual mp violation: t0 repeats [W x; W y], t1 repeats
+   [R y; R x], and each iteration reads the fresh y but the stale x —
+   forbidden under TSO (W->W is ordered), allowed under PSO. *)
+let mp_trace iters =
+  let t0 =
+    Array.init (2 * iters) (fun j ->
+        if j mod 2 = 0 then Solver.T_write "x" else Solver.T_write "y")
+  in
+  let t1 =
+    Array.init (2 * iters) (fun j ->
+        let i = j / 2 in
+        if j mod 2 = 0 then Solver.T_read ("y", Some ((2 * i) + 1))
+        else Solver.T_read ("x", if i = 0 then None else Some (2 * (i - 1))))
+  in
+  [| t0; t1 |]
+
+let test_solver_trace_long () =
+  (* 2000 events: far beyond what enumerating executions can reach. *)
+  let v = Solver.classify_trace Operational.Tso (sb_trace 500) in
+  check Alcotest.int "2000 events" 2000 v.Solver.events;
+  check Alcotest.bool "TSO-consistent" true v.Solver.consistent;
+  check Alcotest.int "decided by the fast path" 0 v.Solver.decisions;
+  let v = Solver.classify_trace Operational.Sc (sb_trace 500) in
+  check Alcotest.bool "SC-inconsistent" false v.Solver.consistent
+
+let test_solver_trace_violation () =
+  let v = Solver.classify_trace Operational.Tso (mp_trace 500) in
+  check Alcotest.bool "TSO rejects stale mp" false v.Solver.consistent;
+  check Alcotest.bool "names the broken axiom" true
+    (v.Solver.violation <> None);
+  let v = Solver.classify_trace Operational.Pso (mp_trace 500) in
+  check Alcotest.bool "PSO allows stale mp" true v.Solver.consistent
+
+let test_solver_trace_search () =
+  (* Two threads race stores to one location with no reads: nothing
+     forces the interleaving, so the fast path stalls and the DPLL
+     branch decides (any interleaving works). *)
+  let writes n = Array.make n (Solver.T_write "x") in
+  let v = Solver.classify_trace Operational.Tso [| writes 300; writes 300 |] in
+  check Alcotest.bool "write race consistent" true v.Solver.consistent;
+  check Alcotest.bool "search was needed" true (v.Solver.decisions > 0);
+  (* A read pinning one write order plus a fence-framed contradiction:
+     t1's read of t0's *first* store after t1's own store makes t1's
+     store coherence-first... combined with t0 reading t1's store after
+     t0's own second store, the orders clash under SC. *)
+  let t0 = [| Solver.T_write "x"; Solver.T_write "x" |] in
+  let t1 = [| Solver.T_write "x"; Solver.T_read ("x", Some 0) |] in
+  let v = Solver.classify_trace Operational.Sc [| t0; t1 |] in
+  check Alcotest.bool "pinned race consistent" true v.Solver.consistent
+
 let suite =
   [
     ( "memmodel.operational",
@@ -297,6 +451,25 @@ let suite =
       ] );
     ( "memmodel.forall",
       [ Alcotest.test_case "forall semantics" `Quick test_forall_semantics ] );
+    ( "memmodel.solver",
+      [
+        Alcotest.test_case "agreement on catalog" `Quick
+          test_solver_agreement_catalog;
+        Alcotest.test_case "Table II classification" `Quick
+          test_solver_table_ii;
+        Alcotest.test_case "final-memory conditions" `Quick
+          test_solver_final_memory;
+        Alcotest.test_case "forall semantics" `Quick test_solver_forall;
+        QCheck_alcotest.to_alcotest solver_agreement_property;
+      ] );
+    ( "memmodel.solver-trace",
+      [
+        Alcotest.test_case "2000-event trace" `Quick test_solver_trace_long;
+        Alcotest.test_case "perpetual mp violation" `Quick
+          test_solver_trace_violation;
+        Alcotest.test_case "write-race search" `Quick
+          test_solver_trace_search;
+      ] );
     ( "memmodel.pso",
       [
         Alcotest.test_case "relaxes mp" `Quick test_pso_relaxes_mp;

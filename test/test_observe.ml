@@ -30,7 +30,8 @@ let with_sinks f =
 
 let test_trace_disabled_noop () =
   check Alcotest.bool "disabled" false (Trace_event.enabled ());
-  check (Alcotest.float 0.0) "now is 0" 0.0 (Trace_event.now ());
+  check (Alcotest.float 0.0) "now is the no-sink sentinel"
+    Trace_event.no_sink (Trace_event.now ());
   (* None of these may raise or record anywhere. *)
   Trace_event.complete ~name:"x" ~since:0.0 ();
   Trace_event.instant ~name:"y" ();
@@ -50,6 +51,36 @@ let test_trace_records_events () =
       (* span records even when the body raises. *)
       (try Trace_event.span "boom" (fun () -> failwith "x") with _ -> ());
       check Alcotest.int "raised span recorded" 4 (Trace_event.length trace))
+
+(* Regression: clock discipline.  [now] is never negative with a sink
+   installed and never decreases; a span whose [since] was captured
+   before the sink existed is dropped, not recorded against a bogus
+   epoch; a [since] from the future clamps to a zero-duration span
+   rather than a negative one. *)
+let test_trace_clock_discipline () =
+  (* Captured while disabled: the sentinel. *)
+  let pre_install = Trace_event.now () in
+  check Alcotest.bool "pre-install capture is negative" true
+    (pre_install < 0.0);
+  with_sinks (fun trace _ ->
+      let a = Trace_event.now () in
+      check Alcotest.bool "now >= 0 with sink" true (a >= 0.0);
+      let b = Trace_event.now () in
+      check Alcotest.bool "now never decreases" true (b >= a);
+      Trace_event.complete ~name:"stale" ~since:pre_install ();
+      check Alcotest.int "pre-install span dropped" 0
+        (Trace_event.length trace);
+      (* A future [since] (clock stepped back between capture and
+         completion) yields dur = 0, not a negative duration. *)
+      Trace_event.complete ~name:"stepped" ~since:(b +. 1e9) ();
+      check Alcotest.int "stepped span recorded" 1 (Trace_event.length trace);
+      match Json.member "traceEvents" (Trace_event.to_json trace) with
+      | Some (Json.List [ ev ]) -> (
+        match Json.member "dur" ev with
+        | Some (Json.Float d) ->
+          check Alcotest.bool "duration clamped at 0" true (d >= 0.0)
+        | _ -> Alcotest.fail "dur missing")
+      | _ -> Alcotest.fail "expected exactly one event")
 
 let test_trace_json_shape () =
   let doc =
@@ -186,6 +217,8 @@ let suite =
           test_trace_disabled_noop;
         Alcotest.test_case "trace records events" `Quick
           test_trace_records_events;
+        Alcotest.test_case "trace clock discipline" `Quick
+          test_trace_clock_discipline;
         Alcotest.test_case "trace json shape" `Quick test_trace_json_shape;
         Alcotest.test_case "metrics disabled is no-op" `Quick
           test_metrics_disabled_noop;

@@ -193,8 +193,21 @@ let test_ablation_alignment () =
   check Alcotest.bool "alignment helps" true
     (List.hd counts > List.nth counts (List.length counts - 1))
 
+let contains ~sub s =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  go 0
+
+let test_trace_audit () =
+  let text = R.Trace_audit.render tiny in
+  (* Clean machines are sound: their whole traces always verify. *)
+  check Alcotest.bool "clean rows verify" true
+    (contains ~sub:"all traces verify" text)
+
 let test_experiments_registry () =
-  check Alcotest.int "nine experiments" 9 (List.length R.Experiments.ids);
+  check Alcotest.int "ten experiments" 10 (List.length R.Experiments.ids);
   check Alcotest.bool "unknown id" true
     (Result.is_error (R.Experiments.run tiny "fig99"));
   (* The cheapest drivers render without error. *)
@@ -235,6 +248,7 @@ let suite =
         Alcotest.test_case "ablation" `Slow test_ablation;
         Alcotest.test_case "ablation alignment" `Quick
           test_ablation_alignment;
+        Alcotest.test_case "trace audit" `Slow test_trace_audit;
         Alcotest.test_case "experiments registry" `Quick
           test_experiments_registry;
         Alcotest.test_case "tool seeding" `Quick test_run_tool_seeding;

@@ -156,6 +156,84 @@ let test_perpetual_pso_soundness () =
   in
   check Alcotest.bool "mp target observed under PSO" true (count > 0)
 
+(* --- Whole-trace verification --------------------------------------------- *)
+
+module Trace_check = Perple_core.Trace_check
+
+let perpetual_for config seed test ~iterations =
+  let conv = Result.get_ok (Convert.convert test) in
+  let run =
+    Perpetual.run ~config ~rng:(Rng.create seed) ~image:conv.Convert.image
+      ~t_reads:conv.Convert.t_reads ~iterations ()
+  in
+  (conv, run)
+
+(* A faithful machine's whole trace must satisfy its own model's axioms —
+   across every catalog test and all three clean configurations. *)
+let test_traces_verify () =
+  List.iter
+    (fun (e : Catalog.entry) ->
+      List.iter
+        (fun (sim_model, checker_model) ->
+          let conv, run =
+            perpetual_for
+              (Config.with_model sim_model Config.default)
+              41 e.Catalog.test ~iterations:150
+          in
+          let v = Trace_check.verify ~model:checker_model conv run in
+          if not v.Perple_memmodel.Solver.consistent then
+            Alcotest.failf "%s on %s: trace violates %s: %s"
+              e.Catalog.test.Ast.name
+              (Config.model_name sim_model)
+              (Operational.model_to_string checker_model)
+              (Option.value ~default:"?" v.Perple_memmodel.Solver.violation))
+        model_pairs)
+    Catalog.suite
+
+(* The acceptance-scale case: a 2000-event sb run classified whole.  The
+   operational enumerator explores outcome reachability of the 4-event
+   test; it has no way to validate a concrete 2000-event execution. *)
+let test_trace_2000_events () =
+  let conv, run =
+    perpetual_for Config.default 43 Catalog.sb ~iterations:500
+  in
+  let v = Trace_check.verify ~model:Operational.Tso conv run in
+  check Alcotest.bool "consistent" true v.Perple_memmodel.Solver.consistent;
+  check Alcotest.bool ">= 2000 events" true
+    (v.Perple_memmodel.Solver.events >= 2000);
+  check Alcotest.int "fast path decided" 0
+    v.Perple_memmodel.Solver.decisions
+
+(* The planted bugs must be caught: a buggy machine's trace, judged
+   against honest TSO, is inconsistent for some seed within a few
+   hundred iterations. *)
+let test_trace_detects_planted_bugs () =
+  List.iter
+    (fun (bug, test_name) ->
+      let test = Catalog.find_exn test_name in
+      let detected = ref false in
+      let seed = ref 1 in
+      while (not !detected) && !seed <= 20 do
+        let conv, run =
+          perpetual_for
+            (Config.with_model bug Config.default)
+            !seed test ~iterations:300
+        in
+        let v = Trace_check.verify ~model:Operational.Tso conv run in
+        if not v.Perple_memmodel.Solver.consistent then detected := true;
+        incr seed
+      done;
+      check Alcotest.bool
+        (Config.model_name bug ^ " detected on " ^ test_name)
+        true !detected)
+    [
+      (Config.Tso_store_reorder, "mp");
+      (* ignoring MFENCE shows up on the store-fence-load shape: the
+         buffered store lets the fenced load run early, which honest TSO
+         forbids *)
+      (Config.Tso_fence_ignored, "amd5");
+    ]
+
 let suite =
   [
     ( "soundness",
@@ -167,5 +245,14 @@ let suite =
           test_perpetual_counts_reachable_only;
         Alcotest.test_case "PSO perpetual soundness" `Quick
           test_perpetual_pso_soundness;
+      ] );
+    ( "soundness.trace",
+      [
+        Alcotest.test_case "clean traces verify (suite x models)" `Quick
+          test_traces_verify;
+        Alcotest.test_case "2000-event trace classified" `Quick
+          test_trace_2000_events;
+        Alcotest.test_case "planted bugs detected" `Quick
+          test_trace_detects_planted_bugs;
       ] );
   ]
