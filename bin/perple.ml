@@ -1610,24 +1610,70 @@ let serve_cmd =
       & info [ "tcp" ] ~docv:"PORT"
           ~doc:"Also listen on localhost TCP port $(docv).")
   in
-  let run socket tcp jobs journal trace metrics =
+  let coordinator_arg =
+    Arg.(
+      value & flag
+      & info [ "coordinator" ]
+          ~doc:
+            "Shard campaigns into leased work units and farm them out to \
+             $(b,perple worker) processes (falling back to local execution \
+             while no worker is connected).  Leases that miss their renewal \
+             deadline are revoked and reassigned; the merged ledger stays \
+             byte-identical to a single-node run.")
+  in
+  let shard_runs_arg =
+    Arg.(
+      value
+      & opt int Perple_service.Coordinator.default_config.shard_runs
+      & info [ "shard-runs" ] ~docv:"N"
+          ~doc:"Runs per leased shard (with $(b,--coordinator)).")
+  in
+  let lease_ms_arg =
+    Arg.(
+      value
+      & opt int Perple_service.Coordinator.default_config.lease_ticks
+      & info [ "lease-ms" ] ~docv:"MS"
+          ~doc:
+            "Lease renewal deadline in milliseconds (with \
+             $(b,--coordinator)): a worker silent for $(docv) ms loses its \
+             shard.")
+  in
+  let run socket tcp jobs journal coordinator shard_runs lease_ms trace
+      metrics =
     if jobs <= 0 then fail "--jobs must be positive"
+    else if shard_runs <= 0 then fail "--shard-runs must be positive"
+    else if lease_ms <= 0 then fail "--lease-ms must be positive"
     else begin
-      Printf.eprintf "perpled: listening on %s%s, %d job%s%s\n%!" socket
+      Printf.eprintf "perpled: listening on %s%s, %d job%s%s%s\n%!" socket
         (match tcp with
         | None -> ""
         | Some p -> Printf.sprintf " and tcp 127.0.0.1:%d" p)
         jobs
         (if jobs = 1 then "" else "s")
+        (if coordinator then
+           Printf.sprintf ", coordinating %d-run shards under %d ms leases"
+             shard_runs lease_ms
+         else "")
         (match journal with
         | None -> " (no journal: campaigns are lost on restart)"
         | Some path ->
           if Sys.file_exists path then
             Printf.sprintf ", resuming journal %s" path
           else Printf.sprintf ", journal %s" path);
+      let coordinator =
+        if coordinator then
+          Some
+            {
+              Perple_service.Coordinator.default_config with
+              shard_runs;
+              lease_ticks = lease_ms;
+            }
+        else None
+      in
       match
         with_observability ~trace ~metrics @@ fun () ->
-        Perple_service.Server.serve ~socket ?tcp_port:tcp ~jobs ~journal ()
+        Perple_service.Server.serve ~socket ?tcp_port:tcp ~jobs ?coordinator
+          ~journal ()
       with
       | Error m -> Error m
       | Ok signum ->
@@ -1656,7 +1702,8 @@ let serve_cmd =
     (wrap
        Term.(
          const run $ socket_arg $ tcp_arg $ jobs_arg $ journal_arg
-         $ trace_arg $ metrics_arg))
+         $ coordinator_arg $ shard_runs_arg $ lease_ms_arg $ trace_arg
+         $ metrics_arg))
 
 let submit_cmd =
   let campaign_arg =
@@ -1688,7 +1735,17 @@ let submit_cmd =
             "Reconnection attempts on transport loss (exponentially \
              backed-off sleeps); safe because submits are idempotent.")
   in
-  let run campaign spec socket iterations seed runs counter model retries =
+  let follow_arg =
+    Arg.(
+      value & flag
+      & info [ "follow" ]
+          ~doc:
+            "Print live campaign progress to stderr as the daemon streams \
+             it (runs done, and shard counts under a $(b,--coordinator) \
+             daemon).")
+  in
+  let run campaign spec socket iterations seed runs counter model retries
+      follow =
     if retries < 1 then fail "--retries must be positive"
     else
       (* Validate locally first for a fast, friendly error; ship file
@@ -1715,9 +1772,31 @@ let submit_cmd =
           model = Config.model_name model;
         }
       in
+      let on_progress =
+        if not follow then None
+        else
+          Some
+            (fun p ->
+              Printf.eprintf
+                "perple: %s: %d/%d runs%s\n%!" campaign
+                p.Perple_service.Client.runs_done
+                p.Perple_service.Client.runs_total
+                (if
+                   p.Perple_service.Client.shards_done
+                   + p.Perple_service.Client.shards_leased
+                   + p.Perple_service.Client.shards_failed
+                   > 0
+                 then
+                   Printf.sprintf
+                     " (shards: %d done, %d leased, %d abandoned)"
+                     p.Perple_service.Client.shards_done
+                     p.Perple_service.Client.shards_leased
+                     p.Perple_service.Client.shards_failed
+                 else ""))
+      in
       match
         Perple_service.Client.submit_blocking ~socket ~attempts:retries
-          ~spec:wire_spec ()
+          ?on_progress ~spec:wire_spec ()
       with
       | Error m -> fail "submit %s: %s" campaign m
       | Ok outcome ->
@@ -1740,7 +1819,71 @@ let submit_cmd =
        Term.(
          const run $ campaign_arg $ submit_test_arg $ socket_arg
          $ iterations_arg $ seed_arg $ runs_arg $ counter_arg $ model_arg
-         $ retries_arg))
+         $ retries_arg $ follow_arg))
+
+let worker_cmd =
+  let tcp_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "tcp" ] ~docv:"PORT"
+          ~doc:
+            "Connect to the coordinator on localhost TCP port $(docv) \
+             instead of the Unix-domain socket.")
+  in
+  let name_arg =
+    Arg.(
+      value
+      & opt string (Printf.sprintf "worker-%d" (Unix.getpid ()))
+      & info [ "name" ] ~docv:"NAME"
+          ~doc:"Worker name reported in the handshake (default: worker-PID).")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "retries" ] ~docv:"K"
+          ~doc:
+            "Consecutive fruitless reconnection attempts before giving up \
+             (a connection that executed at least one lease refills the \
+             budget, so a restarting coordinator is survived).")
+  in
+  let run socket tcp name retries trace metrics =
+    if retries < 1 then fail "--retries must be positive"
+    else begin
+      let address =
+        match tcp with Some p -> `Tcp p | None -> `Unix_socket socket
+      in
+      Printf.eprintf "perple worker %s: dialling %s\n%!" name
+        (match address with
+        | `Tcp p -> Printf.sprintf "tcp 127.0.0.1:%d" p
+        | `Unix_socket s -> s);
+      match
+        with_observability ~trace ~metrics @@ fun () ->
+        Perple_service.Worker.work_blocking ~address ~name ~attempts:retries
+          ~on_note:(fun line ->
+            Printf.eprintf "perple worker %s: %s\n%!" name line)
+          ()
+      with
+      | Error m -> fail "worker %s: %s" name m
+      | Ok signum ->
+        Printf.eprintf "perple worker %s: %s, stopping\n%!" name
+          (if signum = Sys.sigint then "interrupted" else "terminated");
+        Stdlib.exit (if signum = Sys.sigint then 130 else 143)
+    end
+  in
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:
+         "Execute leased campaign shards for a $(b,perple serve \
+          --coordinator) daemon.  Runs are computed with the same engine \
+          and pre-split seeds as a local campaign, so the coordinator's \
+          merged ledger is byte-identical to a single-node run; on \
+          disconnect the worker reconnects with backed-off sleeps and any \
+          half-finished lease is safely reassigned.")
+    (wrap
+       Term.(
+         const run $ socket_arg $ tcp_arg $ name_arg $ retries_arg
+         $ trace_arg $ metrics_arg))
 
 let main_cmd =
   let info =
@@ -1767,6 +1910,7 @@ let main_cmd =
       experiment_cmd;
       serve_cmd;
       submit_cmd;
+      worker_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

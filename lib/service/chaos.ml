@@ -122,3 +122,70 @@ let pull t ~now =
 let cut t = t.cut
 let in_flight t = Queue.fold (fun n s -> n + String.length s.bytes) 0 t.queue
 let faults t = t.faults
+
+(* --- worker-process faults --------------------------------------------------- *)
+
+type worker_fault =
+  | Die_mid_shard
+  | Stall_past_deadline
+  | Result_then_die
+  | Reconnect_as_zombie
+
+let worker_fault_name = function
+  | Die_mid_shard -> "die-mid-shard"
+  | Stall_past_deadline -> "stall-past-deadline"
+  | Result_then_die -> "result-then-die"
+  | Reconnect_as_zombie -> "reconnect-as-zombie"
+
+type worker_profile = {
+  die_mid_shard : float;
+  stall_past_deadline : float;
+  result_then_die : float;
+  reconnect_as_zombie : float;
+}
+
+let calm_workers =
+  { die_mid_shard = 0.0; stall_past_deadline = 0.0; result_then_die = 0.0;
+    reconnect_as_zombie = 0.0 }
+
+let rough_workers =
+  { die_mid_shard = 0.12; stall_past_deadline = 0.1; result_then_die = 0.06;
+    reconnect_as_zombie = 0.08 }
+
+type plan = { prng : Rng.t; wp : worker_profile; mutable planned : int }
+
+let plan ~seed wp = { prng = Rng.create seed; wp; planned = 0 }
+
+(* One uniform draw per lease acceptance, walked through the cumulative
+   fault weights — the draw sequence (and so the whole schedule) is a
+   pure function of the plan seed and the number of leases taken. *)
+let draw_fault p =
+  let u = Rng.float p.prng 1.0 in
+  let pick acc fault prob =
+    let acc' = acc +. prob in
+    if u < acc' then Some (acc', Some fault) else Some (acc', None)
+  in
+  let walk =
+    List.fold_left
+      (fun st (fault, prob) ->
+        match st with
+        | Some (_, Some _) -> st
+        | Some (acc, None) -> pick acc fault prob
+        | None -> pick 0.0 fault prob)
+      None
+      [
+        (Die_mid_shard, p.wp.die_mid_shard);
+        (Stall_past_deadline, p.wp.stall_past_deadline);
+        (Result_then_die, p.wp.result_then_die);
+        (Reconnect_as_zombie, p.wp.reconnect_as_zombie);
+      ]
+  in
+  match walk with
+  | Some (_, Some fault) ->
+    p.planned <- p.planned + 1;
+    Metrics.incr (Printf.sprintf "chaos.worker.%s" (worker_fault_name fault));
+    Some fault
+  | _ -> None
+
+let draw_point p ~max:bound = if bound <= 0 then 0 else Rng.int p.prng bound
+let planned_faults p = p.planned

@@ -51,3 +51,56 @@ val in_flight : t -> int
 
 val faults : t -> int
 (** Total faults injected so far. *)
+
+(** {1 Worker-process faults}
+
+    The byte-stream proxy above mangles transport; these plan failures
+    of whole worker {e processes} for the multi-node suites.  A
+    {!plan} draws one verdict per accepted lease ({!draw_fault}), so a
+    schedule is a pure function of (plan seed, lease order) and a
+    failing case replays exactly. *)
+
+type worker_fault =
+  | Die_mid_shard
+      (** The process vanishes after completing a prefix of the leased
+          runs ({!draw_point} picks how many) — EOF at the coordinator,
+          the shard reassigns. *)
+  | Stall_past_deadline
+      (** The worker stops renewing (wedged, not dead) until past the
+          lease deadline; the coordinator must revoke and cool it. *)
+  | Result_then_die
+      (** The shard result is delivered, then the connection dies —
+          exercises journal-before-ack on the coordinator side. *)
+  | Reconnect_as_zombie
+      (** The worker misses its [Revoke], reconnects, and ships a
+          result under the old epoch — which must be discarded. *)
+
+val worker_fault_name : worker_fault -> string
+
+type worker_profile = {
+  die_mid_shard : float;
+  stall_past_deadline : float;
+  result_then_die : float;
+  reconnect_as_zombie : float;
+}
+(** Per-lease probabilities; at most one fault fires per lease. *)
+
+val calm_workers : worker_profile
+(** All probabilities zero: every lease completes. *)
+
+val rough_workers : worker_profile
+(** The default multi-node chaos mix (~36% of leases faulted). *)
+
+type plan
+
+val plan : seed:int -> worker_profile -> plan
+
+val draw_fault : plan -> worker_fault option
+(** The verdict for the next accepted lease.  Increments a
+    [chaos.worker.*] metric per planned fault. *)
+
+val draw_point : plan -> max:int -> int
+(** Uniform in [\[0, max)]: where within the shard a planned fault
+    triggers (0 when [max <= 0]). *)
+
+val planned_faults : plan -> int

@@ -17,6 +17,14 @@ type outcome = {
   metrics : string;
 }
 
+type progress = {
+  runs_total : int;
+  runs_done : int;
+  shards_done : int;
+  shards_leased : int;
+  shards_failed : int;
+}
+
 type status = Pending | Done of outcome | Failed of string
 
 type phase =
@@ -34,27 +42,35 @@ type phase =
 type t = {
   config : config;
   spec : Wire.spec;
+  on_progress : (progress -> unit) option;
   inbound : Framed.buf;
   outbound : Framed.buf;
   mutable phase : phase;
   mutable last_seen : int;
   mutable last_beat : int;
+  mutable progress : progress option;
+  mutable retry_hint : int option;
+      (** Ticks the daemon asked us to wait ([Busy]) before retrying. *)
 }
 
 let send t frame =
   Framed.add_string t.outbound (Wire.encode frame);
   Metrics.incr "service.client.frames_out"
 
-let create ?(config = default_config) ?(peer = "perple-client") ~spec ~now () =
+let create ?(config = default_config) ?(peer = "perple-client") ?on_progress
+    ~spec ~now () =
   let t =
     {
       config;
       spec;
+      on_progress;
       inbound = Framed.create ();
       outbound = Framed.create ();
       phase = Awaiting_hello;
       last_seen = now;
       last_beat = now;
+      progress = None;
+      retry_hint = None;
     }
   in
   send t (Wire.Hello { version = Wire.protocol_version; peer });
@@ -63,6 +79,8 @@ let create ?(config = default_config) ?(peer = "perple-client") ~spec ~now () =
 let output t = t.outbound
 
 let status t = match t.phase with Terminal s -> s | _ -> Pending
+let progress t = t.progress
+let retry_hint t = t.retry_hint
 
 let fail t reason =
   match t.phase with
@@ -146,9 +164,39 @@ let on_frame t frame =
               metrics = payload;
             }
       | _ -> fail t "protocol: metrics before accept")
+    | Wire.Busy { retry_after } ->
+      (* Rate-limited: a retryable verdict carrying the daemon's own
+         back-off hint, honoured by [submit_blocking]. *)
+      t.retry_hint <- Some retry_after;
+      fail t (Printf.sprintf "busy: daemon asked for %d ticks of backoff" retry_after)
+    | Wire.Progress p -> (
+      match t.phase with
+      | Awaiting_accept | Streaming _ ->
+        if p.campaign <> t.spec.Wire.campaign then
+          fail t
+            (Printf.sprintf "protocol: progress for foreign campaign %S" p.campaign)
+        else begin
+          let progress =
+            {
+              runs_total = p.runs_total;
+              runs_done = p.runs_done;
+              shards_done = p.shards_done;
+              shards_leased = p.shards_leased;
+              shards_failed = p.shards_failed;
+            }
+          in
+          t.progress <- Some progress;
+          match t.on_progress with None -> () | Some f -> f progress
+        end
+      | _ -> fail t "protocol: progress before handshake")
     | Wire.Submit _ | Wire.Cancel _ | Wire.Drain ->
       fail t
         (Printf.sprintf "protocol: client-only frame %s from daemon"
+           (Wire.frame_name frame))
+    | Wire.Worker_hello _ | Wire.Lease_renew _ | Wire.Shard_result _
+    | Wire.Shard_failed _ | Wire.Lease _ | Wire.Revoke _ ->
+      fail t
+        (Printf.sprintf "protocol: worker frame %s on a client connection"
            (Wire.frame_name frame)))
 
 let input t ~now bytes =
@@ -195,24 +243,24 @@ let retryable reason =
                      && String.sub reason 0 (String.length p) = p in
   has_prefix "disconnected" || has_prefix "timed out"
   || has_prefix "corrupt stream" || has_prefix "draining"
-  || has_prefix "connect:"
+  || has_prefix "connect:" || has_prefix "busy"
 
 (* --- blocking driver -------------------------------------------------------- *)
 
-let drive_connection ~socket ~spec =
+let drive_connection ?on_progress ~socket ~spec () =
   match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
   | exception Unix.Unix_error (e, _, _) ->
-    Failed (Printf.sprintf "connect: %s" (Unix.error_message e))
+    (Failed (Printf.sprintf "connect: %s" (Unix.error_message e)), None)
   | fd -> (
     match Unix.connect fd (Unix.ADDR_UNIX socket) with
     | exception Unix.Unix_error (e, _, _) ->
       Unix.close fd;
-      Failed (Printf.sprintf "connect: %s" (Unix.error_message e))
+      (Failed (Printf.sprintf "connect: %s" (Unix.error_message e)), None)
     | () ->
       Unix.set_nonblock fd;
       let epoch = Unix.gettimeofday () in
       let now () = int_of_float ((Unix.gettimeofday () -. epoch) *. 1000.) in
-      let t = create ~spec ~now:(now ()) () in
+      let t = create ?on_progress ~spec ~now:(now ()) () in
       (* A daemon killed mid-write must classify as a retryable
          disconnect, not SIGPIPE this process. *)
       let old_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
@@ -223,7 +271,8 @@ let drive_connection ~socket ~spec =
       Fun.protect ~finally @@ fun () ->
       let rec loop () =
         match status t with
-        | (Done _ | Failed _) as s when Framed.is_empty t.outbound -> s
+        | (Done _ | Failed _) as s when Framed.is_empty t.outbound ->
+          (s, retry_hint t)
         | s -> (
           match s with
           | Failed _ | Done _ ->
@@ -253,7 +302,7 @@ let drive_connection ~socket ~spec =
       loop ())
 
 let submit_blocking ~socket ?(attempts = 5) ?(backoff = 2.0)
-    ?(initial_delay_ms = 50) ~spec () =
+    ?(initial_delay_ms = 50) ?on_progress ~spec () =
   if attempts < 1 then invalid_arg "Client.submit_blocking: attempts < 1";
   (* Reuse the supervisor's budget-growth rounding for the retry sleeps:
      one discipline for "try again, less eagerly" across the repo. *)
@@ -262,12 +311,17 @@ let submit_blocking ~socket ?(attempts = 5) ?(backoff = 2.0)
       max_retries = attempts - 1; backoff }
   in
   let rec go attempt delay_ms =
-    match drive_connection ~socket ~spec with
-    | Done outcome -> Ok outcome
-    | Pending -> assert false
-    | Failed reason ->
+    match drive_connection ?on_progress ~socket ~spec () with
+    | Done outcome, _ -> Ok outcome
+    | Pending, _ -> assert false
+    | Failed reason, hint ->
       if attempt + 1 < attempts && retryable reason then begin
         Metrics.incr "service.client.retries";
+        (* A [Busy] daemon knows its own refill schedule better than our
+           exponential guess: sleep at least what it asked for. *)
+        let delay_ms =
+          match hint with Some h -> max delay_ms h | None -> delay_ms
+        in
         Unix.sleepf (float_of_int delay_ms /. 1000.);
         go (attempt + 1) (Supervisor.backed_off policy delay_ms)
       end

@@ -26,12 +26,26 @@ type outcome = {
   metrics : string;  (** The [Metrics_chunk] payload. *)
 }
 
+type progress = {
+  runs_total : int;
+  runs_done : int;
+  shards_done : int;
+  shards_leased : int;
+  shards_failed : int;
+}
+(** A {!Wire.frame.Progress} update for our campaign.  Shard counts are
+    zero against a non-coordinator daemon. *)
+
 type status = Pending | Done of outcome | Failed of string
 
 type t
 
-val create : ?config:config -> ?peer:string -> spec:Wire.spec -> now:int -> unit -> t
-(** A fresh machine with its [Hello] already queued. *)
+val create :
+  ?config:config -> ?peer:string -> ?on_progress:(progress -> unit) ->
+  spec:Wire.spec -> now:int -> unit -> t
+(** A fresh machine with its [Hello] already queued.  [on_progress] is
+    invoked on every progress frame (the [--follow] hook); progress is
+    advisory and never required for completion. *)
 
 val input : t -> now:int -> string -> unit
 val eof : t -> now:int -> unit
@@ -39,20 +53,26 @@ val tick : t -> now:int -> unit
 val output : t -> Perple_util.Framed.buf
 val status : t -> status
 
+val progress : t -> progress option
+(** The most recent progress update, if any arrived. *)
+
 val retryable : string -> bool
 (** Whether a [Failed] reason is worth a reconnection (transport-level
-    loss or a draining daemon) rather than a verdict (rejection,
-    protocol error). *)
+    loss, a draining daemon, or a [Busy] rate-limit verdict) rather
+    than a verdict (rejection, protocol error). *)
 
 val submit_blocking :
   socket:string ->
   ?attempts:int ->
   ?backoff:float ->
   ?initial_delay_ms:int ->
+  ?on_progress:(progress -> unit) ->
   spec:Wire.spec ->
   unit ->
   (outcome, string) result
 (** Connect to the daemon at [socket], run the machine to a terminal
     status, and retry retryable failures up to [attempts] times with
     exponentially grown sleeps ([initial_delay_ms] scaled by [backoff]
-    per retry, {!Perple_harness.Supervisor.backed_off} rounding). *)
+    per retry, {!Perple_harness.Supervisor.backed_off} rounding).  When
+    the daemon answers [Busy], the sleep honours its retry-after hint
+    if that is longer than the backoff's own delay. *)

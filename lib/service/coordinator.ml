@@ -1,0 +1,572 @@
+(* Lease-based sharding of campaigns over remote workers.
+
+   Sans-IO, like Session: the server core feeds it worker events and a
+   clock, and reads back (worker, frame) commands to deliver.  All
+   shard/lease state is derived from the scheduler's journal — lease
+   grants, revocations and abandoned shards are journaled as "extras"
+   (see Scheduler), so a kill -9'd coordinator resumes with monotonic
+   lease epochs and byte-identical output.
+
+   The safety argument, in one place:
+
+   - Run records are keyed by (campaign, index) and validated against
+     the campaign's pre-split seeds, so the merged ledger is independent
+     of which worker computed a run, in which order, or how many times.
+   - A lease carries an epoch, monotonic per shard across coordinator
+     restarts (epochs are journaled with each grant).  A result or
+     renewal whose (campaign, shard, epoch) does not match the live
+     lease is stale — a zombie whose lease was revoked — and is
+     discarded idempotently.
+   - A shard whose lease dies (deadline missed, worker disconnected,
+     fault reported, malformed result) is reassigned with backed-off
+     retries; after [max_attempts] failures its remaining runs are
+     journaled as classified [Unrecoverable] records so the campaign
+     still completes — graceful degradation, never a hang. *)
+
+module Json = Perple_util.Json
+module Metrics = Perple_util.Metrics
+module Ledger = Perple_core.Ledger
+module Supervisor = Perple_harness.Supervisor
+
+type config = {
+  shard_runs : int;
+  lease_ticks : int;
+  max_attempts : int;
+  retry_delay : int;
+  retry_backoff : float;
+}
+
+let default_config =
+  { shard_runs = 4; lease_ticks = 10_000; max_attempts = 5; retry_delay = 100;
+    retry_backoff = 2.0 }
+
+type lease = { l_worker : int; l_epoch : int; mutable l_deadline : int }
+
+type shard_state = Unassigned | Leased of lease | Done | Dead
+
+type shard = {
+  s_index : int;
+  s_lo : int;
+  s_hi : int;  (** Run-index range [lo, hi). *)
+  mutable s_state : shard_state;
+  mutable s_epoch : int;  (** Highest epoch ever granted. *)
+  mutable s_attempts : int;  (** Failed leases so far. *)
+  mutable s_eligible_at : int;  (** Reassignment backoff deadline. *)
+  mutable s_delay : int;  (** Next backoff delay. *)
+}
+
+type campaign = { c_id : string; c_shards : shard array }
+
+type t = {
+  config : config;
+  scheduler : Scheduler.t;
+  campaigns : (string, campaign) Hashtbl.t;
+  workers : (int, string) Hashtbl.t;  (** Connection id -> worker name. *)
+  busy : (int, string * int) Hashtbl.t;  (** Worker -> its lease. *)
+  cooling : (int, int) Hashtbl.t;
+      (** Workers that missed a deadline: no new lease until they show
+          protocol traffic again (or the cooldown passes), so a wedged
+          worker does not burn one shard attempt per lease period. *)
+  mutable rr : int;  (** Round-robin cursor over campaign order. *)
+}
+
+type command = { target : int; frame : Wire.frame }
+
+let fail fmt = Printf.ksprintf (fun m -> Error m) fmt
+
+(* --- journal records -------------------------------------------------------- *)
+
+let lease_record ~campaign ~shard ~epoch ~worker =
+  Json.Obj
+    [
+      ("kind", Json.String "lease");
+      ("campaign", Json.String campaign);
+      ("shard", Json.Int shard);
+      ("epoch", Json.Int epoch);
+      ("worker", Json.String worker);
+    ]
+
+let revoke_record ~campaign ~shard ~epoch ~reason =
+  Json.Obj
+    [
+      ("kind", Json.String "revoke");
+      ("campaign", Json.String campaign);
+      ("shard", Json.Int shard);
+      ("epoch", Json.Int epoch);
+      ("reason", Json.String reason);
+    ]
+
+let dead_record ~campaign ~shard ~reason =
+  Json.Obj
+    [
+      ("kind", Json.String "shard-dead");
+      ("campaign", Json.String campaign);
+      ("shard", Json.Int shard);
+      ("reason", Json.String reason);
+    ]
+
+let str_field name j =
+  match Json.member name j with
+  | Some (Json.String s) -> Ok s
+  | _ -> fail "coordinator journal record: %S is not a string" name
+
+let int_field name j =
+  match Json.member name j with
+  | Some (Json.Int i) -> Ok i
+  | _ -> fail "coordinator journal record: %S is not an int" name
+
+(* --- dead shards ------------------------------------------------------------ *)
+
+(* The classified record for a run whose shard was abandoned.  Built
+   from (index, seed, reason) alone so the bytes are identical whether
+   written when the shard died or re-derived from the "shard-dead"
+   journal record after a coordinator crash between the marker and the
+   cruns. *)
+let unrecoverable_entry ~index ~seed ~reason =
+  {
+    Ledger.index;
+    seed;
+    crashed = Some { Ledger.c_message = reason; c_backtrace = "" };
+    iterations = 0;
+    requested_iterations = 0;
+    frames_examined = 0;
+    evaluations = 0;
+    virtual_runtime = 0;
+    counts = [||];
+    degraded = false;
+    salvaged_iterations = 0;
+    supervision =
+      Some
+        {
+          Ledger.s_outcome = Supervisor.outcome_name Supervisor.Unrecoverable;
+          s_total_rounds = 0;
+          s_lost = true;
+          s_attempts = [];
+        };
+    metrics = None;
+  }
+
+let complete_dead t camp sh ~reason =
+  sh.s_state <- Dead;
+  match Scheduler.seeds_of t.scheduler ~campaign:camp.c_id with
+  | None -> ()
+  | Some seeds ->
+    for i = sh.s_lo to sh.s_hi - 1 do
+      if Scheduler.record t.scheduler ~campaign:camp.c_id ~index:i = None then begin
+        let entry = unrecoverable_entry ~index:i ~seed:seeds.(i) ~reason in
+        match
+          Scheduler.record_external t.scheduler ~campaign:camp.c_id
+            ~line:(Ledger.record_line entry)
+        with
+        | Ok _ -> Metrics.incr "coordinator.runs_abandoned"
+        | Error _ -> () (* cannot happen: built from the campaign's own seed *)
+      end
+    done
+
+let kill_shard t camp sh ~reason =
+  Metrics.incr "coordinator.shards_abandoned";
+  Scheduler.append_extra t.scheduler
+    (dead_record ~campaign:camp.c_id ~shard:sh.s_index ~reason);
+  complete_dead t camp sh ~reason
+
+(* --- lease lifecycle -------------------------------------------------------- *)
+
+let backoff_policy config =
+  {
+    Supervisor.watchdog_rounds = max_int;
+    min_retired = 1;
+    max_retries = config.max_attempts;
+    backoff = config.retry_backoff;
+  }
+
+let unlease t sh =
+  match sh.s_state with
+  | Leased l ->
+    Hashtbl.remove t.busy l.l_worker;
+    sh.s_state <- Unassigned
+  | _ -> ()
+
+(* A lease ended without a usable result: journal the revocation, back
+   off the shard, and abandon it once the retry budget is spent. *)
+let release t camp sh ~now ~epoch ~reason =
+  unlease t sh;
+  Scheduler.append_extra t.scheduler
+    (revoke_record ~campaign:camp.c_id ~shard:sh.s_index ~epoch ~reason);
+  Metrics.incr "coordinator.leases_revoked";
+  sh.s_attempts <- sh.s_attempts + 1;
+  sh.s_eligible_at <- now + sh.s_delay;
+  sh.s_delay <- Supervisor.backed_off (backoff_policy t.config) sh.s_delay;
+  if sh.s_attempts >= t.config.max_attempts then
+    kill_shard t camp sh
+      ~reason:
+        (Printf.sprintf "unrecoverable: shard %d abandoned after %d leases (%s)"
+           sh.s_index sh.s_attempts reason)
+
+(* A revocation that is nobody's fault (cancelled campaign): free the
+   lease without charging the shard's retry budget. *)
+let revoke_blameless t camp sh ~epoch ~reason =
+  unlease t sh;
+  Scheduler.append_extra t.scheduler
+    (revoke_record ~campaign:camp.c_id ~shard:sh.s_index ~epoch ~reason);
+  Metrics.incr "coordinator.leases_revoked"
+
+(* --- campaign discovery ----------------------------------------------------- *)
+
+let shards_for t id =
+  match Scheduler.runs t.scheduler ~campaign:id with
+  | None -> [||]
+  | Some total ->
+    let per = t.config.shard_runs in
+    let count = (total + per - 1) / per in
+    Array.init count (fun k ->
+        let lo = k * per in
+        let hi = min total ((k + 1) * per) in
+        let missing = ref false in
+        for i = lo to hi - 1 do
+          if Scheduler.record t.scheduler ~campaign:id ~index:i = None then
+            missing := true
+        done;
+        {
+          s_index = k;
+          s_lo = lo;
+          s_hi = hi;
+          s_state = (if !missing then Unassigned else Done);
+          s_epoch = 0;
+          s_attempts = 0;
+          s_eligible_at = 0;
+          s_delay = t.config.retry_delay;
+        })
+
+let sync_campaigns t =
+  List.iter
+    (fun id ->
+      if not (Hashtbl.mem t.campaigns id) then
+        Hashtbl.replace t.campaigns id { c_id = id; c_shards = shards_for t id })
+    (Scheduler.campaign_ids t.scheduler)
+
+let find_shard t campaign shard =
+  match Hashtbl.find_opt t.campaigns campaign with
+  | None -> None
+  | Some camp ->
+    if shard < 0 || shard >= Array.length camp.c_shards then None
+    else Some (camp, camp.c_shards.(shard))
+
+(* --- construction / resume -------------------------------------------------- *)
+
+let apply_extra t j =
+  let ( let* ) = Result.bind in
+  match Ledger.kind j with
+  | Some "lease" ->
+    let* campaign = str_field "campaign" j in
+    let* shard = int_field "shard" j in
+    let* epoch = int_field "epoch" j in
+    (match find_shard t campaign shard with
+    | None -> fail "journal: lease for unknown shard %s/%d" campaign shard
+    | Some (_, sh) ->
+      sh.s_epoch <- max sh.s_epoch epoch;
+      Ok ())
+  | Some "revoke" ->
+    let* campaign = str_field "campaign" j in
+    let* shard = int_field "shard" j in
+    let* epoch = int_field "epoch" j in
+    (match find_shard t campaign shard with
+    | None -> fail "journal: revoke for unknown shard %s/%d" campaign shard
+    | Some (_, sh) ->
+      sh.s_epoch <- max sh.s_epoch epoch;
+      sh.s_attempts <- sh.s_attempts + 1;
+      sh.s_delay <- Supervisor.backed_off (backoff_policy t.config) sh.s_delay;
+      Ok ())
+  | Some "shard-dead" ->
+    let* campaign = str_field "campaign" j in
+    let* shard = int_field "shard" j in
+    let* reason = str_field "reason" j in
+    (match find_shard t campaign shard with
+    | None -> fail "journal: shard-dead for unknown shard %s/%d" campaign shard
+    | Some (camp, sh) ->
+      (* Re-derive any missing Unrecoverable records: a crash between
+         the shard-dead marker and its cruns must not strand the
+         campaign. *)
+      complete_dead t camp sh ~reason;
+      Ok ())
+  | Some k -> fail "journal: unexpected coordinator record %S" k
+  | None -> fail "journal: coordinator record without a kind"
+
+let create ?(config = default_config) ~scheduler () =
+  if config.shard_runs < 1 then
+    invalid_arg "Coordinator.create: shard_runs must be >= 1";
+  if config.lease_ticks < 1 then
+    invalid_arg "Coordinator.create: lease_ticks must be >= 1";
+  if config.max_attempts < 1 then
+    invalid_arg "Coordinator.create: max_attempts must be >= 1";
+  let t =
+    {
+      config;
+      scheduler;
+      campaigns = Hashtbl.create 8;
+      workers = Hashtbl.create 8;
+      busy = Hashtbl.create 8;
+      cooling = Hashtbl.create 8;
+      rr = 0;
+    }
+  in
+  sync_campaigns t;
+  let rec apply = function
+    | [] -> Ok t
+    | j :: rest -> (
+      match apply_extra t j with Error _ as e -> e | Ok () -> apply rest)
+  in
+  apply (Scheduler.extras scheduler)
+
+(* --- workers ---------------------------------------------------------------- *)
+
+let add_worker t ~id ~name =
+  Hashtbl.replace t.workers id name;
+  Metrics.incr "coordinator.workers_joined"
+
+let remove_worker t ~id ~now =
+  if Hashtbl.mem t.workers id then begin
+    Hashtbl.remove t.workers id;
+    Hashtbl.remove t.cooling id;
+    match Hashtbl.find_opt t.busy id with
+    | None -> ()
+    | Some (cid, sidx) -> (
+      Hashtbl.remove t.busy id;
+      match find_shard t cid sidx with
+      | Some (camp, sh) -> (
+        match sh.s_state with
+        | Leased l when l.l_worker = id ->
+          release t camp sh ~now ~epoch:l.l_epoch ~reason:"worker disconnected"
+        | _ -> ())
+      | None -> ())
+  end
+
+let worker_count t = Hashtbl.length t.workers
+
+(* Any protocol traffic from a worker proves it is alive again. *)
+let thaw t worker = Hashtbl.remove t.cooling worker
+
+(* --- worker events ---------------------------------------------------------- *)
+
+let stale_lease ~target ~campaign ~shard ~epoch =
+  [ { target; frame = Wire.Revoke { campaign; shard; epoch; reason = "stale lease" } } ]
+
+let renew t ~worker ~campaign ~shard ~epoch ~now =
+  thaw t worker;
+  match find_shard t campaign shard with
+  | Some (_, sh) -> (
+    match sh.s_state with
+    | Leased l when l.l_worker = worker && l.l_epoch = epoch ->
+      l.l_deadline <- now + t.config.lease_ticks;
+      []
+    | _ ->
+      Metrics.incr "coordinator.stale_renewals";
+      stale_lease ~target:worker ~campaign ~shard ~epoch)
+  | None ->
+    Metrics.incr "coordinator.stale_renewals";
+    stale_lease ~target:worker ~campaign ~shard ~epoch
+
+let shard_result t ~worker ~campaign ~shard ~epoch ~records ~now =
+  thaw t worker;
+  match find_shard t campaign shard with
+  | None ->
+    Metrics.incr "coordinator.zombie_results_discarded";
+    []
+  | Some (camp, sh) -> (
+    match sh.s_state with
+    | Leased l when l.l_worker = worker && l.l_epoch = epoch ->
+      let reject reason =
+        Metrics.incr "coordinator.bad_results";
+        release t camp sh ~now ~epoch ~reason;
+        [ { target = worker; frame = Wire.Revoke { campaign; shard; epoch; reason } } ]
+      in
+      let expected = List.init (sh.s_hi - sh.s_lo) (fun k -> sh.s_lo + k) in
+      if List.map fst records <> expected then
+        reject "malformed shard result: wrong run indices"
+      else begin
+        let rec ingest = function
+          | [] ->
+            Hashtbl.remove t.busy worker;
+            sh.s_state <- Done;
+            Metrics.incr "coordinator.shards_completed";
+            []
+          | (_, line) :: rest -> (
+            match Scheduler.record_external t.scheduler ~campaign ~line with
+            | Ok _ -> ingest rest
+            | Error m -> reject (Printf.sprintf "bad shard result: %s" m))
+        in
+        ingest records
+      end
+    | _ ->
+      (* A result for a lease that is no longer live: the worker is a
+         zombie (its lease was revoked and possibly re-assigned) or the
+         frame is a duplicate.  Either way the records are already
+         covered — by the replacement lease or by the Done shard — so
+         the result is discarded without side effects. *)
+      Metrics.incr "coordinator.zombie_results_discarded";
+      [])
+
+let shard_failed t ~worker ~campaign ~shard ~epoch ~reason ~now =
+  thaw t worker;
+  match find_shard t campaign shard with
+  | None ->
+    Metrics.incr "coordinator.stale_faults";
+    []
+  | Some (camp, sh) -> (
+    match sh.s_state with
+    | Leased l when l.l_worker = worker && l.l_epoch = epoch ->
+      Metrics.incr "coordinator.shard_faults";
+      Hashtbl.remove t.busy worker;
+      release t camp sh ~now ~epoch
+        ~reason:(Printf.sprintf "worker fault: %s" reason);
+      []
+    | _ ->
+      Metrics.incr "coordinator.stale_faults";
+      [])
+
+(* --- clock ------------------------------------------------------------------ *)
+
+let campaign_runnable t id =
+  (not (Scheduler.is_cancelled t.scheduler ~campaign:id))
+  && Scheduler.failed t.scheduler ~campaign:id = None
+
+let grant t camp sh ~worker ~now =
+  let epoch = sh.s_epoch + 1 in
+  sh.s_epoch <- epoch;
+  sh.s_state <-
+    Leased { l_worker = worker; l_epoch = epoch; l_deadline = now + t.config.lease_ticks };
+  Hashtbl.replace t.busy worker (camp.c_id, sh.s_index);
+  let name = Option.value (Hashtbl.find_opt t.workers worker) ~default:"?" in
+  Scheduler.append_extra t.scheduler
+    (lease_record ~campaign:camp.c_id ~shard:sh.s_index ~epoch ~worker:name);
+  Metrics.incr "coordinator.leases_granted";
+  match
+    ( Scheduler.spec_of t.scheduler ~campaign:camp.c_id,
+      Scheduler.digest_of t.scheduler ~campaign:camp.c_id )
+  with
+  | Some spec, Some digest ->
+    Some
+      {
+        target = worker;
+        frame =
+          Wire.Lease
+            {
+              campaign = camp.c_id;
+              digest;
+              shard = sh.s_index;
+              epoch;
+              lo = sh.s_lo;
+              hi = sh.s_hi;
+              lease_ticks = t.config.lease_ticks;
+              spec;
+            };
+      }
+  | _ -> None (* cannot happen: the campaign came from the scheduler *)
+
+let tick t ~now =
+  sync_campaigns t;
+  let commands = ref [] in
+  let push c = commands := c :: !commands in
+  (* Expiry and cancellation, in deterministic campaign order. *)
+  List.iter
+    (fun id ->
+      match Hashtbl.find_opt t.campaigns id with
+      | None -> ()
+      | Some camp ->
+        let cancelled = Scheduler.is_cancelled t.scheduler ~campaign:id in
+        Array.iter
+          (fun sh ->
+            match sh.s_state with
+            | Leased l when cancelled ->
+              push
+                {
+                  target = l.l_worker;
+                  frame =
+                    Wire.Revoke
+                      {
+                        campaign = id;
+                        shard = sh.s_index;
+                        epoch = l.l_epoch;
+                        reason = "campaign cancelled";
+                      };
+                };
+              revoke_blameless t camp sh ~epoch:l.l_epoch
+                ~reason:"campaign cancelled"
+            | Leased l when l.l_deadline <= now ->
+              Metrics.incr "coordinator.deadlines_missed";
+              (* The worker stays connected but has proven slow: no new
+                 lease until it speaks again. *)
+              Hashtbl.replace t.cooling l.l_worker (now + t.config.lease_ticks);
+              push
+                {
+                  target = l.l_worker;
+                  frame =
+                    Wire.Revoke
+                      {
+                        campaign = id;
+                        shard = sh.s_index;
+                        epoch = l.l_epoch;
+                        reason = "lease deadline missed";
+                      };
+                };
+              release t camp sh ~now ~epoch:l.l_epoch
+                ~reason:"lease deadline missed"
+            | _ -> ())
+          camp.c_shards)
+    (Scheduler.campaign_ids t.scheduler);
+  (* Assignment: idle, warm workers in id order; campaigns round-robin. *)
+  let idle =
+    Hashtbl.fold
+      (fun id _ acc ->
+        if Hashtbl.mem t.busy id then acc
+        else
+          match Hashtbl.find_opt t.cooling id with
+          | Some until when until > now -> acc
+          | _ ->
+            Hashtbl.remove t.cooling id;
+            id :: acc)
+      t.workers []
+    |> List.sort compare
+  in
+  let order = Array.of_list (Scheduler.campaign_ids t.scheduler) in
+  let n = Array.length order in
+  let assign worker =
+    let rec scan off =
+      if off >= n then ()
+      else
+        let idx = (t.rr + off) mod n in
+        let id = order.(idx) in
+        if not (campaign_runnable t id) then scan (off + 1)
+        else
+          match Hashtbl.find_opt t.campaigns id with
+          | None -> scan (off + 1)
+          | Some camp -> (
+            let eligible sh =
+              sh.s_state = Unassigned && sh.s_eligible_at <= now
+            in
+            match Array.find_opt eligible camp.c_shards with
+            | None -> scan (off + 1)
+            | Some sh -> (
+              t.rr <- (idx + 1) mod n;
+              match grant t camp sh ~worker ~now with
+              | Some c -> push c
+              | None -> ()))
+    in
+    if n > 0 then scan 0
+  in
+  List.iter assign idle;
+  List.rev !commands
+
+(* --- queries ---------------------------------------------------------------- *)
+
+let shard_counts t ~campaign =
+  match Hashtbl.find_opt t.campaigns campaign with
+  | None -> (0, 0, 0)
+  | Some camp ->
+    Array.fold_left
+      (fun (d, l, f) sh ->
+        match sh.s_state with
+        | Done -> (d + 1, l, f)
+        | Leased _ -> (d, l + 1, f)
+        | Dead -> (d, l, f + 1)
+        | Unassigned -> (d, l, f))
+      (0, 0, 0) camp.c_shards

@@ -6,6 +6,10 @@
      {"kind":"crun","campaign":C,"run":{...}}   one completed run
      {"kind":"cancel","campaign":C}
      {"kind":"draining"} / {"kind":"interrupted"}   shutdown markers
+     {"kind":"lease"|"revoke"|"shard-dead", ...}   coordinator extras,
+       opaque here: preserved through replay and compaction in order and
+       handed back to [Perple_service.Coordinator] for lease-epoch
+       recovery.
 
    Specs are journaled before they are acknowledged and runs before they
    are streamed, so every byte a client ever saw is reconstructible from
@@ -46,6 +50,11 @@ type t = {
   mutable journal : Journal.t option;
   campaigns : (string, campaign) Hashtbl.t;
   mutable order : string list;  (** Submit order, oldest first. *)
+  mutable rr : int;
+      (** Round-robin cursor into [order]: the next campaign {!step}
+          serves, so active campaigns interleave instead of starving
+          behind the oldest one. *)
+  mutable extras : Json.t list;  (** Coordinator records, reversed. *)
 }
 
 (* --- spec validation ------------------------------------------------------- *)
@@ -223,6 +232,12 @@ let ingest_record t j =
     | Some c ->
       c.cancelled <- true;
       Ok ())
+  | Some ("lease" | "revoke" | "shard-dead") ->
+    (* Coordinator lease bookkeeping: semantically opaque here, but its
+       order and content must survive replay and compaction so lease
+       epochs stay monotonic across coordinator restarts. *)
+    t.extras <- j :: t.extras;
+    Ok ()
   | Some "crun" ->
     let* campaign = str_field "campaign" j in
     (match Hashtbl.find_opt t.campaigns campaign with
@@ -276,7 +291,7 @@ let compacted t =
           (List.init (Array.length c.records) Fun.id))
       t.order
   in
-  (header_record :: specs) @ cancels @ cruns
+  (header_record :: specs) @ cancels @ cruns @ List.rev t.extras
 
 let create ?(jobs = 1) ~journal () =
   if jobs < 1 then invalid_arg "Scheduler.create: jobs must be >= 1";
@@ -288,6 +303,8 @@ let create ?(jobs = 1) ~journal () =
       journal = None;
       campaigns = Hashtbl.create 8;
       order = [];
+      rr = 0;
+      extras = [];
     }
   in
   (* Workers are spawned only once the journal (if any) validated, so a
@@ -355,7 +372,33 @@ let create ?(jobs = 1) ~journal () =
 
 (* --- queries --------------------------------------------------------------- *)
 
+type resolved = {
+  r_digest : string;
+  r_test : Ast.t;
+  r_counter : Engine.counter;
+  r_model : Config.model;
+  r_seeds : int array;
+}
+
+let resolve_spec spec =
+  Result.map
+    (fun c ->
+      {
+        r_digest = c.digest;
+        r_test = c.test;
+        r_counter = c.counter;
+        r_model = c.model;
+        r_seeds = c.seeds;
+      })
+    (resolve spec)
+
 let find t campaign = Hashtbl.find_opt t.campaigns campaign
+
+let campaign_ids t = t.order
+
+let spec_of t ~campaign = Option.map (fun c -> c.spec) (find t campaign)
+let digest_of t ~campaign = Option.map (fun c -> c.digest) (find t campaign)
+let seeds_of t ~campaign = Option.map (fun c -> Array.copy c.seeds) (find t campaign)
 
 let runs t ~campaign =
   Option.map (fun c -> Array.length c.records) (find t campaign)
@@ -421,6 +464,49 @@ let submit t spec =
       Metrics.incr "service.scheduler.campaigns_accepted";
       Ok { digest = fresh.digest; runs = Array.length fresh.records; completed = 0 })
 
+(* --- remote results -------------------------------------------------------- *)
+
+let extras t = List.rev t.extras
+
+let append_extra t j =
+  append t j;
+  t.extras <- j :: t.extras
+
+(* A worker-computed record is re-parsed and re-serialized before it is
+   journaled: the stream identity argument rests on every stored line
+   being the canonical [Ledger.record_line] bytes, whatever a (buggy)
+   worker actually sent.  Seed and index are checked against the
+   campaign's own pre-split, so a record can never land in a foreign
+   slot. *)
+let record_external t ~campaign ~line =
+  match find t campaign with
+  | None -> fail "record for unknown campaign %S" campaign
+  | Some c -> (
+    match Json.parse line with
+    | Error m -> fail "record does not parse: %s" m
+    | Ok run_json -> (
+      match Ledger.of_json run_json with
+      | Error m -> fail "record invalid: %s" m
+      | Ok summary ->
+        let i = summary.Ledger.index in
+        if i < 0 || i >= Array.length c.records then
+          fail "run index %d out of range for campaign %S" i campaign
+        else if summary.Ledger.seed <> c.seeds.(i) then
+          fail "run %d was seeded with %d, the spec pre-splits %d" i
+            summary.Ledger.seed c.seeds.(i)
+        else
+          let canonical = Ledger.record_line summary in
+          (match c.records.(i) with
+          | Some existing ->
+            if String.equal existing canonical then Ok `Duplicate
+            else fail "run %d already has a conflicting record" i
+          | None ->
+            append t (crun_record campaign (Ledger.to_json summary));
+            c.done_count <- c.done_count + 1;
+            c.records.(i) <- Some canonical;
+            Metrics.incr "service.scheduler.remote_runs";
+            Ok `Recorded)))
+
 let cancel t ~campaign =
   match find t campaign with
   | None -> false
@@ -435,11 +521,23 @@ let cancel t ~campaign =
 (* --- execution ------------------------------------------------------------- *)
 
 let step t =
-  match
-    List.find_opt (fun id -> runnable (Hashtbl.find t.campaigns id)) t.order
-  with
+  (* Fair selection: scan from the round-robin cursor, not from the
+     oldest campaign, so concurrent campaigns interleave batch for batch
+     instead of a long early submit starving everything behind it. *)
+  let order = Array.of_list t.order in
+  let n = Array.length order in
+  let rec pick off =
+    if off >= n then None
+    else
+      let idx = (t.rr + off) mod n in
+      if runnable (Hashtbl.find t.campaigns order.(idx)) then Some idx
+      else pick (off + 1)
+  in
+  match if n = 0 then None else pick 0 with
   | None -> None
-  | Some id ->
+  | Some idx ->
+    let id = order.(idx) in
+    t.rr <- (idx + 1) mod n;
     let c = Hashtbl.find t.campaigns id in
     let total = Array.length c.records in
     (* The batch: the next [jobs] missing indices, in index order.  The

@@ -30,6 +30,20 @@ val create : ?jobs:int -> journal:string option -> unit -> (t, string) result
     campaign (joined by {!close}/{!abandon}) — no domain is spawned per
     batch. *)
 
+type resolved = {
+  r_digest : string;  (** Config digest, as acknowledged to clients. *)
+  r_test : Perple_litmus.Ast.t;
+  r_counter : Perple_core.Engine.counter;
+  r_model : Perple_sim.Config.model;
+  r_seeds : int array;  (** The campaign's pre-split per-run seeds. *)
+}
+
+val resolve_spec : Wire.spec -> (resolved, string) result
+(** Validate a spec exactly as {!submit} would, without a scheduler:
+    the worker side of the coordinator protocol re-derives the digest
+    and seeds from the leased spec and refuses a lease whose digest
+    disagrees — a config-skew guard between coordinator and worker. *)
+
 type accepted = { digest : string; runs : int; completed : int }
 
 val submit : t -> Wire.spec -> (accepted, string) result
@@ -55,6 +69,29 @@ val failed : t -> campaign:string -> string option
 val record : t -> campaign:string -> index:int -> string option
 (** The canonical record line for a completed run index. *)
 
+val campaign_ids : t -> string list
+(** Accepted campaign ids, in submit order. *)
+
+val spec_of : t -> campaign:string -> Wire.spec option
+val digest_of : t -> campaign:string -> string option
+val seeds_of : t -> campaign:string -> int array option
+
+val record_external : t -> campaign:string -> line:string ->
+  ([ `Recorded | `Duplicate ], string) result
+(** Ingest a worker-computed record line: parse, validate index and seed
+    against the campaign's pre-split, journal it as a ["crun"] and fill
+    its slot.  [`Duplicate] if the identical canonical record is already
+    present (idempotent); [Error] on any mismatch — the coordinator
+    treats that as a faulty shard result and reassigns. *)
+
+val extras : t -> Perple_util.Json.t list
+(** Coordinator records (["lease"], ["revoke"], ["shard-dead"]) replayed
+    from the journal, in append order. *)
+
+val append_extra : t -> Perple_util.Json.t -> unit
+(** Journal a coordinator record; it is preserved verbatim (and in
+    order) through compaction on every future resume. *)
+
 val metrics_payload : t -> campaign:string -> string option
 (** The campaign's terminal {!Wire.frame.Metrics_chunk} payload: the
     per-run metrics captures of all [runs] records merged (addition is
@@ -65,10 +102,12 @@ val pending : t -> bool
 (** Some campaign still has unexecuted runs. *)
 
 val step : t -> (string * (int * string) list) option
-(** Execute the next batch (up to [jobs] missing runs of the oldest
-    incomplete campaign), journaling each run as it retires.  Returns
-    the campaign id and the new records in index order, or [None] when
-    idle. *)
+(** Execute the next batch (up to [jobs] missing runs of one incomplete
+    campaign), journaling each run as it retires.  Campaigns are served
+    round-robin — each call picks up after the previously served
+    campaign, so no campaign starves behind an older, larger one.
+    Returns the campaign id and the new records in index order, or
+    [None] when idle. *)
 
 val note_draining : t -> unit
 (** Append a ["draining"] marker — the serve-side analogue of the CLI's

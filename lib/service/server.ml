@@ -18,6 +18,9 @@ type sub = {
   campaign : string;
   mutable cursor : int;
   mutable metrics_sent : bool;
+  mutable last_progress : (int * int * int * int) option;
+      (** (runs done, shards done/leased/failed) last pushed, so
+          progress frames only flow when something moved. *)
 }
 
 type conn = {
@@ -28,15 +31,18 @@ type conn = {
 
 type t = {
   scheduler : Scheduler.t;
+  coordinator : Coordinator.t option;
   session_config : Session.config;
   conns : (int, conn) Hashtbl.t;
   mutable next_id : int;
   mutable draining : bool;
 }
 
-let create ?(session_config = Session.default_config) ~scheduler () =
+let create ?(session_config = Session.default_config) ?coordinator ~scheduler
+    () =
   {
     scheduler;
+    coordinator;
     session_config;
     conns = Hashtbl.create 8;
     next_id = 0;
@@ -105,14 +111,85 @@ let advance_sub t c sub =
     in
     push ()
 
+(* Advisory campaign progress: pushed whenever the counts moved, skipped
+   under backpressure (the next tick retries), never required for
+   completion. *)
+let push_progress t c sub =
+  match Scheduler.runs t.scheduler ~campaign:sub.campaign with
+  | None -> ()
+  | Some runs ->
+    let runs_done = Scheduler.completed t.scheduler ~campaign:sub.campaign in
+    let shards_done, shards_leased, shards_failed =
+      match t.coordinator with
+      | None -> (0, 0, 0)
+      | Some co -> Coordinator.shard_counts co ~campaign:sub.campaign
+    in
+    let key = (runs_done, shards_done, shards_leased, shards_failed) in
+    if sub.last_progress <> Some key then
+      match
+        Session.send c.session
+          (Wire.Progress
+             { campaign = sub.campaign; runs_total = runs; runs_done;
+               shards_done; shards_leased; shards_failed })
+      with
+      | `Ok ->
+        sub.last_progress <- Some key;
+        Metrics.incr "service.progress_streamed"
+      | `Overflow -> ()
+
 let advance_conn t c =
-  if Session.active c.session then
+  if Session.active c.session then begin
+    List.iter (fun sub -> push_progress t c sub) c.subs;
     c.subs <- List.filter (fun sub -> not (advance_sub t c sub)) c.subs
+  end
 
 (* --- session events -------------------------------------------------------- *)
 
-let on_event t c = function
-  | Session.Hello_received _ | Session.Terminated _ -> ()
+let dispatch t commands =
+  List.iter
+    (fun { Coordinator.target; frame } ->
+      match conn t target with
+      | None -> () (* worker vanished between decision and delivery *)
+      | Some c -> Session.send_control c.session frame)
+    commands
+
+let rec on_event t c ~now = function
+  | Session.Hello_received _ -> ()
+  | Session.Terminated _ -> (
+    (* Harmless for plain clients: the coordinator only knows worker
+       ids, so this is a no-op unless a lease-holder just died. *)
+    match t.coordinator with
+    | Some co -> Coordinator.remove_worker co ~id:c.cid ~now
+    | None -> ())
+  | Session.Worker_joined name -> (
+    match t.coordinator with
+    | None ->
+      (* A worker dialled a plain daemon: classify and close — the
+         session already replied [Hello], so explain before EOF. *)
+      Session.send_control c.session
+        (Wire.Error
+           { code = Wire.Rejected; message = "daemon is not a coordinator" });
+      List.iter (on_event t c ~now) (Session.eof c.session ~now)
+    | Some co -> Coordinator.add_worker co ~id:c.cid ~name)
+  | Session.Lease_renewed { campaign; shard; epoch } -> (
+    match t.coordinator with
+    | None -> ()
+    | Some co ->
+      dispatch t (Coordinator.renew co ~worker:c.cid ~campaign ~shard ~epoch ~now))
+  | Session.Shard_done { campaign; shard; epoch; records } -> (
+    match t.coordinator with
+    | None -> ()
+    | Some co ->
+      dispatch t
+        (Coordinator.shard_result co ~worker:c.cid ~campaign ~shard ~epoch
+           ~records ~now))
+  | Session.Shard_faulted { campaign; shard; epoch; reason } -> (
+    match t.coordinator with
+    | None -> ()
+    | Some co ->
+      dispatch t
+        (Coordinator.shard_failed co ~worker:c.cid ~campaign ~shard ~epoch
+           ~reason ~now))
   | Session.Submitted spec ->
     if t.draining then
       Session.send_control c.session
@@ -131,7 +208,8 @@ let on_event t c = function
         then
           c.subs <-
             c.subs
-            @ [ { campaign = spec.Wire.campaign; cursor = 0; metrics_sent = false } ]
+            @ [ { campaign = spec.Wire.campaign; cursor = 0;
+                  metrics_sent = false; last_progress = None } ]
     end
   | Session.Cancel_requested campaign ->
     if not (Scheduler.cancel t.scheduler ~campaign) then
@@ -140,8 +218,8 @@ let on_event t c = function
            { code = Wire.Rejected;
              message = Printf.sprintf "unknown campaign %S" campaign })
 
-let handle t c events =
-  List.iter (on_event t c) events;
+let handle t c ~now events =
+  List.iter (on_event t c ~now) events;
   advance_conn t c
 
 (* --- driver-facing surface ------------------------------------------------- *)
@@ -164,19 +242,29 @@ let connect t ~now =
 let input t ~conn:id ~now bytes =
   match conn t id with
   | None -> ()
-  | Some c -> handle t c (Session.feed c.session ~now bytes)
+  | Some c -> handle t c ~now (Session.feed c.session ~now bytes)
 
 let eof t ~conn:id ~now =
   match conn t id with
   | None -> ()
-  | Some c -> List.iter (on_event t c) (Session.eof c.session ~now)
+  | Some c -> List.iter (on_event t c ~now) (Session.eof c.session ~now)
 
 let tick t ~now =
   Hashtbl.iter
-    (fun _ c -> List.iter (on_event t c) (Session.tick c.session ~now))
+    (fun _ c -> List.iter (on_event t c ~now) (Session.tick c.session ~now))
     t.conns;
-  if (not t.draining) && Scheduler.pending t.scheduler then
-    ignore (Scheduler.step t.scheduler);
+  (match t.coordinator with
+  | Some co when not t.draining ->
+    dispatch t (Coordinator.tick co ~now);
+    (* Graceful degradation: a coordinator with no connected workers
+       executes locally, exactly like the single-node daemon, so a
+       campaign never waits on a fleet that is not coming back. *)
+    if Coordinator.worker_count co = 0 && Scheduler.pending t.scheduler then
+      ignore (Scheduler.step t.scheduler)
+  | Some _ -> ()
+  | None ->
+    if (not t.draining) && Scheduler.pending t.scheduler then
+      ignore (Scheduler.step t.scheduler));
   (* Deterministic streaming order so tests can compare transcripts. *)
   List.iter
     (fun id -> match conn t id with None -> () | Some c -> advance_conn t c)
@@ -274,11 +362,23 @@ let listen_tcp port =
     Unix.close fd;
     Error (Printf.sprintf "tcp port %d: %s" port (Unix.error_message e))
 
-let serve ~socket ?tcp_port ?(jobs = 1) ?session_config ~journal () =
+let serve ~socket ?tcp_port ?(jobs = 1) ?session_config ?coordinator ~journal
+    () =
   match Scheduler.create ~jobs ~journal () with
   | Error _ as e -> e
   | Ok scheduler -> (
     let finish_scheduler () = Scheduler.close scheduler in
+    let coordinator =
+      match coordinator with
+      | None -> Ok None
+      | Some config ->
+        Result.map Option.some (Coordinator.create ~config ~scheduler ())
+    in
+    match coordinator with
+    | Error m ->
+      finish_scheduler ();
+      Error m
+    | Ok coordinator -> (
     match listen_unix socket with
     | Error m ->
       finish_scheduler ();
@@ -296,7 +396,7 @@ let serve ~socket ?tcp_port ?(jobs = 1) ?session_config ~journal () =
         finish_scheduler ();
         Error m
       | Ok tcp_fd ->
-        let core = create ?session_config ~scheduler () in
+        let core = create ?session_config ?coordinator ~scheduler () in
         let epoch = Unix.gettimeofday () in
         let stop = ref None in
         let handler s = stop := Some s in
@@ -393,4 +493,4 @@ let serve ~socket ?tcp_port ?(jobs = 1) ?session_config ~journal () =
             pump_io ();
             loop ()
         in
-        loop ()))
+        loop ())))

@@ -20,7 +20,15 @@
 type t
 
 val create :
-  ?session_config:Session.config -> scheduler:Scheduler.t -> unit -> t
+  ?session_config:Session.config ->
+  ?coordinator:Coordinator.t ->
+  scheduler:Scheduler.t ->
+  unit ->
+  t
+(** With a [coordinator], worker sessions are admitted and campaigns
+    are sharded out as leases; without one, a [Worker_hello] is
+    rejected and closed.  The coordinator must have been created over
+    the same scheduler. *)
 
 val connect : t -> now:int -> int
 (** Register a new connection; returns its id. *)
@@ -62,6 +70,7 @@ val serve :
   ?tcp_port:int ->
   ?jobs:int ->
   ?session_config:Session.config ->
+  ?coordinator:Coordinator.config ->
   journal:string option ->
   unit ->
   (int, string) result
@@ -69,6 +78,9 @@ val serve :
     socket file from a dead daemon is detected and replaced) and
     optionally a localhost TCP port.  If [journal] names an existing
     file, the scheduler resumes it — the daemon restart contract needs
-    no flag.  Blocks until SIGINT or SIGTERM, then drains (marker
-    journaled, sessions notified, outputs flushed) and returns the
-    signal number for the caller to turn into exit 130/143. *)
+    no flag.  With [coordinator], the daemon also accepts workers and
+    shards campaigns into leases, falling back to local execution
+    whenever no worker is connected.  Blocks until SIGINT or SIGTERM,
+    then drains (marker journaled, sessions notified, outputs flushed)
+    and returns the signal number for the caller to turn into exit
+    130/143. *)

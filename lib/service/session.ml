@@ -9,11 +9,14 @@ type config = {
   heartbeat_every : int;
   liveness_timeout : int;
   max_outbound : int;
+  submit_burst : int;
+  submit_refill_every : int;
 }
 
 let default_config =
   { heartbeat_every = 1_000; liveness_timeout = 10_000;
-    max_outbound = 4 * 1024 * 1024 }
+    max_outbound = 4 * 1024 * 1024; submit_burst = 8;
+    submit_refill_every = 250 }
 
 type terminal =
   | Completed
@@ -31,6 +34,15 @@ type event =
   | Hello_received of string
   | Submitted of Wire.spec
   | Cancel_requested of string
+  | Worker_joined of string
+  | Lease_renewed of { campaign : string; shard : int; epoch : int }
+  | Shard_done of {
+      campaign : string;
+      shard : int;
+      epoch : int;
+      records : (int * string) list;
+    }
+  | Shard_faulted of { campaign : string; shard : int; epoch : int; reason : string }
   | Terminated of terminal
 
 type state = Expect_hello | Active | Closed of terminal
@@ -41,10 +53,13 @@ type t = {
   inbound : Framed.buf;
   outbound : Framed.buf;
   mutable state : state;
+  mutable role : [ `Client | `Worker ];
   mutable last_seen : int;  (** Clock of the most recent inbound bytes. *)
   mutable last_beat : int;  (** Clock of our most recent heartbeat. *)
   mutable missed_marked : bool;
       (** One "heartbeats missed" tick per silent stretch, not per tick. *)
+  mutable tokens : int;  (** Submit tokens left in this refill window. *)
+  mutable refill_at : int;  (** Clock of the next token grant. *)
   span_start : float;  (** Wall-clock trace anchor; observation only. *)
 }
 
@@ -56,13 +71,34 @@ let create ?(config = default_config) ~id ~now () =
     inbound = Framed.create ();
     outbound = Framed.create ();
     state = Expect_hello;
+    role = `Client;
     last_seen = now;
     last_beat = now;
     missed_marked = false;
+    tokens = config.submit_burst;
+    refill_at = now + config.submit_refill_every;
     span_start = Trace.now ();
   }
 
 let id t = t.sid
+let role t = t.role
+
+let role_name t = match t.role with `Client -> "client" | `Worker -> "worker"
+
+(* The bucket refills one token per [submit_refill_every] ticks up to
+   [submit_burst]; while full, the next grant is re-anchored to [now] so
+   an idle connection never banks more than one burst. *)
+let refill t ~now =
+  if t.tokens >= t.config.submit_burst then
+    t.refill_at <- now + t.config.submit_refill_every
+  else
+    while t.tokens < t.config.submit_burst && now >= t.refill_at do
+      t.tokens <- t.tokens + 1;
+      t.refill_at <-
+        (if t.tokens < t.config.submit_burst then
+           t.refill_at + t.config.submit_refill_every
+         else now + t.config.submit_refill_every)
+    done
 
 let terminal t = match t.state with Closed c -> Some c | _ -> None
 let active t = t.state = Active
@@ -116,7 +152,15 @@ let quarantine t reason =
   send_control t (Wire.Error { code = Wire.Protocol; message = reason });
   close t (Quarantined reason)
 
-let on_frame t frame =
+let client_only t frame =
+  quarantine t
+    (Printf.sprintf "client-only frame %s from worker" (Wire.frame_name frame))
+
+let worker_only t frame =
+  quarantine t
+    (Printf.sprintf "worker-only frame %s from client" (Wire.frame_name frame))
+
+let on_frame t ~now frame =
   Metrics.incr "service.frames_in";
   match (t.state, frame) with
   | Closed _, _ -> []
@@ -130,17 +174,53 @@ let on_frame t frame =
       enqueue t (Wire.Hello { version = Wire.protocol_version; peer = "perpled" });
       [ Hello_received peer ]
     end
+  | Expect_hello, Wire.Worker_hello { version; worker } ->
+    if version <> Wire.protocol_version then
+      quarantine t
+        (Printf.sprintf "unsupported protocol version %d (want %d)" version
+           Wire.protocol_version)
+    else begin
+      t.state <- Active;
+      t.role <- `Worker;
+      enqueue t (Wire.Hello { version = Wire.protocol_version; peer = "perpled" });
+      Metrics.incr "service.workers_joined";
+      [ Worker_joined worker ]
+    end
   | Expect_hello, f ->
     quarantine t (Printf.sprintf "expected hello, got %s" (Wire.frame_name f))
-  | Active, Wire.Hello _ -> quarantine t "duplicate hello"
-  | Active, Wire.Submit spec -> [ Submitted spec ]
-  | Active, Wire.Cancel { campaign } -> [ Cancel_requested campaign ]
+  | Active, (Wire.Hello _ | Wire.Worker_hello _) -> quarantine t "duplicate hello"
+  | Active, Wire.Submit spec ->
+    if t.role = `Worker then client_only t frame
+    else if t.tokens > 0 then begin
+      t.tokens <- t.tokens - 1;
+      [ Submitted spec ]
+    end
+    else begin
+      (* Declined, not quarantined: a chatty client is throttled with a
+         concrete retry hint and keeps its session. *)
+      Metrics.incr "service.submits_throttled";
+      send_control t (Wire.Busy { retry_after = max 1 (t.refill_at - now) });
+      []
+    end
+  | Active, Wire.Cancel { campaign } ->
+    if t.role = `Worker then client_only t frame else [ Cancel_requested campaign ]
+  | Active, Wire.Lease_renew { campaign; shard; epoch; sent_at = _ } ->
+    if t.role = `Client then worker_only t frame
+    else [ Lease_renewed { campaign; shard; epoch } ]
+  | Active, Wire.Shard_result { campaign; shard; epoch; records } ->
+    if t.role = `Client then worker_only t frame
+    else [ Shard_done { campaign; shard; epoch; records } ]
+  | Active, Wire.Shard_failed { campaign; shard; epoch; reason } ->
+    if t.role = `Client then worker_only t frame
+    else [ Shard_faulted { campaign; shard; epoch; reason } ]
   | Active, Wire.Heartbeat _ -> []
   | Active, Wire.Drain -> close t Completed
-  | Active, (Wire.Accepted _ | Wire.Run_record _ | Wire.Metrics_chunk _ | Wire.Error _)
-    ->
+  | ( Active,
+      ( Wire.Accepted _ | Wire.Run_record _ | Wire.Metrics_chunk _ | Wire.Error _
+      | Wire.Lease _ | Wire.Revoke _ | Wire.Busy _ | Wire.Progress _ ) ) ->
     quarantine t
-      (Printf.sprintf "server-only frame %s from client" (Wire.frame_name frame))
+      (Printf.sprintf "server-only frame %s from %s" (Wire.frame_name frame)
+         (role_name t))
 
 let feed t ~now bytes =
   match t.state with
@@ -150,6 +230,7 @@ let feed t ~now bytes =
       t.last_seen <- now;
       t.missed_marked <- false
     end;
+    refill t ~now;
     Framed.add_string t.inbound bytes;
     let rec drain acc =
       match t.state with
@@ -159,7 +240,7 @@ let feed t ~now bytes =
         | `Need_more -> acc
         | `Corrupt reason ->
           acc @ quarantine t (Printf.sprintf "corrupt frame: %s" reason)
-        | `Frame f -> drain (acc @ on_frame t f))
+        | `Frame f -> drain (acc @ on_frame t ~now f))
     in
     drain []
 
@@ -171,6 +252,7 @@ let tick t ~now =
   match t.state with
   | Closed _ -> []
   | _ ->
+    refill t ~now;
     if now - t.last_seen >= t.config.liveness_timeout then begin
       send_control t
         (Wire.Error

@@ -29,10 +29,17 @@ type config = {
   heartbeat_every : int;
   liveness_timeout : int;
   max_outbound : int;
+  submit_burst : int;
+      (** Token-bucket capacity for [Submit] frames on one connection. *)
+  submit_refill_every : int;
+      (** Ticks per token refill.  A submit with no token available is
+          declined with a [Busy] frame carrying the ticks until the next
+          grant; the session itself survives. *)
 }
 
 val default_config : config
-(** 1000 ms heartbeats, 10 s liveness, 4 MiB outbound bound. *)
+(** 1000 ms heartbeats, 10 s liveness, 4 MiB outbound bound, 8-submit
+    burst refilling every 250 ms. *)
 
 type terminal =
   | Completed  (** Clean [Drain] handshake. *)
@@ -46,6 +53,17 @@ type event =
   | Hello_received of string  (** Peer name from its [Hello]. *)
   | Submitted of Wire.spec
   | Cancel_requested of string
+  | Worker_joined of string
+      (** The peer identified itself as a worker ([Worker_hello]); the
+          session dispatches worker frames from here on. *)
+  | Lease_renewed of { campaign : string; shard : int; epoch : int }
+  | Shard_done of {
+      campaign : string;
+      shard : int;
+      epoch : int;
+      records : (int * string) list;
+    }
+  | Shard_faulted of { campaign : string; shard : int; epoch : int; reason : string }
   | Terminated of terminal
       (** Emitted exactly once; after it only output flushing remains. *)
 
@@ -53,6 +71,10 @@ type t
 
 val create : ?config:config -> id:int -> now:int -> unit -> t
 val id : t -> int
+
+val role : t -> [ `Client | `Worker ]
+(** [`Client] until a [Worker_hello] arrives.  Client-only frames from a
+    worker (and vice versa) quarantine the session. *)
 
 val feed : t -> now:int -> string -> event list
 (** Inbound bytes.  Decodes as many complete frames as arrived, walks

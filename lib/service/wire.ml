@@ -27,8 +27,40 @@ type frame =
   | Cancel of { campaign : string }
   | Drain
   | Error of { code : error_code; message : string }
+  | Worker_hello of { version : int; worker : string }
+  | Lease of {
+      campaign : string;
+      digest : string;
+      shard : int;
+      epoch : int;
+      lo : int;
+      hi : int;
+      lease_ticks : int;
+      spec : spec;
+    }
+  | Lease_renew of { campaign : string; shard : int; epoch : int; sent_at : int }
+  | Shard_result of {
+      campaign : string;
+      shard : int;
+      epoch : int;
+      records : (int * string) list;
+    }
+  | Shard_failed of { campaign : string; shard : int; epoch : int; reason : string }
+  | Revoke of { campaign : string; shard : int; epoch : int; reason : string }
+  | Busy of { retry_after : int }
+  | Progress of {
+      campaign : string;
+      runs_total : int;
+      runs_done : int;
+      shards_done : int;
+      shards_leased : int;
+      shards_failed : int;
+    }
 
-let protocol_version = 1
+(* 2: the coordinator/worker frames (tags 10-17).  A v1 peer would
+   classify them as Corrupt (unknown tag), so the handshake bump keeps
+   old binaries off the wire instead of quarantining them mid-stream. *)
+let protocol_version = 2
 
 (* Run records embed per-run metrics dumps; litmus sources are a few KiB.
    16 MiB bounds a hostile length prefix without ever constraining real
@@ -45,6 +77,14 @@ let frame_name = function
   | Cancel _ -> "cancel"
   | Drain -> "drain"
   | Error _ -> "error"
+  | Worker_hello _ -> "worker-hello"
+  | Lease _ -> "lease"
+  | Lease_renew _ -> "lease-renew"
+  | Shard_result _ -> "shard-result"
+  | Shard_failed _ -> "shard-failed"
+  | Revoke _ -> "revoke"
+  | Busy _ -> "busy"
+  | Progress _ -> "progress"
 
 let error_code_name = function
   | Protocol -> "protocol"
@@ -104,6 +144,23 @@ let tag_byte = function
   | Cancel _ -> 7
   | Drain -> 8
   | Error _ -> 9
+  | Worker_hello _ -> 10
+  | Lease _ -> 11
+  | Lease_renew _ -> 12
+  | Shard_result _ -> 13
+  | Shard_failed _ -> 14
+  | Revoke _ -> 15
+  | Busy _ -> 16
+  | Progress _ -> 17
+
+let add_spec b { campaign; test; iterations; seed; runs; counter; model } =
+  add_str b campaign;
+  add_str b test;
+  add_i64 b iterations;
+  add_i64 b seed;
+  add_u32 b runs;
+  add_str b counter;
+  add_str b model
 
 let encode frame =
   let b = Buffer.create 64 in
@@ -112,14 +169,7 @@ let encode frame =
   | Hello { version; peer } ->
     add_u32 b version;
     add_str b peer
-  | Submit { campaign; test; iterations; seed; runs; counter; model } ->
-    add_str b campaign;
-    add_str b test;
-    add_i64 b iterations;
-    add_i64 b seed;
-    add_u32 b runs;
-    add_str b counter;
-    add_str b model
+  | Submit spec -> add_spec b spec
   | Accepted { campaign; digest; runs; completed } ->
     add_str b campaign;
     add_str b digest;
@@ -137,7 +187,52 @@ let encode frame =
   | Drain -> ()
   | Error { code; message } ->
     add_u8 b (code_byte code);
-    add_str b message);
+    add_str b message
+  | Worker_hello { version; worker } ->
+    add_u32 b version;
+    add_str b worker
+  | Lease { campaign; digest; shard; epoch; lo; hi; lease_ticks; spec } ->
+    add_str b campaign;
+    add_str b digest;
+    add_u32 b shard;
+    add_u32 b epoch;
+    add_u32 b lo;
+    add_u32 b hi;
+    add_u32 b lease_ticks;
+    add_spec b spec
+  | Lease_renew { campaign; shard; epoch; sent_at } ->
+    add_str b campaign;
+    add_u32 b shard;
+    add_u32 b epoch;
+    add_i64 b sent_at
+  | Shard_result { campaign; shard; epoch; records } ->
+    add_str b campaign;
+    add_u32 b shard;
+    add_u32 b epoch;
+    add_u32 b (List.length records);
+    List.iter
+      (fun (index, record) ->
+        add_u32 b index;
+        add_str b record)
+      records
+  | Shard_failed { campaign; shard; epoch; reason } ->
+    add_str b campaign;
+    add_u32 b shard;
+    add_u32 b epoch;
+    add_str b reason
+  | Revoke { campaign; shard; epoch; reason } ->
+    add_str b campaign;
+    add_u32 b shard;
+    add_u32 b epoch;
+    add_str b reason
+  | Busy { retry_after } -> add_u32 b retry_after
+  | Progress { campaign; runs_total; runs_done; shards_done; shards_leased; shards_failed } ->
+    add_str b campaign;
+    add_u32 b runs_total;
+    add_u32 b runs_done;
+    add_u32 b shards_done;
+    add_u32 b shards_leased;
+    add_u32 b shards_failed);
   let body = Buffer.contents b in
   let out = Buffer.create (8 + String.length body) in
   add_u32 out (String.length body);
@@ -190,21 +285,23 @@ let get_str c =
   c.pos <- c.pos + n;
   s
 
+let get_spec c =
+  let campaign = get_str c in
+  let test = get_str c in
+  let iterations = get_i64 c in
+  let seed = get_i64 c in
+  let runs = get_u32 c in
+  let counter = get_str c in
+  let model = get_str c in
+  { campaign; test; iterations; seed; runs; counter; model }
+
 let decode_body tag c =
   match tag with
   | 1 ->
     let version = get_u32 c in
     let peer = get_str c in
     Hello { version; peer }
-  | 2 ->
-    let campaign = get_str c in
-    let test = get_str c in
-    let iterations = get_i64 c in
-    let seed = get_i64 c in
-    let runs = get_u32 c in
-    let counter = get_str c in
-    let model = get_str c in
-    Submit { campaign; test; iterations; seed; runs; counter; model }
+  | 2 -> Submit (get_spec c)
   | 3 ->
     let campaign = get_str c in
     let digest = get_str c in
@@ -229,6 +326,63 @@ let decode_body tag c =
     (match code_of_byte byte with
     | Some code -> Error { code; message }
     | None -> raise (Bad (Printf.sprintf "unknown error code %d" byte)))
+  | 10 ->
+    let version = get_u32 c in
+    let worker = get_str c in
+    Worker_hello { version; worker }
+  | 11 ->
+    let campaign = get_str c in
+    let digest = get_str c in
+    let shard = get_u32 c in
+    let epoch = get_u32 c in
+    let lo = get_u32 c in
+    let hi = get_u32 c in
+    let lease_ticks = get_u32 c in
+    let spec = get_spec c in
+    Lease { campaign; digest; shard; epoch; lo; hi; lease_ticks; spec }
+  | 12 ->
+    let campaign = get_str c in
+    let shard = get_u32 c in
+    let epoch = get_u32 c in
+    let sent_at = get_i64 c in
+    Lease_renew { campaign; shard; epoch; sent_at }
+  | 13 ->
+    let campaign = get_str c in
+    let shard = get_u32 c in
+    let epoch = get_u32 c in
+    let count = get_u32 c in
+    (* Each item needs at least 8 bytes, so a hostile count fails on its
+       first absent item rather than pre-allocating anything. *)
+    let rec items k acc =
+      if k = 0 then List.rev acc
+      else begin
+        let index = get_u32 c in
+        let record = get_str c in
+        items (k - 1) ((index, record) :: acc)
+      end
+    in
+    Shard_result { campaign; shard; epoch; records = items count [] }
+  | 14 ->
+    let campaign = get_str c in
+    let shard = get_u32 c in
+    let epoch = get_u32 c in
+    let reason = get_str c in
+    Shard_failed { campaign; shard; epoch; reason }
+  | 15 ->
+    let campaign = get_str c in
+    let shard = get_u32 c in
+    let epoch = get_u32 c in
+    let reason = get_str c in
+    Revoke { campaign; shard; epoch; reason }
+  | 16 -> Busy { retry_after = get_u32 c }
+  | 17 ->
+    let campaign = get_str c in
+    let runs_total = get_u32 c in
+    let runs_done = get_u32 c in
+    let shards_done = get_u32 c in
+    let shards_leased = get_u32 c in
+    let shards_failed = get_u32 c in
+    Progress { campaign; runs_total; runs_done; shards_done; shards_leased; shards_failed }
   | t -> raise (Bad (Printf.sprintf "unknown frame tag %d" t))
 
 let decode ?(pos = 0) s =

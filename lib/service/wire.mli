@@ -73,6 +73,54 @@ type frame =
       (** Client → server: no further requests, close when flushed.
           Server → client: daemon is draining; resubmit after restart. *)
   | Error of { code : error_code; message : string }
+  | Worker_hello of { version : int; worker : string }
+      (** First frame from a worker connection (instead of {!frame.Hello});
+          the coordinator replies with a plain [Hello]. *)
+  | Lease of {
+      campaign : string;
+      digest : string;  (** Config digest the worker must re-derive. *)
+      shard : int;
+      epoch : int;
+          (** Monotonic per shard, across coordinator restarts; results
+              carrying a stale epoch are discarded. *)
+      lo : int;
+      hi : int;  (** Run-index range [lo, hi), within the campaign. *)
+      lease_ticks : int;
+          (** Renewal deadline: the lease is revoked unless renewed
+              within this many ticks. *)
+      spec : spec;  (** Everything needed to execute the runs locally. *)
+    }
+  | Lease_renew of { campaign : string; shard : int; epoch : int; sent_at : int }
+      (** Worker → coordinator heartbeat for one lease; extends the
+          deadline by the lease's [lease_ticks]. *)
+  | Shard_result of {
+      campaign : string;
+      shard : int;
+      epoch : int;
+      records : (int * string) list;
+          (** (run index, canonical ledger record line), exactly
+              [lo .. hi-1] in order. *)
+    }
+  | Shard_failed of { campaign : string; shard : int; epoch : int; reason : string }
+      (** Worker-reported shard fault; the coordinator revokes and
+          reassigns with backoff. *)
+  | Revoke of { campaign : string; shard : int; epoch : int; reason : string }
+      (** Coordinator → worker: stop working on this lease; any late
+          result for it will be discarded. *)
+  | Busy of { retry_after : int }
+      (** Submit declined by the per-connection rate limiter; retry
+          after [retry_after] ticks (honoured by the client's backoff). *)
+  | Progress of {
+      campaign : string;
+      runs_total : int;
+      runs_done : int;
+      shards_done : int;
+      shards_leased : int;
+      shards_failed : int;  (** Shards abandoned as [Unrecoverable]. *)
+    }
+      (** Out-of-band campaign progress, streamed to subscribers between
+          record frames; purely advisory and never required for
+          completion. *)
 
 val protocol_version : int
 val max_frame : int

@@ -47,6 +47,13 @@ let gen_code =
     [ Wire.Protocol; Wire.Rejected; Wire.Cancelled; Wire.Draining;
       Wire.Timeout; Wire.Internal ]
 
+let gen_spec =
+  QCheck.Gen.map
+    (fun (campaign, test, iterations, seed, (runs, counter, model)) ->
+      { Wire.campaign; test; iterations; seed; runs; counter; model })
+    QCheck.Gen.(
+      tup5 gen_bytes gen_bytes gen_i64 gen_i64 (tup3 gen_u32 gen_bytes gen_bytes))
+
 let frame_gens : (string * Wire.frame QCheck.Gen.t) list =
   let open QCheck.Gen in
   [
@@ -80,6 +87,47 @@ let frame_gens : (string * Wire.frame QCheck.Gen.t) list =
     ( "error",
       map2 (fun code message -> Wire.Error { code; message }) gen_code
         gen_bytes );
+    ( "worker-hello",
+      map2 (fun version worker -> Wire.Worker_hello { version; worker })
+        gen_u32 gen_bytes );
+    ( "lease",
+      map
+        (fun ((campaign, digest, shard, epoch), (lo, hi, lease_ticks), spec) ->
+          Wire.Lease { campaign; digest; shard; epoch; lo; hi; lease_ticks; spec })
+        (tup3
+           (tup4 gen_bytes gen_bytes gen_u32 gen_u32)
+           (tup3 gen_u32 gen_u32 gen_u32)
+           gen_spec) );
+    ( "lease-renew",
+      map
+        (fun (campaign, shard, epoch, sent_at) ->
+          Wire.Lease_renew { campaign; shard; epoch; sent_at })
+        (tup4 gen_bytes gen_u32 gen_u32 gen_i64) );
+    ( "shard-result",
+      map
+        (fun (campaign, shard, epoch, records) ->
+          Wire.Shard_result { campaign; shard; epoch; records })
+        (tup4 gen_bytes gen_u32 gen_u32
+           (list_size (0 -- 8) (pair gen_u32 gen_bytes))) );
+    ( "shard-failed",
+      map
+        (fun (campaign, shard, epoch, reason) ->
+          Wire.Shard_failed { campaign; shard; epoch; reason })
+        (tup4 gen_bytes gen_u32 gen_u32 gen_bytes) );
+    ( "revoke",
+      map
+        (fun (campaign, shard, epoch, reason) ->
+          Wire.Revoke { campaign; shard; epoch; reason })
+        (tup4 gen_bytes gen_u32 gen_u32 gen_bytes) );
+    ("busy", map (fun retry_after -> Wire.Busy { retry_after }) gen_u32);
+    ( "progress",
+      map
+        (fun (campaign, (runs_total, runs_done), (sd, sl, sf)) ->
+          Wire.Progress
+            { campaign; runs_total; runs_done; shards_done = sd;
+              shards_leased = sl; shards_failed = sf })
+        (tup3 gen_bytes (pair gen_u32 gen_u32) (tup3 gen_u32 gen_u32 gen_u32))
+    );
   ]
 
 let roundtrip frame =
@@ -288,7 +336,9 @@ let test_session_quarantines () =
     s
 
 let test_session_liveness () =
-  let config = { Session.heartbeat_every = 10; liveness_timeout = 50; max_outbound = 1 lsl 20 } in
+  let config =
+    { Session.default_config with heartbeat_every = 10; liveness_timeout = 50 }
+  in
   let s = Session.create ~config ~id:5 ~now:0 () in
   ignore (Session.feed s ~now:0 (Wire.encode hello));
   ignore (session_frames s);
@@ -311,7 +361,7 @@ let test_session_liveness () =
   | _ -> Alcotest.fail "peer must be told about the timeout"
 
 let test_session_backpressure () =
-  let config = { Session.heartbeat_every = 1000; liveness_timeout = 10000; max_outbound = 64 } in
+  let config = { Session.default_config with max_outbound = 64 } in
   let s = Session.create ~config ~id:6 ~now:0 () in
   ignore (Session.feed s ~now:0 (Wire.encode hello));
   ignore (Framed.take_all (Session.output s));
@@ -500,8 +550,7 @@ let test_scheduler_draining_marker_resumes () =
 (* --- server/client sans-IO --------------------------------------------------- *)
 
 let fast_session =
-  { Session.heartbeat_every = 50; liveness_timeout = 500;
-    max_outbound = 1 lsl 20 }
+  { Session.default_config with heartbeat_every = 50; liveness_timeout = 500 }
 
 let fast_client = { Client.heartbeat_every = 50; liveness_timeout = 500 }
 
